@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 1(b): GPU latency breakdown of MSDeformAttn."""
+
+from conftest import run_once
+
+from repro.experiments import fig1b_latency_breakdown
+
+
+def test_fig1b_latency_breakdown(benchmark):
+    result = run_once(benchmark, fig1b_latency_breakdown.run, scale="paper")
+    print()
+    print(result.as_table())
+    for row in result.rows:
+        assert 50.0 < row[1] < 80.0  # MSGS + aggregation dominate (paper: 60-64 %)

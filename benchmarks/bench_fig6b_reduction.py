@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig. 6(b): sampling-point / fmap-pixel / FLOP reduction."""
+
+from conftest import run_once
+
+from repro.experiments import fig6b_reduction
+
+
+def test_fig6b_reduction(benchmark):
+    result = run_once(benchmark, fig6b_reduction.run, scale="small")
+    print()
+    print(result.as_table())
+    for name, payload in result.data.items():
+        assert 0.7 < payload["sampling_point_reduction"] < 0.95  # paper: 82-86 %
+        assert 0.25 < payload["fmap_pixel_reduction"] < 0.6  # paper: 42-44 %
+        assert 0.4 < payload["flops_reduction"] < 0.65  # paper: 52-53 %

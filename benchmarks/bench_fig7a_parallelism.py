@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 7(a): inter-level vs intra-level MSGS throughput."""
+
+from conftest import run_once
+
+from repro.experiments import fig7a_parallelism
+
+
+def test_fig7a_parallelism(benchmark):
+    result = run_once(benchmark, fig7a_parallelism.run, scale="small")
+    print()
+    print(result.as_table())
+    for name, payload in result.data.items():
+        assert payload["boost"] > 2.0  # paper: 3.02 - 3.09x

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Fig. 7(b): energy savings of operator fusion and fmap reuse."""
+
+from conftest import run_once
+
+from repro.experiments import fig7b_fusion_reuse
+
+
+def test_fig7b_fusion_reuse(benchmark):
+    result = run_once(benchmark, fig7b_fusion_reuse.run, scale="small")
+    print()
+    print(result.as_table())
+    fusion = result.data["op_fusion"]["measured"]
+    reuse = result.data["fmap_reuse"]["measured"]
+    assert fusion["dram"] > 0.5  # paper: 73.3 %
+    assert reuse["dram"] > 0.6  # paper: 88.2 %
+    assert fusion["sram"] > 0.0 and reuse["sram"] > 0.0

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig. 8: area and energy breakdown of the accelerator."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_breakdown
+
+
+def test_fig8_breakdown(benchmark):
+    result = run_once(benchmark, fig8_breakdown.run)
+    print()
+    print(result.as_table())
+    data = result.data
+    assert 2.0 < data["total_area_mm2"] < 3.5  # paper: 2.63 mm^2
+    assert data["area_fractions"]["sram"] > 0.5  # paper: 72 %
+    assert data["energy_fractions"]["dram"] > 0.5  # paper: 93 % (DRAM dominates)

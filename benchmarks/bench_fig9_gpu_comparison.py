@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 9: speedup and energy efficiency vs GPUs."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_gpu_comparison
+
+
+def test_fig9_gpu_comparison(benchmark):
+    result = run_once(benchmark, fig9_gpu_comparison.run, measure_scale="small")
+    print()
+    print(result.as_table())
+    for name, per_gpu in result.data.items():
+        assert 5.0 < per_gpu["RTX 2080Ti"]["speedup"] < 20.0  # paper: 10.1 - 11.8x
+        assert 15.0 < per_gpu["RTX 3090Ti"]["speedup"] < 45.0  # paper: 29.4 - 31.9x
+        # The 3090Ti comparison always shows the larger speedup (the crossover shape).
+        assert per_gpu["RTX 3090Ti"]["speedup"] > per_gpu["RTX 2080Ti"]["speedup"]
+        assert per_gpu["RTX 2080Ti"]["ee_gain"] > 1.0

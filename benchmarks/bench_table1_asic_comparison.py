@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 1: comparison with published attention ASICs."""
+
+from conftest import run_once
+
+from repro.experiments import table1_asic_comparison
+
+
+def test_table1_asic_comparison(benchmark):
+    result = run_once(benchmark, table1_asic_comparison.run)
+    print()
+    print(result.as_table())
+    improvements = result.data["ee_improvements"]
+    # DEFA is more energy-efficient than every published attention accelerator
+    # (paper: 2.2 - 3.7x).
+    assert all(v > 1.5 for v in improvements.values())
+    assert result.data["defa_row"]["area_mm2"] < 3.5

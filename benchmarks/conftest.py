@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper.  The experiments are
+deterministic and relatively slow (they run the NumPy encoder), so every
+benchmark executes exactly one round via ``benchmark.pedantic`` and prints the
+regenerated table (captured into ``bench_output.txt`` by the harness command).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run *func* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,90 @@
+"""Design-space exploration of the DEFA accelerator.
+
+Uses the hardware simulator to explore the architectural choices the paper
+evaluates: intra- vs inter-level banking, operator fusion, fmap reuse and
+throughput scaling, plus the on-chip buffer requirement with and without
+level-wise range narrowing (Sec. 2.2 / 4.1).
+
+Run with::
+
+    python examples/hardware_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.core.range_narrowing import RangeNarrowing, full_fmap_storage_bits
+from repro.hardware.area import area_model
+from repro.hardware.banking import BankingScheme
+from repro.hardware.config import HardwareConfig
+from repro.hardware.simulator import DEFASimulator
+from repro.utils.tables import format_table
+from repro.workloads.specs import get_workload
+
+
+def main() -> None:
+    spec = get_workload("deformable_detr", scale="paper")
+    point_keep, pixel_keep = 0.16, 0.57  # the paper's operating point (Fig. 6b)
+
+    print("Ablation of the hardware optimizations (paper-scale workload):")
+    rows = []
+    variants = [
+        ("DEFA (fusion + reuse + inter-level)", dict()),
+        ("no operator fusion", dict(fuse_msgs_aggregation=False)),
+        ("no fmap reuse", dict(fmap_reuse=False)),
+        ("intra-level banking", dict(banking=BankingScheme.INTRA_LEVEL)),
+        ("no pruning (dense)", dict(dense=True)),
+    ]
+    for label, options in variants:
+        dense = options.pop("dense", False)
+        simulator = DEFASimulator(HardwareConfig(), **options)
+        if dense:
+            report = simulator.simulate_from_ratios(spec, 1.0, 1.0)
+        else:
+            report = simulator.simulate_from_ratios(spec, point_keep, pixel_keep)
+        rows.append(
+            [
+                label,
+                1e3 * report.time_s,
+                1e3 * report.energy.total_j,
+                report.effective_tops * 1e3,
+                1e3 * report.chip_power_w,
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "time (ms)", "energy (mJ)", "eff. GOPS", "chip power (mW)"], rows
+        )
+    )
+
+    print()
+    print("Throughput scaling (the Fig. 9 design points):")
+    rows = []
+    for target in (0.2048, 13.3, 40.0):
+        config = HardwareConfig() if target < 1 else HardwareConfig().scaled_to(target)
+        report = DEFASimulator(config).simulate_from_ratios(spec, point_keep, pixel_keep)
+        area = area_model(config)
+        rows.append(
+            [
+                f"{config.peak_gops / 1e3:.2f} TOPS peak",
+                1e3 * report.time_s,
+                report.effective_tops,
+                area.total_mm2,
+            ]
+        )
+    print(format_table(["design point", "time (ms)", "eff. TOPS", "area (mm2)"], rows))
+
+    print()
+    print("On-chip buffer requirement (Sec. 2.2 vs Sec. 4.1):")
+    full_mb = full_fmap_storage_bits(spec.spatial_shapes, spec.model.d_model) / 8 / 1024 / 1024
+    narrowing = RangeNarrowing((8.0, 7.0, 7.0, 6.0))
+    windows_kib = narrowing.storage_bits(spec.model.d_model, spatial_shapes=spec.spatial_shapes) / 8 / 1024
+    unified_overhead = narrowing.unified_storage_overhead(
+        spec.model.d_model, spatial_shapes=spec.spatial_shapes
+    )
+    print(f"  whole multi-scale fmap on chip : {full_mb:7.2f} MB  (the ~9.8 MB problem)")
+    print(f"  level-wise bounded-range buffer: {windows_kib:7.1f} KiB")
+    print(f"  unified-range extra storage    : {100 * unified_overhead:5.1f} %  (paper: ~25 %)")
+
+
+if __name__ == "__main__":
+    main()

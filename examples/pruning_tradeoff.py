@@ -1,0 +1,91 @@
+"""Accuracy / sparsity trade-off of the DEFA pruning hyper-parameters.
+
+Sweeps the FWP threshold factor ``k`` (Eq. 2) and the PAP probability
+threshold, measuring for each operating point the pruning ratios and the
+output fidelity versus the FP32 unpruned baseline — the trade-off the paper
+tunes during finetuning (Sec. 3.1 / 5.2).
+
+Run with::
+
+    python examples/pruning_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DEFAConfig
+from repro.core.encoder_runner import DEFAEncoderRunner
+from repro.eval.fidelity import compare_outputs
+from repro.nn.models import build_encoder
+from repro.nn.positional import make_reference_points, sine_positional_encoding
+from repro.nn.weight_fitting import fit_encoder_heads
+from repro.utils.tables import format_table
+from repro.workloads.specs import get_workload
+from repro.workloads.traces import synthetic_workload_input
+
+
+def main() -> None:
+    spec = get_workload("deformable_detr", scale="small")
+    features, layout = synthetic_workload_input(spec, rng=0)
+    pos = sine_positional_encoding(spec.spatial_shapes, spec.model.d_model)
+    ref = make_reference_points(spec.spatial_shapes)
+    encoder = build_encoder(spec.model, rng=1)
+    encoder.layers = encoder.layers[:3]  # three blocks keep the sweep fast
+    encoder.num_layers = 3
+    fit_encoder_heads(encoder, features, pos, ref, spec.spatial_shapes, layout, rng=2)
+    baseline = encoder.forward(features, pos, ref, spec.spatial_shapes)
+
+    def evaluate(config: DEFAConfig) -> list:
+        result = DEFAEncoderRunner(encoder, config).forward(
+            features, pos, ref, spec.spatial_shapes
+        )
+        fidelity = compare_outputs(baseline, result.memory)
+        return [
+            100 * result.mean_point_reduction,
+            100 * result.mean_pixel_reduction,
+            100 * result.mean_flops_reduction,
+            fidelity.relative_error,
+        ]
+
+    print("Sweep of the FWP threshold factor k (PAP fixed at the default):")
+    rows = []
+    for k in (0.25, 0.5, 0.75, 1.0, 1.5):
+        rows.append([k] + evaluate(DEFAConfig(fwp_k=k)))
+    print(
+        format_table(
+            ["k", "point red. %", "pixel red. %", "FLOP red. %", "rel. error"], rows
+        )
+    )
+
+    print()
+    print("Sweep of the PAP probability threshold (FWP fixed at the default):")
+    rows = []
+    for threshold in (0.01, 0.02, 0.035, 0.05, 0.08):
+        rows.append([threshold] + evaluate(DEFAConfig(pap_threshold=threshold)))
+    print(
+        format_table(
+            ["threshold", "point red. %", "pixel red. %", "FLOP red. %", "rel. error"], rows
+        )
+    )
+
+    print()
+    print("Level-wise vs unified bounded range (Sec. 4.1):")
+    rows = []
+    for label, config in [
+        ("level-wise", DEFAConfig()),
+        ("unified", DEFAConfig(unified_range=True)),
+    ]:
+        from repro.core.range_narrowing import RangeNarrowing
+
+        narrowing = RangeNarrowing(config.effective_ranges(spec.model.num_levels))
+        storage_kib = narrowing.storage_bits(spec.model.d_model) / 8 / 1024
+        rows.append([label, storage_kib] + evaluate(config))
+    print(
+        format_table(
+            ["ranges", "window SRAM (KiB)", "point red. %", "pixel red. %", "FLOP red. %", "rel. error"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

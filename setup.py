@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this shim exists so that editable
+installs work on minimal offline environments (old setuptools without the
+``wheel`` package, where PEP 660 editable wheels are unavailable).
+"""
+
+from setuptools import setup
+
+setup()

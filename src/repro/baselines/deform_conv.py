@@ -1,0 +1,80 @@
+"""Deformable-convolution workload comparison (Sec. 2.2).
+
+The paper motivates DEFA by contrasting the grid-sampling workload of
+MSDeformAttn with that of deformable convolution (DeformConv): the
+multi-scale fmaps are ~21.3x larger than DeformConv's single-scale fmap and
+each head samples ``N_l * N_p`` times more points.  Prior DeformConv
+accelerators (CoDeNet, etc.) therefore cannot be applied directly.  This
+module quantifies both ratios for any workload specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.shapes import LevelShape, make_level_shapes
+from repro.workloads.specs import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class DeformConvWorkload:
+    """Grid-sampling workload of a deformable convolution layer.
+
+    DeformConv samples a ``kernel_size x kernel_size`` grid (typically 3x3 =
+    9 points) per output pixel on a single-scale feature map.
+    """
+
+    feature_height: int
+    feature_width: int
+    channels: int
+    kernel_size: int = 3
+
+    @property
+    def num_pixels(self) -> int:
+        """Pixels of the single-scale feature map."""
+        return self.feature_height * self.feature_width
+
+    @property
+    def points_per_output(self) -> int:
+        """Sampling points per output pixel (the deformable kernel taps)."""
+        return self.kernel_size * self.kernel_size
+
+    @property
+    def total_sampling_points(self) -> int:
+        """Sampling points of the whole layer."""
+        return self.num_pixels * self.points_per_output
+
+    @staticmethod
+    def matching_single_scale(spec: WorkloadSpec, stride: int = 32, kernel_size: int = 3) -> "DeformConvWorkload":
+        """DeformConv workload on the single-scale fmap a CNN head would use.
+
+        DeformConv-based detectors operate on one backbone level (stride 32 in
+        the paper's comparison); this builds that workload for the same input
+        image as *spec*.
+        """
+        shape = make_level_shapes(spec.image_height, spec.image_width, (stride,))[0]
+        return DeformConvWorkload(
+            feature_height=shape.height,
+            feature_width=shape.width,
+            channels=spec.model.d_model,
+            kernel_size=kernel_size,
+        )
+
+
+def fmap_size_ratio(spec: WorkloadSpec, deform_conv: DeformConvWorkload) -> float:
+    """Multi-scale fmap pixels of MSDeformAttn over DeformConv's single-scale pixels.
+
+    The paper quotes ~21.3x for the COCO resolution with strides 8/16/32/64
+    versus a stride-32 single-scale map.
+    """
+    return spec.num_tokens / deform_conv.num_pixels
+
+
+def sampling_point_ratio_per_head(spec: WorkloadSpec, deform_conv: DeformConvWorkload) -> float:
+    """Per-query sampling points of one MSDeformAttn head over DeformConv's taps.
+
+    MSDeformAttn samples ``N_l * N_p`` points per head and query, compared to
+    the ``k x k`` taps of DeformConv.
+    """
+    per_head = spec.model.num_levels * spec.model.num_points
+    return per_head / deform_conv.points_per_output

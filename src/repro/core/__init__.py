@@ -1,0 +1,27 @@
+"""DEFA algorithm level: pruning-assisted grid sampling (the paper's core contribution)."""
+
+from repro.core.config import DEFAConfig
+from repro.core.fwp import FWPResult, compute_fmap_mask
+from repro.core.pap import PAPResult, compute_point_mask
+from repro.core.range_narrowing import RangeNarrowing
+from repro.core.sampling_stats import sampled_frequency
+from repro.core.flops import FlopsBreakdown, msdeform_attn_flops
+from repro.core.pipeline import DEFAAttention, DEFAAttentionOutput, DEFALayerStats
+from repro.core.encoder_runner import DEFAEncoderResult, DEFAEncoderRunner
+
+__all__ = [
+    "DEFAConfig",
+    "FWPResult",
+    "compute_fmap_mask",
+    "PAPResult",
+    "compute_point_mask",
+    "RangeNarrowing",
+    "sampled_frequency",
+    "FlopsBreakdown",
+    "msdeform_attn_flops",
+    "DEFAAttention",
+    "DEFAAttentionOutput",
+    "DEFALayerStats",
+    "DEFAEncoderResult",
+    "DEFAEncoderRunner",
+]

@@ -1,0 +1,126 @@
+"""FLOP accounting for MSDeformAttn with and without DEFA pruning.
+
+The reduction reported in Fig. 6(b) covers the operators of the MSDeformAttn
+dataflow that FWP/PAP touch: the value projection (rows of ``X W^V`` skipped by
+FWP), the sampling-offset projection, the grid sampling and the aggregation
+(points skipped by PAP), plus the attention-weight projection and softmax
+(which always run, since PAP needs the probabilities).  The output projection
+operates on queries and is unaffected by either pruning method; it is tracked
+separately so both conventions can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+PRUNABLE_OPERATORS = (
+    "value_proj",
+    "sampling_offsets",
+    "attention_weights",
+    "softmax",
+    "msgs",
+    "aggregation",
+)
+"""Operators included in the Fig. 6(b) computation-reduction figure."""
+
+
+@dataclass
+class FlopsBreakdown:
+    """Dense and pruned FLOPs per operator of one MSDeformAttn layer."""
+
+    dense: dict[str, int] = field(default_factory=dict)
+    pruned: dict[str, int] = field(default_factory=dict)
+
+    def total_dense(self, include_output_proj: bool = False) -> int:
+        """Total dense FLOPs (optionally including the output projection)."""
+        return self._total(self.dense, include_output_proj)
+
+    def total_pruned(self, include_output_proj: bool = False) -> int:
+        """Total FLOPs after FWP + PAP."""
+        return self._total(self.pruned, include_output_proj)
+
+    @staticmethod
+    def _total(breakdown: dict[str, int], include_output_proj: bool) -> int:
+        keys = set(PRUNABLE_OPERATORS)
+        if include_output_proj:
+            keys.add("output_proj")
+        return int(sum(v for k, v in breakdown.items() if k in keys))
+
+    def reduction(self, include_output_proj: bool = False) -> float:
+        """Fractional FLOP reduction (the Fig. 6b metric)."""
+        dense = self.total_dense(include_output_proj)
+        if dense == 0:
+            return 0.0
+        return 1.0 - self.total_pruned(include_output_proj) / dense
+
+    def merged_with(self, other: "FlopsBreakdown") -> "FlopsBreakdown":
+        """Element-wise sum of two breakdowns (used to aggregate over layers)."""
+        dense = dict(self.dense)
+        pruned = dict(self.pruned)
+        for key, value in other.dense.items():
+            dense[key] = dense.get(key, 0) + value
+        for key, value in other.pruned.items():
+            pruned[key] = pruned.get(key, 0) + value
+        return FlopsBreakdown(dense=dense, pruned=pruned)
+
+
+def msdeform_attn_flops(
+    d_model: int,
+    num_heads: int,
+    num_levels: int,
+    num_points: int,
+    num_queries: int,
+    num_tokens: int,
+    points_kept: int | None = None,
+    pixels_kept: int | None = None,
+) -> FlopsBreakdown:
+    """FLOP breakdown of one MSDeformAttn layer.
+
+    Parameters
+    ----------
+    d_model, num_heads, num_levels, num_points:
+        Operator hyper-parameters.
+    num_queries, num_tokens:
+        ``N_q`` and ``N_in`` of the workload.
+    points_kept:
+        Number of sampling points kept by PAP over the whole layer (out of
+        ``N_q * N_h * N_l * N_p``); ``None`` means no pruning.
+    pixels_kept:
+        Number of fmap pixels kept by the FWP mask applied to this layer (out
+        of ``N_in``); ``None`` means no pruning.
+    """
+    if d_model % num_heads != 0:
+        raise ValueError("d_model must be divisible by num_heads")
+    d_head = d_model // num_heads
+    points_per_query = num_heads * num_levels * num_points
+    total_points = num_queries * points_per_query
+    if points_kept is None:
+        points_kept = total_points
+    if pixels_kept is None:
+        pixels_kept = num_tokens
+    if not 0 <= points_kept <= total_points:
+        raise ValueError("points_kept out of range")
+    if not 0 <= pixels_kept <= num_tokens:
+        raise ValueError("pixels_kept out of range")
+
+    dense = {
+        "value_proj": 2 * num_tokens * d_model * d_model,
+        "sampling_offsets": 2 * num_queries * d_model * (2 * points_per_query),
+        "attention_weights": 2 * num_queries * d_model * points_per_query,
+        "output_proj": 2 * num_queries * d_model * d_model,
+        "softmax": 5 * num_queries * points_per_query,
+        "msgs": total_points * d_head * 10,
+        "aggregation": 2 * total_points * d_head,
+    }
+    point_ratio = points_kept / total_points if total_points else 1.0
+    pruned = {
+        "value_proj": 2 * pixels_kept * d_model * d_model,
+        "sampling_offsets": int(dense["sampling_offsets"] * point_ratio),
+        "attention_weights": dense["attention_weights"],
+        "output_proj": dense["output_proj"],
+        "softmax": dense["softmax"],
+        "msgs": points_kept * d_head * 10,
+        "aggregation": 2 * points_kept * d_head,
+    }
+    return FlopsBreakdown(dense=dense, pruned=pruned)

@@ -1,0 +1,130 @@
+"""Frequency-weighted feature-map pruning (FWP, Sec. 3.1).
+
+FWP removes fmap pixels with a low sampled frequency.  Within one
+MSDeformAttn block the sampled frequency ``F_i`` of every pixel is counted
+(see :mod:`repro.core.sampling_stats`); pixels with
+
+.. math::  F_i < T_{FWP} = k \\cdot \\frac{1}{HW} \\sum_j F_j
+
+are recorded in a bit mask (the *fmap mask*).  The mask is applied in the
+**next** MSDeformAttn block, where the linear projection ``V = X W^V`` and the
+memory accesses of the masked pixels are skipped.  The threshold is computed
+per pyramid level (Eq. 2 is written for one ``H x W`` fmap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.shapes import LevelShape, level_start_indices, total_pixels
+
+
+@dataclass
+class FWPResult:
+    """Outcome of one FWP mask computation.
+
+    Attributes
+    ----------
+    fmap_mask:
+        Boolean array of length ``N_in``; ``True`` marks pixels that are
+        *kept* for the next block.
+    thresholds:
+        Per-level threshold values ``T_FWP``.
+    level_keep_fractions:
+        Fraction of pixels kept in each level.
+    """
+
+    fmap_mask: np.ndarray
+    thresholds: np.ndarray
+    level_keep_fractions: np.ndarray
+
+    @property
+    def num_pixels(self) -> int:
+        """Total number of fmap pixels."""
+        return int(self.fmap_mask.size)
+
+    @property
+    def num_kept(self) -> int:
+        """Number of pixels kept."""
+        return int(np.count_nonzero(self.fmap_mask))
+
+    @property
+    def keep_fraction(self) -> float:
+        """Overall fraction of pixels kept."""
+        return self.num_kept / self.num_pixels if self.num_pixels else 1.0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Overall fraction of pixels pruned (the quantity in Fig. 6b)."""
+        return 1.0 - self.keep_fraction
+
+
+def compute_fmap_mask(
+    frequency: np.ndarray,
+    spatial_shapes: list[LevelShape],
+    k: float,
+) -> FWPResult:
+    """Compute the FWP fmap mask from a sampled-frequency array.
+
+    Parameters
+    ----------
+    frequency:
+        Flat ``(N_in,)`` sampled-frequency array of the current block.
+    spatial_shapes:
+        Pyramid level shapes.
+    k:
+        Threshold factor of Eq. 2.  ``k = 0`` keeps every pixel that was
+        accessed at least once is *not* guaranteed — the threshold is
+        ``k * mean`` so ``k = 0`` keeps all pixels.
+
+    Returns
+    -------
+    :class:`FWPResult` with the keep-mask and per-level statistics.
+    """
+    frequency = np.asarray(frequency, dtype=np.float64)
+    n_in = total_pixels(spatial_shapes)
+    if frequency.shape != (n_in,):
+        raise ValueError(f"frequency must have shape ({n_in},), got {frequency.shape}")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+
+    starts = level_start_indices(spatial_shapes)
+    mask = np.ones(n_in, dtype=bool)
+    thresholds = np.zeros(len(spatial_shapes), dtype=np.float64)
+    keep_fractions = np.zeros(len(spatial_shapes), dtype=np.float64)
+    for lvl, shape in enumerate(spatial_shapes):
+        sl = slice(starts[lvl], starts[lvl] + shape.num_pixels)
+        level_freq = frequency[sl]
+        threshold = k * level_freq.mean()
+        keep = level_freq >= threshold
+        mask[sl] = keep
+        thresholds[lvl] = threshold
+        keep_fractions[lvl] = float(np.mean(keep))
+    return FWPResult(fmap_mask=mask, thresholds=thresholds, level_keep_fractions=keep_fractions)
+
+
+def apply_fmap_mask(value: np.ndarray, fmap_mask: np.ndarray | None) -> np.ndarray:
+    """Zero out the value rows of pruned pixels.
+
+    ``value`` may be ``(N_in, D)`` or ``(N_in, N_h, D_h)``; a copy is returned
+    when a mask is applied so the caller's array is never mutated.
+    """
+    if fmap_mask is None:
+        return value
+    fmap_mask = np.asarray(fmap_mask, dtype=bool)
+    if fmap_mask.shape[0] != value.shape[0]:
+        raise ValueError("fmap_mask length must match the value token axis")
+    result = value.copy()
+    result[~fmap_mask] = 0
+    return result
+
+
+def mask_storage_bits(fmap_mask: np.ndarray) -> int:
+    """Size of the bit mask in bits (one bit per fmap pixel).
+
+    Used by the hardware model to account for the (tiny) overhead of storing
+    and streaming the FWP mask between blocks.
+    """
+    return int(np.asarray(fmap_mask).size)

@@ -1,0 +1,274 @@
+"""The DEFA attention pipeline: MSDeformAttn with pruning-assisted grid sampling.
+
+:class:`DEFAAttention` wraps a full-precision :class:`~repro.nn.msdeform_attn.
+MSDeformAttn` module and executes it with the paper's rearranged dataflow
+(Sec. 4.1):
+
+1. attention probabilities are computed first and PAP derives the point mask;
+2. the sampling offsets of the surviving points are generated and clamped by
+   level-wise range narrowing;
+3. the value projection ``V = X W^V`` is performed only for the fmap pixels
+   kept by the FWP mask received from the *previous* block;
+4. MSGS + aggregation run fused with the point mask applied, while the sampled
+   frequency of every pixel is counted and the FWP mask for the *next* block is
+   generated;
+5. the output projection produces the block output.
+
+All four linear projections are (optionally) fake-quantized to the configured
+bit width.  The pipeline returns detailed statistics (kept points/pixels,
+FLOP breakdown) that feed the Fig. 6 experiments and the hardware simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DEFAConfig
+from repro.core.flops import FlopsBreakdown, msdeform_attn_flops
+from repro.core.fwp import FWPResult, apply_fmap_mask, compute_fmap_mask
+from repro.core.pap import PAPResult, compute_point_mask
+from repro.core.range_narrowing import RangeNarrowing
+from repro.core.sampling_stats import sampled_frequency
+from repro.nn.grid_sample import SamplingTrace, ms_deform_attn_from_trace, multi_scale_neighbors
+from repro.nn.modules import Linear
+from repro.nn.msdeform_attn import MSDeformAttn
+from repro.nn.tensor_utils import FLOAT_DTYPE
+from repro.quant.qmodules import QuantizedLinear, quantize_linear
+from repro.utils.shapes import LevelShape, total_pixels
+
+
+@dataclass
+class DEFALayerStats:
+    """Pruning statistics of one DEFA attention block."""
+
+    num_queries: int
+    num_tokens: int
+    points_total: int
+    points_kept: int
+    pixels_total: int
+    pixels_kept: int
+    """Pixels kept by the FWP mask applied to *this* block (from the previous block)."""
+
+    pixels_kept_next: int
+    """Pixels kept by the mask generated for the *next* block."""
+
+    offset_clipping_fraction: float
+    """Fraction of offset components clamped by range narrowing."""
+
+    flops: FlopsBreakdown
+
+    @property
+    def point_reduction(self) -> float:
+        """Fraction of sampling points removed by PAP."""
+        return 1.0 - self.points_kept / self.points_total if self.points_total else 0.0
+
+    @property
+    def pixel_reduction(self) -> float:
+        """Fraction of fmap pixels removed by the FWP mask applied to this block."""
+        return 1.0 - self.pixels_kept / self.pixels_total if self.pixels_total else 0.0
+
+    @property
+    def pixel_reduction_next(self) -> float:
+        """Fraction of fmap pixels the generated mask removes for the next block."""
+        return 1.0 - self.pixels_kept_next / self.pixels_total if self.pixels_total else 0.0
+
+    @property
+    def flops_reduction(self) -> float:
+        """Fractional FLOP reduction of the prunable operators (Fig. 6b metric)."""
+        return self.flops.reduction()
+
+
+@dataclass
+class DEFAAttentionOutput:
+    """Result of one DEFA attention block."""
+
+    output: np.ndarray
+    """Block output of shape ``(N_q, D)``."""
+
+    stats: DEFALayerStats
+    """Pruning / FLOP statistics."""
+
+    fmap_mask_next: np.ndarray
+    """FWP keep-mask generated for the next block (length ``N_in``)."""
+
+    point_mask: np.ndarray
+    """PAP keep-mask, shape ``(N_q, N_h, N_l, N_p)``."""
+
+    attention_weights: np.ndarray
+    """Attention probabilities after PAP (pruned entries zeroed)."""
+
+    sampling_locations: np.ndarray
+    """Normalized sampling locations after range narrowing."""
+
+    trace: SamplingTrace
+    """Integer sampling trace (consumed by the hardware simulator)."""
+
+    fwp: FWPResult
+    pap: PAPResult
+
+
+class DEFAAttention:
+    """MSDeformAttn executed with the DEFA algorithm-level optimizations.
+
+    Parameters
+    ----------
+    attn:
+        The wrapped full-precision attention module (its weights are reused).
+    config:
+        The :class:`DEFAConfig` describing which techniques are enabled.
+    """
+
+    def __init__(self, attn: MSDeformAttn, config: DEFAConfig) -> None:
+        self.attn = attn
+        self.config = config
+        self.range_narrowing: RangeNarrowing | None = None
+        if config.enable_range_narrowing:
+            self.range_narrowing = RangeNarrowing(config.effective_ranges(attn.num_levels))
+        self._value_proj = self._maybe_quantize(attn.value_proj)
+        self._output_proj = self._maybe_quantize(attn.output_proj)
+        self._sampling_offsets = self._maybe_quantize(attn.sampling_offsets)
+        self._attention_weights = self._maybe_quantize(attn.attention_weights)
+
+    def _maybe_quantize(self, linear: Linear) -> Linear | QuantizedLinear:
+        if self.config.quant_bits is None:
+            return linear
+        return quantize_linear(linear, self.config.quant_bits)
+
+    # ---------------------------------------------------------------- forward
+
+    def forward_detailed(
+        self,
+        query: np.ndarray,
+        reference_points: np.ndarray,
+        value_input: np.ndarray,
+        spatial_shapes: list[LevelShape],
+        fmap_mask: np.ndarray | None = None,
+    ) -> DEFAAttentionOutput:
+        """Run one DEFA attention block.
+
+        Parameters
+        ----------
+        query:
+            ``(N_q, D)`` query features (content + positional embedding).
+        reference_points:
+            ``(N_q, N_l, 2)`` normalized reference points.
+        value_input:
+            ``(N_in, D)`` flattened multi-scale feature maps.
+        spatial_shapes:
+            Pyramid level shapes.
+        fmap_mask:
+            FWP keep-mask produced by the *previous* block (``None`` for the
+            first block — all pixels are kept).
+        """
+        query = np.asarray(query, dtype=FLOAT_DTYPE)
+        value_input = np.asarray(value_input, dtype=FLOAT_DTYPE)
+        attn = self.attn
+        n_q = query.shape[0]
+        n_in = value_input.shape[0]
+        if n_in != total_pixels(spatial_shapes):
+            raise ValueError("value_input length does not match spatial_shapes")
+        if fmap_mask is not None and fmap_mask.shape[0] != n_in:
+            raise ValueError("fmap_mask length must equal the number of tokens")
+
+        # Step 1: attention probabilities + PAP point mask.
+        logits = self._attention_weights(query).reshape(
+            n_q, attn.num_heads, attn.num_levels * attn.num_points
+        )
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = (exp / exp.sum(axis=-1, keepdims=True)).reshape(
+            n_q, attn.num_heads, attn.num_levels, attn.num_points
+        )
+        if self.config.enable_pap:
+            pap = compute_point_mask(
+                probs,
+                threshold=self.config.pap_threshold,
+                keep_top1=self.config.pap_keep_top1,
+                renormalize=self.config.renormalize_after_pap,
+            )
+        else:
+            pap = PAPResult(
+                point_mask=np.ones_like(probs, dtype=bool),
+                attention_weights=probs,
+                threshold=0.0,
+            )
+
+        # Step 2: sampling offsets of the surviving points + range narrowing.
+        offsets = self._sampling_offsets(query).reshape(
+            n_q, attn.num_heads, attn.num_levels, attn.num_points, 2
+        )
+        clipping_fraction = 0.0
+        if self.range_narrowing is not None:
+            clipping_fraction = self.range_narrowing.clipping_fraction(offsets)
+            offsets = self.range_narrowing.clamp_offsets(offsets)
+        locations = attn.compute_sampling_locations(reference_points, offsets, spatial_shapes)
+
+        # Step 3: value projection with the FWP mask from the previous block.
+        value = self._value_proj(value_input).reshape(n_in, attn.num_heads, attn.d_head)
+        value = apply_fmap_mask(value, fmap_mask)
+
+        # Step 4: fused MSGS + aggregation, with frequency counting for FWP.
+        trace = multi_scale_neighbors(spatial_shapes, locations)
+        head_outputs = ms_deform_attn_from_trace(
+            value, trace, pap.attention_weights, point_mask=pap.point_mask
+        )
+        frequency = sampled_frequency(trace, point_mask=pap.point_mask)
+        if self.config.enable_fwp:
+            fwp = compute_fmap_mask(frequency, spatial_shapes, self.config.fwp_k)
+        else:
+            fwp = FWPResult(
+                fmap_mask=np.ones(n_in, dtype=bool),
+                thresholds=np.zeros(len(spatial_shapes)),
+                level_keep_fractions=np.ones(len(spatial_shapes)),
+            )
+
+        # Step 5: output projection.
+        output = self._output_proj(head_outputs).astype(FLOAT_DTYPE)
+
+        pixels_kept = int(np.count_nonzero(fmap_mask)) if fmap_mask is not None else n_in
+        stats = DEFALayerStats(
+            num_queries=n_q,
+            num_tokens=n_in,
+            points_total=pap.num_points,
+            points_kept=pap.num_kept,
+            pixels_total=n_in,
+            pixels_kept=pixels_kept,
+            pixels_kept_next=fwp.num_kept,
+            offset_clipping_fraction=clipping_fraction,
+            flops=msdeform_attn_flops(
+                d_model=attn.d_model,
+                num_heads=attn.num_heads,
+                num_levels=attn.num_levels,
+                num_points=attn.num_points,
+                num_queries=n_q,
+                num_tokens=n_in,
+                points_kept=pap.num_kept,
+                pixels_kept=pixels_kept,
+            ),
+        )
+        return DEFAAttentionOutput(
+            output=output,
+            stats=stats,
+            fmap_mask_next=fwp.fmap_mask,
+            point_mask=pap.point_mask,
+            attention_weights=pap.attention_weights,
+            sampling_locations=locations,
+            trace=trace,
+            fwp=fwp,
+            pap=pap,
+        )
+
+    def forward(
+        self,
+        query: np.ndarray,
+        reference_points: np.ndarray,
+        value_input: np.ndarray,
+        spatial_shapes: list[LevelShape],
+        fmap_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Convenience wrapper returning only the ``(N_q, D)`` output."""
+        return self.forward_detailed(
+            query, reference_points, value_input, spatial_shapes, fmap_mask=fmap_mask
+        ).output

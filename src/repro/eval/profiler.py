@@ -1,0 +1,61 @@
+"""GPU latency-breakdown profiler (the Fig. 1b analysis).
+
+The paper profiles the MSDeformAttn latency on an RTX 3090Ti for Deformable
+DETR, DN-DETR and DINO and finds that MSGS + aggregation account for over 60 %
+of it while contributing only ~3 % of the FLOPs.  This module reproduces both
+numbers from the GPU cost model and the analytic FLOP breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import GPUCostModel, GPUSpec, RTX_3090TI
+from repro.workloads.specs import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """MSGS-vs-others split of one model's MSDeformAttn latency."""
+
+    model_name: str
+    gpu_name: str
+    msgs_aggregation_fraction: float
+    """Fraction of MSDeformAttn latency spent in MSGS + aggregation."""
+
+    others_fraction: float
+    """Fraction spent in the projections, softmax and overheads."""
+
+    msgs_flops_fraction: float
+    """Fraction of the layer FLOPs contributed by MSGS + aggregation."""
+
+    layer_latency_s: float
+    """Absolute modelled latency of one MSDeformAttn layer."""
+
+    def as_row(self) -> list[float | str]:
+        """Row of the Fig. 1(b) table."""
+        return [
+            self.model_name,
+            100.0 * self.msgs_aggregation_fraction,
+            100.0 * self.others_fraction,
+            100.0 * self.msgs_flops_fraction,
+        ]
+
+
+def profile_gpu_latency_breakdown(
+    workload: WorkloadSpec, gpu: GPUSpec = RTX_3090TI
+) -> LatencyBreakdown:
+    """Compute the Fig. 1(b) latency breakdown for one workload."""
+    model = GPUCostModel(gpu)
+    latency = model.msdeform_layer_latency(workload)
+    flops = workload.layer_flops_breakdown()
+    msgs_flops = flops["msgs"] + flops["aggregation"]
+    total_flops = sum(flops.values())
+    return LatencyBreakdown(
+        model_name=workload.model.display_name,
+        gpu_name=gpu.name,
+        msgs_aggregation_fraction=latency.msgs_fraction,
+        others_fraction=1.0 - latency.msgs_fraction,
+        msgs_flops_fraction=msgs_flops / total_flops,
+        layer_latency_s=latency.total_s,
+    )

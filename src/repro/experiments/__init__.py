@@ -1,0 +1,21 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each experiment module exposes a ``run(...)`` function returning a structured
+result object with an ``as_table()`` method that prints the same rows/series
+the paper reports, together with the paper's published values for comparison.
+:mod:`repro.experiments.runner` runs them all and writes a JSON summary.
+"""
+
+from repro.experiments.common import ExperimentResult, EXPERIMENTS, register_experiment
+from repro.experiments import (  # noqa: F401  (importing registers the experiments)
+    fig1b_latency_breakdown,
+    fig6a_accuracy,
+    fig6b_reduction,
+    fig7a_parallelism,
+    fig7b_fusion_reuse,
+    fig8_breakdown,
+    fig9_gpu_comparison,
+    table1_asic_comparison,
+)
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "register_experiment"]

@@ -1,0 +1,66 @@
+"""Run every registered experiment and print/serialize the results.
+
+Usage::
+
+    python -m repro.experiments.runner            # run everything
+    python -m repro.experiments.runner fig6b fig7a  # run a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import ExperimentResult
+from repro.utils.serialization import save_json
+
+
+def run_experiments(
+    ids: list[str] | None = None,
+    output_dir: str | Path | None = None,
+    verbose: bool = True,
+) -> dict[str, ExperimentResult]:
+    """Run the selected experiments (all of them by default)."""
+    selected = ids or sorted(EXPERIMENTS)
+    unknown = [i for i in selected if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids {unknown}; available: {sorted(EXPERIMENTS)}")
+
+    results: dict[str, ExperimentResult] = {}
+    for experiment_id in selected:
+        start = time.time()
+        result = EXPERIMENTS[experiment_id]()
+        elapsed = time.time() - start
+        results[experiment_id] = result
+        if verbose:
+            print(result.as_table())
+            print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+        if output_dir is not None:
+            save_json(
+                Path(output_dir) / f"{experiment_id}.json",
+                {
+                    "experiment_id": result.experiment_id,
+                    "title": result.title,
+                    "headers": result.headers,
+                    "rows": result.rows,
+                    "notes": result.notes,
+                    "data": result.data,
+                },
+            )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the DEFA reproduction experiments")
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--output-dir", default="results", help="directory for JSON results")
+    args = parser.parse_args(argv)
+    run_experiments(args.experiments or None, output_dir=args.output_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

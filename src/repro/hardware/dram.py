@@ -1,0 +1,50 @@
+"""External memory model: HBM2 at 256 GB/s and 1.2 pJ/bit.
+
+The paper uses a moderate single-stack HBM2 interface as the external memory
+system.  Only two properties matter to the evaluation: the time a transfer
+occupies the interface (bandwidth-limited) and the energy it consumes
+(per-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HBM2Model:
+    """Bandwidth / energy model of the HBM2 external memory."""
+
+    bandwidth_gbs: float = 256.0
+    energy_pj_per_bit: float = 1.2
+    burst_bytes: int = 32
+    """Minimum transfer granularity; small transfers are rounded up to this."""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.energy_pj_per_bit < 0:
+            raise ValueError("energy must be non-negative")
+        if self.burst_bytes <= 0:
+            raise ValueError("burst_bytes must be positive")
+
+    def effective_bytes(self, num_bytes: float, num_transfers: int | None = None) -> float:
+        """Bytes actually moved, accounting for burst granularity.
+
+        If *num_transfers* is given, each transfer is rounded up to the burst
+        size (irregular gathers pay for full bursts even when only a few bytes
+        are useful — the effect that makes MSGS so bandwidth-hungry on GPUs).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_transfers is None:
+            return float(num_bytes)
+        return float(max(num_bytes, num_transfers * self.burst_bytes))
+
+    def transfer_time_s(self, num_bytes: float) -> float:
+        """Time to move *num_bytes* at full bandwidth (seconds)."""
+        return float(num_bytes) / (self.bandwidth_gbs * 1e9)
+
+    def access_energy_j(self, num_bytes: float) -> float:
+        """Energy to move *num_bytes* (joules)."""
+        return float(num_bytes) * 8.0 * self.energy_pj_per_bit * 1e-12

@@ -1,0 +1,108 @@
+"""Feature-map reuse analysis (Sec. 4.1, Fig. 7b).
+
+When the reference point slides to the next pixel, the bounded-range windows
+of consecutive queries overlap almost entirely; DEFA keeps the overlapping
+pixels on chip instead of re-fetching them from DRAM.  This module quantifies
+the effect by replaying a sampling trace:
+
+* **without reuse** every (kept, in-bounds) bilinear neighbour access fetches
+  that pixel's channels of the sampled head from DRAM and writes them into the
+  SRAM banks;
+* **with reuse** every *distinct* fmap pixel touched by the block is fetched
+  exactly once (all channels) and stays resident while the reference point
+  sweeps over the map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.grid_sample import SamplingTrace
+
+
+@dataclass(frozen=True)
+class ReuseReport:
+    """DRAM / SRAM traffic of the MSGS fmap fetches with and without reuse."""
+
+    total_neighbor_accesses: int
+    """Kept, in-bounds bilinear neighbour accesses of the block."""
+
+    unique_pixels_accessed: int
+    """Distinct fmap pixels touched at least once."""
+
+    dram_bytes_no_reuse: float
+    dram_bytes_with_reuse: float
+    sram_write_bytes_no_reuse: float
+    sram_write_bytes_with_reuse: float
+
+    @property
+    def dram_traffic_saving(self) -> float:
+        """Fractional DRAM traffic removed by fmap reuse."""
+        if self.dram_bytes_no_reuse == 0:
+            return 0.0
+        return 1.0 - self.dram_bytes_with_reuse / self.dram_bytes_no_reuse
+
+    @property
+    def sram_write_saving(self) -> float:
+        """Fractional SRAM write traffic removed by fmap reuse."""
+        if self.sram_write_bytes_no_reuse == 0:
+            return 0.0
+        return 1.0 - self.sram_write_bytes_with_reuse / self.sram_write_bytes_no_reuse
+
+    @property
+    def reuse_factor(self) -> float:
+        """Average number of times each fetched pixel is reused."""
+        if self.unique_pixels_accessed == 0:
+            return 0.0
+        return self.total_neighbor_accesses / self.unique_pixels_accessed
+
+
+def analyze_fmap_reuse(
+    trace: SamplingTrace,
+    d_model: int,
+    num_heads: int,
+    bytes_per_element: float,
+    point_mask: np.ndarray | None = None,
+) -> ReuseReport:
+    """Compute the :class:`ReuseReport` of one MSDeformAttn block.
+
+    Parameters
+    ----------
+    trace:
+        Sampling trace of the block.
+    d_model:
+        Full channel dimension (fetched once per pixel when reuse is on).
+    num_heads:
+        Number of attention heads (each neighbour access without reuse fetches
+        the ``d_model / num_heads`` channels of its head).
+    bytes_per_element:
+        Storage bytes per feature element (1.5 for INT12).
+    point_mask:
+        Optional PAP keep-mask; pruned points fetch nothing.
+    """
+    if d_model % num_heads != 0:
+        raise ValueError("d_model must be divisible by num_heads")
+    d_head = d_model // num_heads
+    active = trace.valid
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != trace.valid.shape[:-1]:
+            raise ValueError("point_mask shape mismatch")
+        active = active & point_mask[..., None]
+
+    accesses = int(np.count_nonzero(active))
+    touched = trace.flat_indices[active]
+    unique_pixels = int(np.unique(touched).size) if touched.size else 0
+
+    bytes_no_reuse = accesses * d_head * bytes_per_element
+    bytes_with_reuse = unique_pixels * d_model * bytes_per_element
+    return ReuseReport(
+        total_neighbor_accesses=accesses,
+        unique_pixels_accessed=unique_pixels,
+        dram_bytes_no_reuse=bytes_no_reuse,
+        dram_bytes_with_reuse=bytes_with_reuse,
+        sram_write_bytes_no_reuse=bytes_no_reuse,
+        sram_write_bytes_with_reuse=bytes_with_reuse,
+    )

@@ -1,0 +1,78 @@
+"""Mask generation and (de)compression units (Fig. 3).
+
+The fmap mask generator implements FWP in hardware: it receives the sampling
+addresses issued by the BI stage, counts per-pixel frequencies and emits the
+bit mask for the next block.  The point mask generator thresholds the softmax
+outputs (PAP).  The compression/decompression units pack the pruned tensors so
+that masked elements consume no bandwidth.
+
+These units are tiny compared to the PE array and the SRAM; the model tracks
+their cycle overhead (fully overlapped with the main pipeline in the paper's
+design) and their energy, which the evaluation shows to be negligible
+(<0.1 % of SRAM access energy, Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import HardwareConfig
+
+
+@dataclass(frozen=True)
+class MaskUnitReport:
+    """Cycle / energy accounting of the mask and compression units for one block."""
+
+    fmap_mask_bits: int
+    point_mask_bits: int
+    frequency_updates: int
+    compression_bytes: float
+    cycles: int
+    energy_j: float
+
+
+def mask_unit_report(
+    num_tokens: int,
+    num_points_total: int,
+    neighbor_accesses: int,
+    compressed_bytes: float,
+    config: HardwareConfig,
+    addresses_per_cycle: int = 16,
+) -> MaskUnitReport:
+    """Model the FWP/PAP mask generators and the compression units for one block.
+
+    Parameters
+    ----------
+    num_tokens:
+        Number of fmap pixels (one fmap-mask bit each).
+    num_points_total:
+        Number of sampling points (one point-mask bit each).
+    neighbor_accesses:
+        Sampling addresses streamed through the frequency counter.
+    compressed_bytes:
+        Data volume passing through the compression/decompression units.
+    config:
+        Hardware configuration (provides the per-bit energy).
+    addresses_per_cycle:
+        Frequency-counter update throughput (matches the 16 parallel bank
+        accesses of the MSGS pipeline).
+    """
+    if min(num_tokens, num_points_total, neighbor_accesses) < 0 or compressed_bytes < 0:
+        raise ValueError("mask unit inputs must be non-negative")
+    if addresses_per_cycle <= 0:
+        raise ValueError("addresses_per_cycle must be positive")
+    cycles = (neighbor_accesses + addresses_per_cycle - 1) // addresses_per_cycle
+    mask_bits = num_tokens + num_points_total
+    energy_pj = (
+        mask_bits * config.mask_bit_energy_pj
+        + neighbor_accesses * config.mask_bit_energy_pj
+        + compressed_bytes * 8.0 * config.mask_bit_energy_pj * 0.25
+    )
+    return MaskUnitReport(
+        fmap_mask_bits=num_tokens,
+        point_mask_bits=num_points_total,
+        frequency_updates=neighbor_accesses,
+        compression_bytes=compressed_bytes,
+        cycles=int(cycles),
+        energy_j=energy_pj * 1e-12,
+    )

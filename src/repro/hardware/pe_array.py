@@ -1,0 +1,125 @@
+"""The reconfigurable PE array (Sec. 4.3, Fig. 3).
+
+The array switches between two modes:
+
+* **MM mode** — a 16-element query vector is multiplied with a 16x16 weight
+  tile in an output-stationary dataflow (one MAC per PE per cycle).  All
+  linear projections of the MSDeformAttn block run in this mode.
+* **BA mode** — the lanes are reorganised into bilinear-interpolation (BI)
+  operators and aggregation (AG) operators.  Eq. 4 factorises the bilinear
+  interpolation so that one BI operator needs only three multipliers and seven
+  adders; the AG operator multiplies the interpolated value with its attention
+  probability and accumulates the head output.  MSGS and aggregation run fused
+  in this mode, so the sampling values never leave the array.
+
+Besides cycle/energy accounting, the functional helpers
+(:func:`bilinear_interpolate_factorized`, :meth:`ReconfigurablePEArray.matmul`)
+are exercised by the tests to show the hardware arithmetic matches the NumPy
+reference operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.config import HardwareConfig
+
+
+def bilinear_interpolate_factorized(
+    n0: np.ndarray, n1: np.ndarray, n2: np.ndarray, n3: np.ndarray, t0: np.ndarray, t1: np.ndarray
+) -> np.ndarray:
+    """Factorised bilinear interpolation of Eq. 4.
+
+    ``S = N0 + (N2 - N0) t0 + [(N1 - N0) + (N3 - N2 - N1 + N0) t0] t1``
+
+    with ``t0 = y - y0`` and ``t1 = x - x0``.  Only three multiplications are
+    needed, which is what allows the BI operator to fit into three multipliers
+    and seven adders.
+    """
+    n0 = np.asarray(n0, dtype=np.float64)
+    n1 = np.asarray(n1, dtype=np.float64)
+    n2 = np.asarray(n2, dtype=np.float64)
+    n3 = np.asarray(n3, dtype=np.float64)
+    t0 = np.asarray(t0, dtype=np.float64)
+    t1 = np.asarray(t1, dtype=np.float64)
+    vertical = n0 + (n2 - n0) * t0
+    horizontal = (n1 - n0) + (n3 - n2 - n1 + n0) * t0
+    return vertical + horizontal * t1
+
+
+@dataclass(frozen=True)
+class PEArrayUsage:
+    """Cycle and operation counts of one PE-array workload."""
+
+    cycles: int
+    macs: int
+    bi_ops: int
+
+    def merged_with(self, other: "PEArrayUsage") -> "PEArrayUsage":
+        return PEArrayUsage(
+            cycles=self.cycles + other.cycles,
+            macs=self.macs + other.macs,
+            bi_ops=self.bi_ops + other.bi_ops,
+        )
+
+
+class ReconfigurablePEArray:
+    """Cycle/energy model of the reconfigurable PE array."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+
+    # --------------------------------------------------------------- MM mode
+
+    def matmul(self, vector: np.ndarray, tile: np.ndarray) -> np.ndarray:
+        """Functional MM-mode computation: ``vector @ tile`` (output stationary)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        tile = np.asarray(tile, dtype=np.float64)
+        if vector.shape[-1] != tile.shape[0]:
+            raise ValueError("inner dimensions do not match")
+        return vector @ tile
+
+    def mm_cycles(self, num_macs: int) -> int:
+        """Cycles to execute *num_macs* multiply-accumulates in MM mode."""
+        if num_macs < 0:
+            raise ValueError("num_macs must be non-negative")
+        return int(np.ceil(num_macs / self.config.macs_per_cycle))
+
+    def mm_usage(self, num_macs: int) -> PEArrayUsage:
+        """Usage record of an MM-mode workload."""
+        return PEArrayUsage(cycles=self.mm_cycles(num_macs), macs=int(num_macs), bi_ops=0)
+
+    # --------------------------------------------------------------- BA mode
+
+    def ba_cycles(self, num_points: int, d_head: int, conflict_factor: float = 1.0) -> int:
+        """Cycles of the fused MSGS + aggregation stage.
+
+        ``num_points`` sampling points each produce ``d_head`` interpolated
+        channels; the array finishes ``ba_parallel_points x
+        ba_channels_per_cycle`` channel results per cycle.  ``conflict_factor``
+        scales the cycle count when bank conflicts stall the pipeline
+        (intra-level processing); inter-level processing uses 1.0.
+        """
+        if num_points < 0 or d_head <= 0:
+            raise ValueError("invalid BA workload")
+        if conflict_factor < 1.0:
+            raise ValueError("conflict_factor must be >= 1")
+        ideal = np.ceil(num_points * d_head / self.config.ba_samples_per_cycle)
+        return int(np.ceil(ideal * conflict_factor))
+
+    def ba_usage(self, num_points: int, d_head: int, conflict_factor: float = 1.0) -> PEArrayUsage:
+        """Usage record of a BA-mode workload (BI + aggregation ops counted)."""
+        return PEArrayUsage(
+            cycles=self.ba_cycles(num_points, d_head, conflict_factor),
+            macs=int(num_points) * d_head,  # aggregation multiply-accumulate
+            bi_ops=int(num_points) * d_head,
+        )
+
+    # ---------------------------------------------------------------- energy
+
+    def energy_j(self, usage: PEArrayUsage) -> float:
+        """Dynamic energy of a usage record (joules)."""
+        cfg = self.config
+        return (usage.macs * cfg.mac_energy_pj + usage.bi_ops * cfg.bi_op_energy_pj) * 1e-12

@@ -1,0 +1,128 @@
+"""Banked on-chip SRAM model.
+
+The multi-scale bounded-range buffer of DEFA is organised as 16 single-port
+banks so that the four neighbour pixels of four sampling points (16 pixels in
+total) can be read in one cycle — *if* no two of them land in the same bank at
+different addresses.  :class:`BankedSRAM` models capacity, per-access energy
+(via the CACTI-like macro model) and the conflict-serialization cost of a set
+of simultaneous accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.cacti import SRAMMacroModel
+
+
+@dataclass
+class AccessStats:
+    """Accumulated access statistics of a banked SRAM."""
+
+    reads: int = 0
+    writes: int = 0
+    conflict_cycles: int = 0
+    issue_cycles: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def conflict_rate(self) -> float:
+        """Extra cycles per issue caused by bank conflicts."""
+        if self.issue_cycles == 0:
+            return 0.0
+        return self.conflict_cycles / self.issue_cycles
+
+
+@dataclass
+class BankedSRAM:
+    """A multi-bank SRAM with conflict accounting.
+
+    Parameters
+    ----------
+    num_banks:
+        Number of independent banks.
+    bank_capacity_bytes:
+        Capacity of each bank.
+    word_bits:
+        Port width of each bank.
+    technology_nm:
+        Process node forwarded to the macro model.
+    """
+
+    num_banks: int = 16
+    bank_capacity_bytes: float = 16 * 1024
+    word_bits: int = 96
+    technology_nm: int = 40
+    stats: AccessStats = field(default_factory=AccessStats)
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        self.macro = SRAMMacroModel(
+            capacity_bytes=self.bank_capacity_bytes,
+            word_bits=self.word_bits,
+            technology_nm=self.technology_nm,
+        )
+
+    # --------------------------------------------------------------- sizing
+
+    @property
+    def total_capacity_bytes(self) -> float:
+        """Total capacity across all banks."""
+        return self.num_banks * self.bank_capacity_bytes
+
+    def area_mm2(self) -> float:
+        """Total silicon area of all banks."""
+        return self.num_banks * self.macro.area_mm2()
+
+    def energy_per_access_pj(self) -> float:
+        """Energy of one bank access."""
+        return self.macro.energy_per_access_pj()
+
+    def energy_per_byte_pj(self) -> float:
+        """Energy per byte read or written."""
+        return self.macro.energy_per_byte_pj()
+
+    # -------------------------------------------------------------- accesses
+
+    def record_bulk(self, reads: int = 0, writes: int = 0) -> None:
+        """Record streaming (conflict-free) accesses."""
+        if reads < 0 or writes < 0:
+            raise ValueError("access counts must be non-negative")
+        self.stats.reads += int(reads)
+        self.stats.writes += int(writes)
+
+    def issue_parallel_reads(self, banks: np.ndarray, addresses: np.ndarray) -> int:
+        """Issue one group of parallel reads and return the cycles it takes.
+
+        ``banks`` and ``addresses`` are 1-D arrays of equal length describing
+        the accesses requested in the same cycle.  Requests to the same bank
+        *and* the same address are served by a single access (broadcast);
+        requests to the same bank at different addresses serialize.
+        """
+        banks = np.asarray(banks, dtype=np.int64).ravel()
+        addresses = np.asarray(addresses, dtype=np.int64).ravel()
+        if banks.shape != addresses.shape:
+            raise ValueError("banks and addresses must have the same shape")
+        if banks.size == 0:
+            return 0
+        if np.any((banks < 0) | (banks >= self.num_banks)):
+            raise ValueError("bank index out of range")
+        keys = banks * (addresses.max() + 1) + addresses
+        unique_keys, key_banks = np.unique(keys, return_index=True)
+        unique_banks = banks[key_banks]
+        counts = np.bincount(unique_banks, minlength=self.num_banks)
+        cycles = int(counts.max()) if counts.size else 0
+        self.stats.reads += int(unique_keys.size)
+        self.stats.issue_cycles += 1
+        self.stats.conflict_cycles += max(0, cycles - 1)
+        return max(cycles, 1)
+
+    def access_energy_j(self, num_bytes: float) -> float:
+        """Energy to move *num_bytes* through the banks (joules)."""
+        return float(num_bytes) * self.energy_per_byte_pj() * 1e-12

@@ -1,0 +1,79 @@
+"""Standard (dense) multi-head self-attention.
+
+Used as the reference point for the paper's complexity argument: traditional
+attention traverses all ``N_in`` tokens per query (``O(N^2)`` via
+``Q K^T``), which is what MSDeformAttn avoids by sampling only
+``N_l * N_p`` points per query.  The module is also used by tests to sanity
+check the FLOP accounting of the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Linear, Module
+from repro.nn.tensor_utils import FLOAT_DTYPE, softmax
+from repro.utils.rng import as_rng
+
+
+class MultiHeadAttention(Module):
+    """Dense multi-head self-attention over a single sequence.
+
+    Parameters
+    ----------
+    d_model:
+        Hidden dimension.
+    num_heads:
+        Number of attention heads.
+    rng:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        d_model: int = 256,
+        num_heads: int = 8,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if d_model % num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        rng = as_rng(rng)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+
+    def forward(self, query: np.ndarray, key: np.ndarray | None = None, value: np.ndarray | None = None) -> np.ndarray:
+        """Attention output of shape ``(N_q, D)``.
+
+        ``key``/``value`` default to ``query`` (self-attention).
+        """
+        query = np.asarray(query, dtype=FLOAT_DTYPE)
+        key = query if key is None else np.asarray(key, dtype=FLOAT_DTYPE)
+        value = key if value is None else np.asarray(value, dtype=FLOAT_DTYPE)
+        n_q, n_k = query.shape[0], key.shape[0]
+
+        q = self.q_proj(query).reshape(n_q, self.num_heads, self.d_head)
+        k = self.k_proj(key).reshape(n_k, self.num_heads, self.d_head)
+        v = self.v_proj(value).reshape(n_k, self.num_heads, self.d_head)
+
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = np.einsum("qhd,khd->hqk", q, k) * scale
+        probs = softmax(scores, axis=-1)
+        context = np.einsum("hqk,khd->qhd", probs, v).reshape(n_q, self.d_model)
+        return self.out_proj(context)
+
+    def flops(self, num_queries: int, num_keys: int) -> dict[str, int]:
+        """FLOP breakdown of one dense attention pass (used for comparisons)."""
+        return {
+            "q_proj": self.q_proj.flops(num_queries),
+            "k_proj": self.k_proj.flops(num_keys),
+            "v_proj": self.v_proj.flops(num_keys),
+            "out_proj": self.out_proj.flops(num_queries),
+            "qk": int(2 * num_queries * num_keys * self.d_model),
+            "softmax": int(5 * num_queries * num_keys * self.num_heads),
+            "pv": int(2 * num_queries * num_keys * self.d_model),
+        }

@@ -1,0 +1,194 @@
+"""Deformable transformer encoder layers and encoder stacks.
+
+The paper evaluates DEFA on the MSDeformAttn layers inside the encoders of
+Deformable DETR, DN-DETR and DINO.  An encoder layer is the usual
+pre-/post-norm transformer block with MSDeformAttn as the token mixer:
+
+    src = LayerNorm(src + MSDeformAttn(src + pos, ref_points, src))
+    src = LayerNorm(src + FFN(src))
+
+The stack exposes detailed per-layer intermediates (attention probabilities
+and sampling traces) because the DEFA algorithm propagates a feature-map mask
+from one MSDeformAttn block to the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.modules import FeedForward, LayerNorm, Module
+from repro.nn.msdeform_attn import MSDeformAttn, MSDeformAttnOutput
+from repro.nn.tensor_utils import FLOAT_DTYPE
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.shapes import LevelShape
+
+
+@dataclass
+class EncoderLayerOutput:
+    """Intermediates of one encoder layer forward pass."""
+
+    output: np.ndarray
+    """Layer output of shape ``(N_in, D)``."""
+
+    attention: MSDeformAttnOutput
+    """Detailed MSDeformAttn intermediates for this layer."""
+
+
+@dataclass
+class EncoderOutput:
+    """Result of a full encoder forward pass."""
+
+    memory: np.ndarray
+    """Final encoder output (``(N_in, D)``)."""
+
+    layers: list[EncoderLayerOutput] = field(default_factory=list)
+    """Per-layer intermediates (present when ``collect_details=True``)."""
+
+
+class DeformableEncoderLayer(Module):
+    """One deformable transformer encoder layer (MSDeformAttn + FFN)."""
+
+    def __init__(
+        self,
+        d_model: int = 256,
+        num_heads: int = 8,
+        num_levels: int = 4,
+        num_points: int = 4,
+        ffn_dim: int = 1024,
+        activation: str = "relu",
+        attention_sharpness: float = 2.5,
+        offset_scale: float = 2.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = as_rng(rng)
+        self.d_model = d_model
+        self.self_attn = MSDeformAttn(
+            d_model=d_model,
+            num_heads=num_heads,
+            num_levels=num_levels,
+            num_points=num_points,
+            attention_sharpness=attention_sharpness,
+            offset_scale=offset_scale,
+            rng=rng,
+        )
+        self.norm1 = LayerNorm(d_model)
+        self.ffn = FeedForward(d_model, ffn_dim, activation=activation, rng=rng)
+        self.norm2 = LayerNorm(d_model)
+
+    def forward_detailed(
+        self,
+        src: np.ndarray,
+        pos: np.ndarray,
+        reference_points: np.ndarray,
+        spatial_shapes: list[LevelShape],
+        with_trace: bool = False,
+    ) -> EncoderLayerOutput:
+        """Forward pass returning intermediates.
+
+        ``src`` and ``pos`` both have shape ``(N_in, D)``; the query of the
+        attention block is ``src + pos`` while the value is ``src`` itself.
+        """
+        src = np.asarray(src, dtype=FLOAT_DTYPE)
+        pos = np.asarray(pos, dtype=FLOAT_DTYPE)
+        query = src + pos
+        attn = self.self_attn.forward_detailed(
+            query, reference_points, src, spatial_shapes, with_trace=with_trace
+        )
+        src2 = self.norm1(src + attn.output)
+        out = self.norm2(src2 + self.ffn(src2))
+        return EncoderLayerOutput(output=out.astype(FLOAT_DTYPE), attention=attn)
+
+    def forward(
+        self,
+        src: np.ndarray,
+        pos: np.ndarray,
+        reference_points: np.ndarray,
+        spatial_shapes: list[LevelShape],
+    ) -> np.ndarray:
+        """Layer output of shape ``(N_in, D)``."""
+        return self.forward_detailed(src, pos, reference_points, spatial_shapes).output
+
+    def flops(self, num_tokens: int) -> dict[str, int]:
+        """FLOP breakdown of the layer: attention operators + FFN."""
+        breakdown = self.self_attn.flops(num_tokens, num_tokens)
+        breakdown["ffn"] = self.ffn.flops(num_tokens)
+        return breakdown
+
+
+class DeformableEncoder(Module):
+    """A stack of :class:`DeformableEncoderLayer` blocks."""
+
+    def __init__(
+        self,
+        num_layers: int = 6,
+        d_model: int = 256,
+        num_heads: int = 8,
+        num_levels: int = 4,
+        num_points: int = 4,
+        ffn_dim: int = 1024,
+        activation: str = "relu",
+        attention_sharpness: float = 2.5,
+        offset_scale: float = 2.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        rngs = spawn_rngs(rng, num_layers)
+        self.d_model = d_model
+        self.num_layers = num_layers
+        self.layers = [
+            DeformableEncoderLayer(
+                d_model=d_model,
+                num_heads=num_heads,
+                num_levels=num_levels,
+                num_points=num_points,
+                ffn_dim=ffn_dim,
+                activation=activation,
+                attention_sharpness=attention_sharpness,
+                offset_scale=offset_scale,
+                rng=rngs[i],
+            )
+            for i in range(num_layers)
+        ]
+
+    def forward_detailed(
+        self,
+        src: np.ndarray,
+        pos: np.ndarray,
+        reference_points: np.ndarray,
+        spatial_shapes: list[LevelShape],
+        with_trace: bool = False,
+    ) -> EncoderOutput:
+        """Run all layers, collecting per-layer intermediates."""
+        outputs: list[EncoderLayerOutput] = []
+        x = np.asarray(src, dtype=FLOAT_DTYPE)
+        for layer in self.layers:
+            layer_out = layer.forward_detailed(
+                x, pos, reference_points, spatial_shapes, with_trace=with_trace
+            )
+            outputs.append(layer_out)
+            x = layer_out.output
+        return EncoderOutput(memory=x, layers=outputs)
+
+    def forward(
+        self,
+        src: np.ndarray,
+        pos: np.ndarray,
+        reference_points: np.ndarray,
+        spatial_shapes: list[LevelShape],
+    ) -> np.ndarray:
+        """Final encoder memory of shape ``(N_in, D)``."""
+        x = np.asarray(src, dtype=FLOAT_DTYPE)
+        for layer in self.layers:
+            x = layer(x, pos, reference_points, spatial_shapes)
+        return x
+
+    def flops(self, num_tokens: int) -> dict[str, int]:
+        """Aggregate FLOP breakdown over all layers."""
+        total: dict[str, int] = {}
+        for layer in self.layers:
+            for key, val in layer.flops(num_tokens).items():
+                total[key] = total.get(key, 0) + val
+        return total

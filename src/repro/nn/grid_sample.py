@@ -1,0 +1,327 @@
+"""Bilinear grid-sampling kernels for multi-scale deformable attention.
+
+Two code paths are provided:
+
+* a vectorized NumPy path used by the NN substrate
+  (:func:`bilinear_sample_level`, :func:`ms_deform_attn_core`), and
+* an index-level path (:func:`bilinear_neighbors`,
+  :func:`multi_scale_neighbors`) that exposes the integer neighbour pixels and
+  interpolation weights of every sampling point.  The index-level path is what
+  FWP frequency counting, the bank-conflict simulator and the fmap-reuse
+  tracker consume — it corresponds to the memory accesses the accelerator
+  actually performs.
+
+Coordinate convention: sampling locations are normalized to ``[0, 1]`` in
+``(x, y)`` order (as in Deformable DETR).  They are mapped to pixel
+coordinates with the ``align_corners=False`` convention
+(``x_pix = x * W - 0.5``) and sampled with zero padding outside the map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.tensor_utils import FLOAT_DTYPE
+from repro.utils.shapes import LevelShape, level_start_indices
+
+
+def bilinear_neighbors(
+    loc_xy: np.ndarray, height: int, width: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Neighbour pixels and weights of normalized sampling locations.
+
+    Parameters
+    ----------
+    loc_xy:
+        Array of shape ``(..., 2)`` with normalized ``(x, y)`` coordinates.
+    height, width:
+        Spatial size of the sampled feature map level.
+
+    Returns
+    -------
+    rows, cols:
+        Integer arrays of shape ``(..., 4)`` with the row/column of the four
+        neighbours in the order ``N0`` (top-left), ``N1`` (top-right),
+        ``N2`` (bottom-left), ``N3`` (bottom-right).  Out-of-bounds neighbours
+        keep their (out-of-range) coordinates so callers can detect them.
+    weights:
+        Float array of shape ``(..., 4)`` with the bilinear weights; weights of
+        out-of-bounds neighbours are *not* zeroed here.
+    valid:
+        Boolean array of shape ``(..., 4)``; ``True`` where the neighbour lies
+        inside the feature map.
+    """
+    loc_xy = np.asarray(loc_xy, dtype=FLOAT_DTYPE)
+    if loc_xy.shape[-1] != 2:
+        raise ValueError("loc_xy must have a trailing dimension of size 2 (x, y)")
+    if height <= 0 or width <= 0:
+        raise ValueError("height and width must be positive")
+
+    x = loc_xy[..., 0] * width - 0.5
+    y = loc_xy[..., 1] * height - 0.5
+    x0 = np.floor(x).astype(np.int64)
+    y0 = np.floor(y).astype(np.int64)
+    t1 = (x - x0).astype(FLOAT_DTYPE)  # fraction along x
+    t0 = (y - y0).astype(FLOAT_DTYPE)  # fraction along y
+
+    rows = np.stack([y0, y0, y0 + 1, y0 + 1], axis=-1)
+    cols = np.stack([x0, x0 + 1, x0, x0 + 1], axis=-1)
+    w0 = (1.0 - t1) * (1.0 - t0)
+    w1 = t1 * (1.0 - t0)
+    w2 = (1.0 - t1) * t0
+    w3 = t1 * t0
+    weights = np.stack([w0, w1, w2, w3], axis=-1).astype(FLOAT_DTYPE)
+    valid = (rows >= 0) & (rows < height) & (cols >= 0) & (cols < width)
+    return rows, cols, weights, valid
+
+
+def bilinear_sample_level(value_level: np.ndarray, loc_xy: np.ndarray) -> np.ndarray:
+    """Bilinearly sample a single feature-map level.
+
+    Parameters
+    ----------
+    value_level:
+        Feature map of shape ``(H, W, C)``.
+    loc_xy:
+        Normalized sampling locations of shape ``(..., 2)``.
+
+    Returns
+    -------
+    Sampled features of shape ``(..., C)`` with zero padding outside the map.
+    """
+    value_level = np.asarray(value_level, dtype=FLOAT_DTYPE)
+    if value_level.ndim != 3:
+        raise ValueError("value_level must have shape (H, W, C)")
+    height, width, channels = value_level.shape
+    rows, cols, weights, valid = bilinear_neighbors(loc_xy, height, width)
+    rows_c = np.clip(rows, 0, height - 1)
+    cols_c = np.clip(cols, 0, width - 1)
+    gathered = value_level[rows_c, cols_c]  # (..., 4, C)
+    effective = weights * valid.astype(FLOAT_DTYPE)
+    return np.einsum("...nc,...n->...c", gathered, effective).astype(FLOAT_DTYPE)
+
+
+def bilinear_sample_level_reference(value_level: np.ndarray, loc_xy: np.ndarray) -> np.ndarray:
+    """Scalar (loop-based) reference implementation of :func:`bilinear_sample_level`.
+
+    Slow but simple; used only in tests to validate the vectorized kernel.
+    """
+    value_level = np.asarray(value_level, dtype=FLOAT_DTYPE)
+    height, width, channels = value_level.shape
+    loc = np.asarray(loc_xy, dtype=FLOAT_DTYPE).reshape(-1, 2)
+    out = np.zeros((loc.shape[0], channels), dtype=FLOAT_DTYPE)
+    for i, (x_norm, y_norm) in enumerate(loc):
+        x = x_norm * width - 0.5
+        y = y_norm * height - 0.5
+        x0 = int(np.floor(x))
+        y0 = int(np.floor(y))
+        t1 = x - x0
+        t0 = y - y0
+        acc = np.zeros(channels, dtype=np.float64)
+        for (r, c, w) in [
+            (y0, x0, (1 - t1) * (1 - t0)),
+            (y0, x0 + 1, t1 * (1 - t0)),
+            (y0 + 1, x0, (1 - t1) * t0),
+            (y0 + 1, x0 + 1, t1 * t0),
+        ]:
+            if 0 <= r < height and 0 <= c < width:
+                acc += w * value_level[r, c]
+        out[i] = acc.astype(FLOAT_DTYPE)
+    return out.reshape(np.asarray(loc_xy).shape[:-1] + (channels,))
+
+
+@dataclass
+class SamplingTrace:
+    """Integer-level description of every memory access performed by MSGS.
+
+    Attributes
+    ----------
+    levels:
+        ``(N_q, N_h, N_l, N_p)`` level index of every sampling point (equal to
+        the broadcasted level axis; kept explicit for convenience).
+    rows, cols:
+        ``(N_q, N_h, N_l, N_p, 4)`` neighbour coordinates inside their level.
+    flat_indices:
+        ``(N_q, N_h, N_l, N_p, 4)`` neighbour indices in the flattened
+        multi-scale token axis; invalid (out-of-bounds) neighbours are ``-1``.
+    weights:
+        ``(N_q, N_h, N_l, N_p, 4)`` bilinear weights.
+    valid:
+        ``(N_q, N_h, N_l, N_p, 4)`` in-bounds flags.
+    spatial_shapes:
+        The pyramid level shapes the trace was generated for.
+    """
+
+    levels: np.ndarray
+    rows: np.ndarray
+    cols: np.ndarray
+    flat_indices: np.ndarray
+    weights: np.ndarray
+    valid: np.ndarray
+    spatial_shapes: list[LevelShape]
+
+    @property
+    def num_queries(self) -> int:
+        return self.rows.shape[0]
+
+    @property
+    def num_heads(self) -> int:
+        return self.rows.shape[1]
+
+    @property
+    def num_levels(self) -> int:
+        return self.rows.shape[2]
+
+    @property
+    def num_points(self) -> int:
+        return self.rows.shape[3]
+
+
+def multi_scale_neighbors(
+    spatial_shapes: list[LevelShape], sampling_locations: np.ndarray
+) -> SamplingTrace:
+    """Compute the :class:`SamplingTrace` of multi-scale sampling locations.
+
+    Parameters
+    ----------
+    spatial_shapes:
+        Pyramid level shapes.
+    sampling_locations:
+        Normalized locations of shape ``(N_q, N_h, N_l, N_p, 2)``.
+    """
+    sampling_locations = np.asarray(sampling_locations, dtype=FLOAT_DTYPE)
+    if sampling_locations.ndim != 5 or sampling_locations.shape[-1] != 2:
+        raise ValueError("sampling_locations must have shape (N_q, N_h, N_l, N_p, 2)")
+    n_q, n_h, n_l, n_p, _ = sampling_locations.shape
+    if n_l != len(spatial_shapes):
+        raise ValueError(
+            f"sampling_locations has {n_l} levels but {len(spatial_shapes)} shapes given"
+        )
+    starts = level_start_indices(spatial_shapes)
+
+    rows = np.empty((n_q, n_h, n_l, n_p, 4), dtype=np.int64)
+    cols = np.empty_like(rows)
+    weights = np.empty((n_q, n_h, n_l, n_p, 4), dtype=FLOAT_DTYPE)
+    valid = np.empty((n_q, n_h, n_l, n_p, 4), dtype=bool)
+    flat = np.empty_like(rows)
+    levels = np.broadcast_to(
+        np.arange(n_l, dtype=np.int64)[None, None, :, None], (n_q, n_h, n_l, n_p)
+    ).copy()
+
+    for lvl, shape in enumerate(spatial_shapes):
+        r, c, w, v = bilinear_neighbors(sampling_locations[:, :, lvl], shape.height, shape.width)
+        rows[:, :, lvl] = r
+        cols[:, :, lvl] = c
+        weights[:, :, lvl] = w
+        valid[:, :, lvl] = v
+        local = np.clip(r, 0, shape.height - 1) * shape.width + np.clip(c, 0, shape.width - 1)
+        flat_lvl = starts[lvl] + local
+        flat[:, :, lvl] = np.where(v, flat_lvl, -1)
+
+    return SamplingTrace(
+        levels=levels,
+        rows=rows,
+        cols=cols,
+        flat_indices=flat,
+        weights=weights,
+        valid=valid,
+        spatial_shapes=list(spatial_shapes),
+    )
+
+
+def ms_deform_attn_core(
+    value: np.ndarray,
+    spatial_shapes: list[LevelShape],
+    sampling_locations: np.ndarray,
+    attention_weights: np.ndarray,
+    point_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Core multi-scale deformable attention computation (MSGS + aggregation).
+
+    Parameters
+    ----------
+    value:
+        Projected values of shape ``(N_in, N_h, D_h)`` on the flattened
+        multi-scale token axis.
+    spatial_shapes:
+        Pyramid level shapes; their pixel counts must sum to ``N_in``.
+    sampling_locations:
+        Normalized ``(x, y)`` locations of shape ``(N_q, N_h, N_l, N_p, 2)``.
+    attention_weights:
+        Attention probabilities of shape ``(N_q, N_h, N_l, N_p)`` (already
+        softmax-normalized across the last two axes).
+    point_mask:
+        Optional boolean array of shape ``(N_q, N_h, N_l, N_p)``; ``False``
+        entries are skipped entirely (their contribution is zero).  This is
+        how PAP removes pruned sampling points.
+
+    Returns
+    -------
+    Output of shape ``(N_q, N_h * D_h)``.
+    """
+    value = np.asarray(value, dtype=FLOAT_DTYPE)
+    if value.ndim != 3:
+        raise ValueError("value must have shape (N_in, N_h, D_h)")
+    n_in, n_h, d_h = value.shape
+    expected = sum(s.num_pixels for s in spatial_shapes)
+    if n_in != expected:
+        raise ValueError(f"value has {n_in} tokens but spatial shapes sum to {expected}")
+    attention_weights = np.asarray(attention_weights, dtype=FLOAT_DTYPE)
+    n_q = sampling_locations.shape[0]
+    if attention_weights.shape != sampling_locations.shape[:-1]:
+        raise ValueError("attention_weights shape must match sampling_locations[:-1]")
+
+    effective_weights = attention_weights
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != attention_weights.shape:
+            raise ValueError("point_mask shape must match attention_weights")
+        effective_weights = attention_weights * point_mask.astype(FLOAT_DTYPE)
+
+    starts = level_start_indices(spatial_shapes)
+    output = np.zeros((n_q, n_h, d_h), dtype=FLOAT_DTYPE)
+    for lvl, shape in enumerate(spatial_shapes):
+        level_value = value[starts[lvl] : starts[lvl] + shape.num_pixels]
+        level_value = level_value.reshape(shape.height, shape.width, n_h, d_h)
+        # Sample each head with its own locations.
+        for h in range(n_h):
+            locs = sampling_locations[:, h, lvl]  # (N_q, N_p, 2)
+            w = effective_weights[:, h, lvl]  # (N_q, N_p)
+            if point_mask is not None and not np.any(point_mask[:, h, lvl]):
+                continue
+            sampled = bilinear_sample_level(level_value[:, :, h], locs)  # (N_q, N_p, D_h)
+            output[:, h] += np.einsum("qpc,qp->qc", sampled, w)
+    return output.reshape(n_q, n_h * d_h)
+
+
+def ms_deform_attn_from_trace(
+    value: np.ndarray,
+    trace: SamplingTrace,
+    attention_weights: np.ndarray,
+    point_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute MSGS + aggregation from a precomputed :class:`SamplingTrace`.
+
+    Functionally equivalent to :func:`ms_deform_attn_core`; used by the DEFA
+    pipeline so that the same trace drives both the numerics and the
+    frequency/conflict statistics.
+    """
+    value = np.asarray(value, dtype=FLOAT_DTYPE)
+    n_in, n_h, d_h = value.shape
+    n_q = trace.num_queries
+    weights = trace.weights * trace.valid.astype(FLOAT_DTYPE)  # (N_q, N_h, N_l, N_p, 4)
+    attn = np.asarray(attention_weights, dtype=FLOAT_DTYPE)
+    if point_mask is not None:
+        attn = attn * np.asarray(point_mask, dtype=bool).astype(FLOAT_DTYPE)
+    combined = weights * attn[..., None]  # fold attention prob into neighbour weights
+    flat = np.clip(trace.flat_indices, 0, n_in - 1)
+
+    output = np.zeros((n_q, n_h, d_h), dtype=FLOAT_DTYPE)
+    for h in range(n_h):
+        idx = flat[:, h].reshape(n_q, -1)  # (N_q, N_l*N_p*4)
+        w = combined[:, h].reshape(n_q, -1)
+        gathered = value[idx, h]  # (N_q, N_l*N_p*4, D_h)
+        output[:, h] = np.einsum("qkc,qk->qc", gathered, w)
+    return output.reshape(n_q, n_h * d_h)

@@ -1,0 +1,69 @@
+"""Activation-range calibration for static quantization.
+
+Two calibrators are provided: plain min-max (max absolute value seen) and a
+percentile calibrator that clips outliers, which is the usual way to keep
+INT8/INT12 scales tight on activations with long tails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxCalibrator:
+    """Track the maximum absolute value observed across batches."""
+
+    def __init__(self) -> None:
+        self._max_abs = 0.0
+        self._num_batches = 0
+
+    def update(self, x: np.ndarray) -> None:
+        """Observe one activation batch."""
+        x = np.asarray(x)
+        if x.size:
+            self._max_abs = max(self._max_abs, float(np.max(np.abs(x))))
+        self._num_batches += 1
+
+    @property
+    def num_batches(self) -> int:
+        """Number of batches observed so far."""
+        return self._num_batches
+
+    def max_abs(self) -> float:
+        """Calibrated maximum absolute value."""
+        if self._num_batches == 0:
+            raise RuntimeError("calibrator has not observed any data")
+        return self._max_abs
+
+
+class PercentileCalibrator:
+    """Track a high percentile of absolute values to clip activation outliers."""
+
+    def __init__(self, percentile: float = 99.9, max_samples: int = 1_000_000) -> None:
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        self.percentile = percentile
+        self.max_samples = max_samples
+        self._samples: list[np.ndarray] = []
+        self._num_batches = 0
+
+    def update(self, x: np.ndarray) -> None:
+        """Observe one activation batch (subsampled if very large)."""
+        x = np.abs(np.asarray(x, dtype=np.float64)).ravel()
+        if x.size > self.max_samples:
+            stride = int(np.ceil(x.size / self.max_samples))
+            x = x[::stride]
+        if x.size:
+            self._samples.append(x)
+        self._num_batches += 1
+
+    @property
+    def num_batches(self) -> int:
+        """Number of batches observed so far."""
+        return self._num_batches
+
+    def max_abs(self) -> float:
+        """Calibrated clipping value (the tracked percentile)."""
+        if not self._samples:
+            raise RuntimeError("calibrator has not observed any data")
+        return float(np.percentile(np.concatenate(self._samples), self.percentile))

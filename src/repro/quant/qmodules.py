@@ -1,0 +1,72 @@
+"""Quantized module wrappers.
+
+:class:`QuantizedLinear` fake-quantizes both the weights and the input
+activations of a :class:`repro.nn.modules.Linear` layer, which is how the
+INT12 (and the rejected INT8) configuration of the paper is simulated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Linear, Module
+from repro.nn.tensor_utils import FLOAT_DTYPE
+from repro.quant.quantizer import QuantSpec, fake_quantize
+
+
+class QuantizedLinear(Module):
+    """A linear layer whose weights and activations are fake-quantized.
+
+    Parameters
+    ----------
+    linear:
+        The full-precision layer being wrapped (not copied; its parameters are
+        reused).
+    weight_spec, activation_spec:
+        Quantizer specs for weights and input activations.
+    activation_max_abs:
+        Optional calibrated activation range; if ``None``, dynamic (per-call)
+        max-abs quantization is used.
+    """
+
+    def __init__(
+        self,
+        linear: Linear,
+        weight_spec: QuantSpec,
+        activation_spec: QuantSpec | None = None,
+        activation_max_abs: float | None = None,
+    ) -> None:
+        self.inner = linear
+        self.weight_spec = weight_spec
+        self.activation_spec = activation_spec or weight_spec
+        self.activation_max_abs = activation_max_abs
+        self.quantized_weight = fake_quantize(linear.weight, weight_spec).astype(FLOAT_DTYPE)
+
+    @property
+    def in_features(self) -> int:
+        return self.inner.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.inner.out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=FLOAT_DTYPE)
+        x_q = fake_quantize(x, self.activation_spec, max_abs=self.activation_max_abs).astype(
+            FLOAT_DTYPE
+        )
+        out = x_q @ self.quantized_weight
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
+    def flops(self, num_rows: int) -> int:
+        """Same MAC count as the wrapped layer (quantization changes energy, not FLOPs)."""
+        return self.inner.flops(num_rows)
+
+
+def quantize_linear(linear: Linear, num_bits: int, per_channel_weights: bool = True) -> QuantizedLinear:
+    """Convenience constructor for :class:`QuantizedLinear` with common defaults."""
+    weight_spec = QuantSpec(num_bits=num_bits, per_channel=per_channel_weights)
+    activation_spec = QuantSpec(num_bits=num_bits, per_channel=False)
+    return QuantizedLinear(linear, weight_spec, activation_spec)

@@ -1,0 +1,42 @@
+"""Random-number-generator helpers.
+
+Everything in the reproduction is deterministic given a seed.  Modules accept
+either an integer seed, ``None`` (a fixed default seed, so results stay
+reproducible) or an already constructed :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SEED = 20240403
+
+
+def as_rng(seed_or_rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed_or_rng*.
+
+    Parameters
+    ----------
+    seed_or_rng:
+        ``None`` for the package default seed, an ``int`` seed, or an existing
+        generator (returned unchanged).
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    return np.random.default_rng(int(seed_or_rng))
+
+
+def spawn_rngs(seed_or_rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Split one generator into *n* independent child generators.
+
+    Used when a workload needs independent streams (e.g. one per encoder
+    layer) that do not interfere with each other regardless of how many draws
+    each consumer makes.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = as_rng(seed_or_rng)
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

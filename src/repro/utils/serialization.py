@@ -1,0 +1,44 @@
+"""Lightweight JSON serialization helpers for experiment results."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def _to_jsonable(obj: Any) -> Any:
+    """Convert numpy scalars/arrays and dataclasses into JSON-serializable types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _to_jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def save_json(path: str | Path, data: Any) -> Path:
+    """Serialize *data* (dicts, dataclasses, numpy values) to *path* as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(_to_jsonable(data), fh, indent=2, sort_keys=True)
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load JSON previously written with :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

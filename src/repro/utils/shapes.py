@@ -1,0 +1,101 @@
+"""Helpers for multi-scale (pyramid) feature-map shapes.
+
+MSDeformAttn flattens a pyramid of ``N_l`` feature maps of shapes
+``(H_l, W_l)`` into a single token axis of length ``N_in = sum(H_l * W_l)``.
+These helpers convert between level/row/col coordinates and flattened indices,
+and build the standard stride-8/16/32/64 pyramids used by Deformable DETR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LevelShape:
+    """Spatial shape of one pyramid level."""
+
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError(f"level shape must be positive, got {self.height}x{self.width}")
+
+    @property
+    def num_pixels(self) -> int:
+        """Number of pixels (flattened tokens) in this level."""
+        return self.height * self.width
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(height, width)``."""
+        return (self.height, self.width)
+
+
+def make_level_shapes(image_height: int, image_width: int, strides: tuple[int, ...]) -> list[LevelShape]:
+    """Build pyramid level shapes from an image size and backbone strides.
+
+    The shapes follow the usual ``ceil(image / stride)`` convention of FPN
+    backbones, e.g. an 800x1066 image with strides (8, 16, 32, 64) yields
+    levels of 100x134, 50x67, 25x34 and 13x17.
+    """
+    if image_height <= 0 or image_width <= 0:
+        raise ValueError("image size must be positive")
+    shapes = []
+    for stride in strides:
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        height = max(1, int(np.ceil(image_height / stride)))
+        width = max(1, int(np.ceil(image_width / stride)))
+        shapes.append(LevelShape(height, width))
+    return shapes
+
+
+def total_pixels(shapes: list[LevelShape]) -> int:
+    """Total number of tokens over all pyramid levels (``N_in``)."""
+    return int(sum(s.num_pixels for s in shapes))
+
+
+def level_start_indices(shapes: list[LevelShape]) -> np.ndarray:
+    """Start index of each level in the flattened token axis.
+
+    Returns an ``int64`` array of length ``len(shapes)``; level ``l`` occupies
+    flattened indices ``[start[l], start[l] + H_l * W_l)``.
+    """
+    sizes = np.array([s.num_pixels for s in shapes], dtype=np.int64)
+    starts = np.zeros(len(shapes), dtype=np.int64)
+    if len(shapes) > 1:
+        starts[1:] = np.cumsum(sizes[:-1])
+    return starts
+
+
+def flatten_index(level: int, row: np.ndarray, col: np.ndarray, shapes: list[LevelShape]) -> np.ndarray:
+    """Convert ``(level, row, col)`` coordinates to flattened token indices."""
+    if not 0 <= level < len(shapes):
+        raise ValueError(f"level {level} out of range for {len(shapes)} levels")
+    shape = shapes[level]
+    row = np.asarray(row)
+    col = np.asarray(col)
+    if np.any((row < 0) | (row >= shape.height)) or np.any((col < 0) | (col >= shape.width)):
+        raise ValueError("row/col out of bounds for level shape")
+    start = level_start_indices(shapes)[level]
+    return start + row.astype(np.int64) * shape.width + col.astype(np.int64)
+
+
+def unflatten_index(index: np.ndarray, shapes: list[LevelShape]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convert flattened token indices back to ``(level, row, col)`` arrays."""
+    index = np.asarray(index, dtype=np.int64)
+    n_total = total_pixels(shapes)
+    if np.any((index < 0) | (index >= n_total)):
+        raise ValueError("flattened index out of range")
+    starts = level_start_indices(shapes)
+    sizes = np.array([s.num_pixels for s in shapes], dtype=np.int64)
+    ends = starts + sizes
+    level = np.searchsorted(ends, index, side="right")
+    local = index - starts[level]
+    widths = np.array([s.width for s in shapes], dtype=np.int64)
+    row = local // widths[level]
+    col = local % widths[level]
+    return level, row, col

@@ -1,0 +1,49 @@
+"""Plain-text table formatting for experiment harness output.
+
+The experiment runners print the same rows/series the paper reports; this
+module renders them as aligned ASCII tables so the benchmark logs are easy to
+compare against the paper figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _render_cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Floats are formatted with *float_fmt*; everything else with ``str``.
+    """
+    header_cells = [str(h) for h in headers]
+    body = [[_render_cell(v, float_fmt) for v in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError("row length does not match header length")
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_cells))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Workload definitions: model/workload specs, synthetic scenes and traces."""
+
+from repro.workloads.specs import (
+    SCALE_PRESETS,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+)
+from repro.workloads.synthetic_images import SceneGenerator, SyntheticScene
+from repro.workloads.dataset import SyntheticDetectionDataset
+from repro.workloads.traces import LayerTrace, generate_layer_traces
+
+__all__ = [
+    "SCALE_PRESETS",
+    "WorkloadSpec",
+    "get_workload",
+    "list_workloads",
+    "SceneGenerator",
+    "SyntheticScene",
+    "SyntheticDetectionDataset",
+    "LayerTrace",
+    "generate_layer_traces",
+]

@@ -1,0 +1,238 @@
+"""Sampling-trace generation for the hardware simulator and pruning analysis.
+
+The accelerator-level experiments (bank conflicts, fmap reuse, energy) do not
+need image pixels — they need the *sampling behaviour* of the MSDeformAttn
+layers: where every point samples, with which bilinear neighbours, and with
+which attention probability.  This module runs the NumPy encoder on structured
+synthetic features and records a :class:`LayerTrace` per encoder layer.
+
+For large workloads a purely synthetic feature generator
+(:func:`synthetic_features`) is provided: background noise plus a handful of
+Gaussian "object" hotspots per level, replicating the spatial concentration of
+feature energy the backbone produces on real images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.encoder import DeformableEncoder
+from repro.nn.grid_sample import SamplingTrace
+from repro.nn.models import build_encoder
+from repro.nn.positional import make_reference_points, sine_positional_encoding
+from repro.nn.tensor_utils import FLOAT_DTYPE
+from repro.nn.weight_fitting import FittingConfig, ObjectLayout, fit_encoder_heads
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.shapes import LevelShape
+from repro.workloads.specs import WorkloadSpec
+
+
+@dataclass
+class LayerTrace:
+    """Sampling behaviour of one MSDeformAttn layer on one input.
+
+    Attributes
+    ----------
+    layer_index:
+        Index of the encoder layer the trace belongs to.
+    spatial_shapes:
+        Pyramid level shapes.
+    attention_weights:
+        Softmax attention probabilities, ``(N_q, N_h, N_l, N_p)``.
+    sampling_locations:
+        Normalized sampling locations, ``(N_q, N_h, N_l, N_p, 2)``.
+    reference_points:
+        Normalized reference points, ``(N_q, N_l, 2)``.
+    trace:
+        Integer-level neighbour trace (indices, weights, validity).
+    """
+
+    layer_index: int
+    spatial_shapes: list[LevelShape]
+    attention_weights: np.ndarray
+    sampling_locations: np.ndarray
+    reference_points: np.ndarray
+    trace: SamplingTrace
+
+    @property
+    def num_queries(self) -> int:
+        return self.attention_weights.shape[0]
+
+    @property
+    def num_heads(self) -> int:
+        return self.attention_weights.shape[1]
+
+    @property
+    def num_levels(self) -> int:
+        return self.attention_weights.shape[2]
+
+    @property
+    def num_points(self) -> int:
+        return self.attention_weights.shape[3]
+
+
+def synthetic_workload_input(
+    spec: WorkloadSpec,
+    num_hotspots: int = 8,
+    noise_std: float = 0.3,
+    hotspot_gain: float = 3.0,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, ObjectLayout]:
+    """Structured synthetic features plus the object layout that produced them.
+
+    Each pyramid level receives low-amplitude Gaussian noise plus
+    ``num_hotspots`` Gaussian bumps ("objects") whose channel signature is a
+    random direction in feature space.  The same hotspot positions are used at
+    every level (objects appear at all scales), matching the behaviour of an
+    FPN backbone on a real image.  The returned :class:`ObjectLayout` is used
+    by the closed-form head fitting to emulate trained sampling behaviour.
+    """
+    rng = as_rng(rng)
+    d_model = spec.model.d_model
+    shapes = spec.spatial_shapes
+    centers = rng.random(size=(num_hotspots, 2))  # normalized (x, y)
+    radii = rng.uniform(0.03, 0.12, size=num_hotspots)
+    signatures = rng.standard_normal(size=(num_hotspots, d_model)).astype(FLOAT_DTYPE)
+    signatures /= np.linalg.norm(signatures, axis=1, keepdims=True)
+
+    chunks = []
+    for shape in shapes:
+        ys = (np.arange(shape.height, dtype=FLOAT_DTYPE) + 0.5) / shape.height
+        xs = (np.arange(shape.width, dtype=FLOAT_DTYPE) + 0.5) / shape.width
+        grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+        level = rng.normal(0.0, noise_std, size=(shape.height, shape.width, d_model)).astype(
+            FLOAT_DTYPE
+        )
+        for k in range(num_hotspots):
+            dist2 = (grid_x - centers[k, 0]) ** 2 + (grid_y - centers[k, 1]) ** 2
+            bump = np.exp(-dist2 / (2.0 * radii[k] ** 2)).astype(FLOAT_DTYPE)
+            level += hotspot_gain * bump[..., None] * signatures[k][None, None, :]
+        chunks.append(level.reshape(-1, d_model))
+    features = np.concatenate(chunks, axis=0).astype(FLOAT_DTYPE)
+    layout = ObjectLayout(centers=centers.astype(FLOAT_DTYPE), radii=radii.astype(FLOAT_DTYPE))
+    return features, layout
+
+
+def synthetic_features(
+    spec: WorkloadSpec,
+    num_hotspots: int = 8,
+    noise_std: float = 0.3,
+    hotspot_gain: float = 3.0,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Structured synthetic features for a workload, shape ``(N_in, D)``.
+
+    Convenience wrapper around :func:`synthetic_workload_input` for callers
+    that do not need the object layout.
+    """
+    features, _ = synthetic_workload_input(
+        spec,
+        num_hotspots=num_hotspots,
+        noise_std=noise_std,
+        hotspot_gain=hotspot_gain,
+        rng=rng,
+    )
+    return features
+
+
+def generate_layer_traces(
+    spec: WorkloadSpec,
+    num_layers: int | None = None,
+    features: np.ndarray | None = None,
+    layout: ObjectLayout | None = None,
+    fit_heads: bool = True,
+    fitting_config: FittingConfig | None = None,
+    attention_sharpness: float = 2.5,
+    offset_scale: float = 2.0,
+    encoder: DeformableEncoder | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> list[LayerTrace]:
+    """Run the workload's encoder and collect a :class:`LayerTrace` per layer.
+
+    Parameters
+    ----------
+    spec:
+        Workload specification.
+    num_layers:
+        Number of encoder layers to trace (defaults to the model's encoder
+        depth; smaller values are convenient for tests).
+    features:
+        Optional ``(N_in, D)`` input features; defaults to
+        :func:`synthetic_workload_input`.
+    layout:
+        Object layout matching *features*; required for head fitting when
+        custom features are supplied.
+    fit_heads:
+        Fit the offset/attention heads to object-seeking targets (emulating
+        trained sampling behaviour) before tracing.  Strongly recommended —
+        the pruning and hardware statistics of the paper assume trained-model
+        behaviour.
+    fitting_config:
+        Optional :class:`FittingConfig` overriding the fitting defaults.
+    attention_sharpness, offset_scale:
+        Synthetic-weight parameters forwarded to the encoder construction
+        (only relevant when ``fit_heads`` is ``False``).
+    encoder:
+        Optional pre-built encoder (must match the workload shape); if given,
+        ``num_layers`` defaults to its depth.
+    rng:
+        Seed or generator.
+    """
+    rng = as_rng(rng)
+    feature_rng, encoder_rng, fit_rng = spawn_rngs(rng, 3)
+    shapes = spec.spatial_shapes
+    if features is None:
+        features, layout = synthetic_workload_input(spec, rng=feature_rng)
+    if features.shape != (spec.num_tokens, spec.model.d_model):
+        raise ValueError(
+            f"features must have shape ({spec.num_tokens}, {spec.model.d_model}), "
+            f"got {features.shape}"
+        )
+    if encoder is None:
+        encoder = build_encoder(
+            spec.model,
+            attention_sharpness=attention_sharpness,
+            offset_scale=offset_scale,
+            rng=encoder_rng,
+        )
+    if num_layers is None:
+        num_layers = len(encoder.layers)
+    if not 1 <= num_layers <= len(encoder.layers):
+        raise ValueError(f"num_layers must be in [1, {len(encoder.layers)}]")
+
+    pos = sine_positional_encoding(shapes, spec.model.d_model)
+    reference_points = make_reference_points(shapes)
+    if fit_heads:
+        if layout is None:
+            raise ValueError("fit_heads=True requires an object layout for the features")
+        fit_encoder_heads(
+            encoder,
+            features,
+            pos,
+            reference_points,
+            shapes,
+            layout,
+            config=fitting_config,
+            rng=fit_rng,
+        )
+
+    traces: list[LayerTrace] = []
+    x = np.asarray(features, dtype=FLOAT_DTYPE)
+    for layer_index in range(num_layers):
+        layer = encoder.layers[layer_index]
+        layer_out = layer.forward_detailed(x, pos, reference_points, shapes, with_trace=True)
+        attn = layer_out.attention
+        traces.append(
+            LayerTrace(
+                layer_index=layer_index,
+                spatial_shapes=shapes,
+                attention_weights=attn.attention_weights,
+                sampling_locations=attn.sampling_locations,
+                reference_points=reference_points,
+                trace=attn.trace,
+            )
+        )
+        x = layer_out.output
+    return traces

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+Everything is kept at the "tiny" workload scale so the full suite runs in a
+few minutes on a laptop; the larger scales are exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAConfig
+from repro.core.pipeline import DEFAAttention
+from repro.nn.msdeform_attn import MSDeformAttn
+from repro.nn.positional import make_reference_points, sine_positional_encoding
+from repro.nn.weight_fitting import fit_encoder_heads
+from repro.nn.models import build_encoder
+from repro.utils.shapes import LevelShape
+from repro.workloads.specs import get_workload
+from repro.workloads.traces import synthetic_workload_input
+
+
+@pytest.fixture(scope="session")
+def tiny_shapes() -> list[LevelShape]:
+    """A small three-level pyramid used by operator-level tests."""
+    return [LevelShape(8, 12), LevelShape(4, 6), LevelShape(2, 3)]
+
+
+@pytest.fixture(scope="session")
+def tiny_attn() -> MSDeformAttn:
+    """A small MSDeformAttn module matching :func:`tiny_shapes`."""
+    return MSDeformAttn(d_model=32, num_heads=4, num_levels=3, num_points=2, rng=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_inputs(tiny_shapes):
+    """(query, reference_points, value) inputs matching the tiny operator."""
+    rng = np.random.default_rng(1)
+    n_in = sum(s.num_pixels for s in tiny_shapes)
+    value = rng.standard_normal((n_in, 32)).astype(np.float32)
+    query = rng.standard_normal((n_in, 32)).astype(np.float32)
+    reference = make_reference_points(tiny_shapes)
+    return query, reference, value
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    """The tiny Deformable DETR workload specification."""
+    return get_workload("deformable_detr", "tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_workload_run(tiny_spec):
+    """A fitted encoder + inputs at the tiny scale, shared across tests."""
+    features, layout = synthetic_workload_input(tiny_spec, rng=0)
+    encoder = build_encoder(tiny_spec.model, rng=1)
+    encoder.layers = encoder.layers[:2]
+    encoder.num_layers = 2
+    pos = sine_positional_encoding(tiny_spec.spatial_shapes, tiny_spec.model.d_model)
+    reference = make_reference_points(tiny_spec.spatial_shapes)
+    fit_encoder_heads(
+        encoder, features, pos, reference, tiny_spec.spatial_shapes, layout, rng=2
+    )
+    return {
+        "spec": tiny_spec,
+        "features": features,
+        "layout": layout,
+        "encoder": encoder,
+        "pos": pos,
+        "reference_points": reference,
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_defa_output(tiny_workload_run):
+    """A detailed DEFA attention output of the first tiny encoder layer."""
+    run = tiny_workload_run
+    defa = DEFAAttention(run["encoder"].layers[0].self_attn, DEFAConfig())
+    query = run["features"] + run["pos"]
+    return defa.forward_detailed(
+        query, run["reference_points"], run["features"], run["spec"].spatial_shapes
+    )

@@ -1,0 +1,296 @@
+"""Tests for the DEFA algorithm level: config, FWP, PAP, range narrowing, FLOPs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DEFAConfig
+from repro.core.flops import msdeform_attn_flops
+from repro.core.fwp import apply_fmap_mask, compute_fmap_mask, mask_storage_bits
+from repro.core.pap import compute_point_mask, point_probability_histogram
+from repro.core.range_narrowing import RangeNarrowing, full_fmap_storage_bits
+from repro.core.sampling_stats import frequency_stats, sampled_frequency, split_frequency_by_level
+from repro.nn.tensor_utils import softmax
+from repro.utils.shapes import LevelShape
+
+
+class TestDEFAConfig:
+    def test_defaults_enable_everything(self):
+        config = DEFAConfig()
+        assert config.enable_fwp and config.enable_pap and config.enable_range_narrowing
+        assert config.quant_bits == 12
+
+    def test_baseline_disables_everything(self):
+        config = DEFAConfig.baseline()
+        assert not config.enable_fwp and not config.enable_pap
+        assert config.quant_bits is None
+
+    def test_with_overrides(self):
+        config = DEFAConfig().with_overrides(fwp_k=1.5)
+        assert config.fwp_k == 1.5
+        assert config.enable_pap
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DEFAConfig(pap_threshold=1.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            DEFAConfig(fwp_k=-0.1)
+
+    def test_invalid_quant_bits(self):
+        with pytest.raises(ValueError):
+            DEFAConfig(quant_bits=1)
+
+    def test_effective_ranges_levelwise(self):
+        config = DEFAConfig(level_ranges=(8.0, 6.0, 4.0, 3.0))
+        assert config.effective_ranges(4) == (8.0, 6.0, 4.0, 3.0)
+
+    def test_effective_ranges_unified(self):
+        config = DEFAConfig(level_ranges=(8.0, 6.0, 4.0, 3.0), unified_range=True)
+        assert config.effective_ranges(4) == (8.0, 8.0, 8.0, 8.0)
+
+    def test_effective_ranges_disabled(self):
+        config = DEFAConfig.baseline()
+        assert all(np.isinf(r) for r in config.effective_ranges(4))
+
+    def test_effective_ranges_too_few(self):
+        config = DEFAConfig(level_ranges=(8.0, 6.0))
+        with pytest.raises(ValueError):
+            config.effective_ranges(4)
+
+    def test_describe(self):
+        desc = DEFAConfig().describe()
+        assert "INT12" in desc["quantization"]
+
+
+class TestPAP:
+    def _probs(self, n_q=50, n_h=2, n_l=3, n_p=4, sharp=4.0, seed=0):
+        rng = np.random.default_rng(seed)
+        logits = sharp * rng.standard_normal((n_q, n_h, n_l * n_p))
+        return softmax(logits, axis=-1).reshape(n_q, n_h, n_l, n_p)
+
+    def test_mask_prunes_low_probabilities(self):
+        probs = self._probs()
+        result = compute_point_mask(probs, threshold=0.05)
+        assert result.pruned_fraction > 0.3
+        assert np.all(probs[~result.point_mask] < 0.05)
+
+    def test_zero_threshold_keeps_everything(self):
+        probs = self._probs()
+        result = compute_point_mask(probs, threshold=0.0)
+        assert result.keep_fraction == 1.0
+
+    def test_keep_top1_guarantee(self):
+        probs = self._probs()
+        result = compute_point_mask(probs, threshold=0.99, keep_top1=True)
+        per_pair = result.point_mask.reshape(probs.shape[0], probs.shape[1], -1).sum(axis=-1)
+        assert np.all(per_pair >= 1)
+
+    def test_renormalization(self):
+        probs = self._probs()
+        result = compute_point_mask(probs, threshold=0.05, renormalize=True)
+        sums = result.attention_weights.reshape(probs.shape[0], probs.shape[1], -1).sum(axis=-1)
+        assert np.allclose(sums, 1.0, atol=1e-5)
+
+    def test_without_renormalization_mass_below_one(self):
+        probs = self._probs()
+        result = compute_point_mask(probs, threshold=0.05, renormalize=False)
+        assert result.kept_probability_mass <= 1.0 + 1e-6
+
+    def test_high_sharpness_gives_high_reduction(self):
+        """The paper's motivation: softmax exponentially amplifies differences."""
+        flat = compute_point_mask(self._probs(sharp=0.1), threshold=0.04)
+        sharp = compute_point_mask(self._probs(sharp=5.0), threshold=0.04)
+        assert sharp.pruned_fraction > flat.pruned_fraction
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            compute_point_mask(np.zeros((3, 3)), threshold=0.1)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            compute_point_mask(self._probs(), threshold=1.0)
+
+    def test_histogram(self):
+        edges, counts = point_probability_histogram(self._probs(), num_bins=20)
+        assert len(edges) == 21 and counts.sum() == 50 * 2 * 3 * 4
+
+    @given(st.floats(0.0, 0.2))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_threshold(self, threshold):
+        probs = self._probs(seed=7)
+        low = compute_point_mask(probs, threshold=threshold)
+        high = compute_point_mask(probs, threshold=min(threshold + 0.05, 0.99))
+        assert high.pruned_fraction >= low.pruned_fraction - 1e-9
+
+
+class TestFWP:
+    def _shapes(self):
+        return [LevelShape(4, 4), LevelShape(2, 2)]
+
+    def test_threshold_formula(self):
+        shapes = self._shapes()
+        freq = np.zeros(20)
+        freq[:4] = 10.0  # mean of level 0 = 40/16 = 2.5
+        result = compute_fmap_mask(freq, shapes, k=1.0)
+        assert result.thresholds[0] == pytest.approx(2.5)
+        # only the 4 high-frequency pixels survive in level 0
+        assert result.fmap_mask[:16].sum() == 4
+        # level 1 is all zeros -> threshold 0 -> everything kept
+        assert result.fmap_mask[16:].all()
+
+    def test_k_zero_keeps_all(self):
+        freq = np.random.default_rng(0).integers(0, 10, 20).astype(float)
+        result = compute_fmap_mask(freq, self._shapes(), k=0.0)
+        assert result.keep_fraction == 1.0
+
+    def test_monotone_in_k(self):
+        freq = np.random.default_rng(0).integers(0, 10, 20).astype(float)
+        kept = [
+            compute_fmap_mask(freq, self._shapes(), k=k).keep_fraction for k in (0.2, 0.6, 1.2)
+        ]
+        assert kept[0] >= kept[1] >= kept[2]
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            compute_fmap_mask(np.zeros(5), self._shapes(), k=1.0)
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            compute_fmap_mask(np.zeros(20), self._shapes(), k=-1.0)
+
+    def test_apply_fmap_mask_zeroes_rows(self):
+        value = np.ones((6, 3), dtype=np.float32)
+        mask = np.array([True, False, True, True, False, True])
+        out = apply_fmap_mask(value, mask)
+        assert np.allclose(out[1], 0.0) and np.allclose(out[0], 1.0)
+        assert np.allclose(value, 1.0)  # original untouched
+
+    def test_apply_none_mask_is_identity(self):
+        value = np.ones((4, 2), dtype=np.float32)
+        assert apply_fmap_mask(value, None) is value
+
+    def test_mask_storage_bits(self):
+        assert mask_storage_bits(np.ones(100, dtype=bool)) == 100
+
+
+class TestSamplingStats:
+    def test_sampled_frequency_counts_neighbors(self, tiny_defa_output):
+        freq = sampled_frequency(tiny_defa_output.trace)
+        active = tiny_defa_output.trace.valid
+        assert freq.sum() == np.count_nonzero(active)
+
+    def test_point_mask_reduces_counts(self, tiny_defa_output):
+        full = sampled_frequency(tiny_defa_output.trace)
+        masked = sampled_frequency(tiny_defa_output.trace, point_mask=tiny_defa_output.point_mask)
+        assert masked.sum() <= full.sum()
+
+    def test_split_by_level(self, tiny_defa_output, tiny_spec):
+        freq = sampled_frequency(tiny_defa_output.trace)
+        maps = split_frequency_by_level(freq, tiny_spec.spatial_shapes)
+        assert len(maps) == len(tiny_spec.spatial_shapes)
+        assert sum(m.sum() for m in maps) == freq.sum()
+
+    def test_frequency_stats_uniform(self):
+        stats = frequency_stats(np.full(100, 5.0))
+        assert stats.gini == pytest.approx(0.0, abs=0.02)
+        assert stats.zero_fraction == 0.0
+
+    def test_frequency_stats_skewed(self):
+        freq = np.zeros(100)
+        freq[:5] = 100.0
+        stats = frequency_stats(freq)
+        assert stats.gini > 0.9
+        assert stats.zero_fraction == 0.95
+        assert stats.top10_share == pytest.approx(1.0)
+
+    def test_frequency_stats_empty_raises(self):
+        with pytest.raises(ValueError):
+            frequency_stats(np.zeros(0))
+
+
+class TestRangeNarrowing:
+    def test_clamp(self):
+        narrowing = RangeNarrowing((2.0, 1.0))
+        offsets = np.zeros((1, 1, 2, 1, 2), dtype=np.float32)
+        offsets[..., 0, :, 0] = 5.0
+        offsets[..., 1, :, 1] = -3.0
+        clamped = narrowing.clamp_offsets(offsets)
+        assert clamped[..., 0, :, 0].max() == pytest.approx(2.0)
+        assert clamped[..., 1, :, 1].min() == pytest.approx(-1.0)
+
+    def test_clipping_fraction(self):
+        narrowing = RangeNarrowing((1.0,))
+        offsets = np.array([[[[[0.5, 2.0]]]]], dtype=np.float32)
+        assert narrowing.clipping_fraction(offsets) == pytest.approx(0.5)
+
+    def test_unified_costs_more_storage(self):
+        narrowing = RangeNarrowing((8.0, 7.0, 7.0, 6.0))
+        overhead = narrowing.unified_storage_overhead(d_model=256)
+        assert 0.1 < overhead < 0.5  # the paper quotes ~25 % extra
+
+    def test_unified_of_uniform_is_identity(self):
+        narrowing = RangeNarrowing((4.0, 4.0))
+        assert narrowing.unified_storage_overhead(d_model=64) == pytest.approx(0.0)
+
+    def test_storage_capped_by_level_size(self):
+        narrowing = RangeNarrowing((100.0,))
+        shapes = [LevelShape(4, 4)]
+        capped = narrowing.storage_bits(d_model=8, spatial_shapes=shapes)
+        assert capped == 16 * 8 * 12
+
+    def test_full_fmap_storage_matches_paper_magnitude(self):
+        """Sec 2.2: holding the full multi-scale fmap needs ~10 MB of buffer."""
+        from repro.utils.shapes import make_level_shapes
+
+        shapes = make_level_shapes(800, 1066, (8, 16, 32, 64))
+        mb = full_fmap_storage_bits(shapes, d_model=256, bits_per_element=12) / 8 / 1024 / 1024
+        assert 6.0 < mb < 12.0
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            RangeNarrowing(())
+        with pytest.raises(ValueError):
+            RangeNarrowing((0.0,))
+
+    def test_mismatched_offsets_raise(self):
+        narrowing = RangeNarrowing((2.0, 1.0))
+        with pytest.raises(ValueError):
+            narrowing.clamp_offsets(np.zeros((1, 1, 3, 1, 2)))
+
+
+class TestFlops:
+    def test_dense_equals_pruned_without_masks(self):
+        breakdown = msdeform_attn_flops(64, 4, 3, 2, num_queries=100, num_tokens=100)
+        assert breakdown.total_dense() == breakdown.total_pruned()
+        assert breakdown.reduction() == 0.0
+
+    def test_pruning_reduces_flops(self):
+        dense = msdeform_attn_flops(64, 4, 3, 2, 100, 100)
+        pruned = msdeform_attn_flops(64, 4, 3, 2, 100, 100, points_kept=100 * 4 * 3 * 2 // 5, pixels_kept=60)
+        assert pruned.total_pruned() < dense.total_dense()
+        assert 0.0 < pruned.reduction() < 1.0
+
+    def test_output_proj_not_in_default_total(self):
+        breakdown = msdeform_attn_flops(64, 4, 3, 2, 100, 100)
+        assert breakdown.total_dense(include_output_proj=True) > breakdown.total_dense()
+
+    def test_value_proj_scales_with_pixels(self):
+        full = msdeform_attn_flops(64, 4, 3, 2, 100, 100)
+        half = msdeform_attn_flops(64, 4, 3, 2, 100, 100, pixels_kept=50)
+        assert half.pruned["value_proj"] == full.dense["value_proj"] // 2
+
+    def test_invalid_points_kept(self):
+        with pytest.raises(ValueError):
+            msdeform_attn_flops(64, 4, 3, 2, 10, 10, points_kept=10**9)
+
+    def test_invalid_head_split(self):
+        with pytest.raises(ValueError):
+            msdeform_attn_flops(65, 4, 3, 2, 10, 10)
+
+    def test_merge(self):
+        a = msdeform_attn_flops(64, 4, 3, 2, 100, 100)
+        merged = a.merged_with(a)
+        assert merged.total_dense() == 2 * a.total_dense()

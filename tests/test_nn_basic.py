@@ -1,0 +1,172 @@
+"""Tests for the NumPy NN substrate: tensor utils, modules, dense attention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.modules import FeedForward, GELU, LayerNorm, Linear, Module, ReLU, Sequential
+from repro.nn.tensor_utils import (
+    cosine_similarity,
+    gelu,
+    layer_norm,
+    relu,
+    softmax,
+    xavier_uniform,
+)
+
+
+class TestTensorUtils:
+    def test_softmax_sums_to_one(self):
+        x = np.random.default_rng(0).standard_normal((5, 7))
+        s = softmax(x, axis=-1)
+        assert np.allclose(s.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_softmax_stability_large_values(self):
+        s = softmax(np.array([1000.0, 1000.0, 999.0]))
+        assert np.all(np.isfinite(s))
+
+    def test_softmax_monotonic(self):
+        s = softmax(np.array([1.0, 2.0, 3.0]))
+        assert s[0] < s[1] < s[2]
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = np.random.default_rng(0).standard_normal((4, 16)).astype(np.float32)
+        out = layer_norm(x, np.ones(16, np.float32), np.zeros(16, np.float32))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-2)
+
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_gelu_shape_and_sign(self):
+        x = np.array([-10.0, 0.0, 10.0], dtype=np.float32)
+        y = gelu(x)
+        assert y[0] == pytest.approx(0.0, abs=1e-3)
+        assert y[2] == pytest.approx(10.0, abs=1e-3)
+
+    def test_xavier_uniform_bounds(self):
+        w = xavier_uniform(np.random.default_rng(0), 64, 32)
+        bound = np.sqrt(6.0 / 96)
+        assert w.shape == (64, 32)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_invalid(self):
+        with pytest.raises(ValueError):
+            xavier_uniform(np.random.default_rng(0), 0, 4)
+
+    def test_cosine_similarity_identical(self):
+        x = np.random.default_rng(0).standard_normal((3, 8))
+        assert np.allclose(cosine_similarity(x, x), 1.0)
+
+    def test_cosine_similarity_orthogonal(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert cosine_similarity(a, b)[0] == pytest.approx(0.0)
+
+    @given(st.integers(1, 8), st.integers(1, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_softmax_probability_axioms(self, rows, cols):
+        x = np.random.default_rng(rows * 100 + cols).standard_normal((rows, cols))
+        s = softmax(x)
+        assert np.all(s >= 0)
+        assert np.allclose(s.sum(axis=-1), 1.0, atol=1e-5)
+
+
+class TestModules:
+    def test_linear_shapes_and_bias(self):
+        layer = Linear(8, 4, rng=0)
+        out = layer(np.ones((3, 8), np.float32))
+        assert out.shape == (3, 4)
+
+    def test_linear_no_bias(self):
+        layer = Linear(8, 4, bias=False, rng=0)
+        assert layer.bias is None
+        assert layer(np.zeros((2, 8), np.float32)) == pytest.approx(np.zeros((2, 4)))
+
+    def test_linear_wrong_input_dim(self):
+        layer = Linear(8, 4, rng=0)
+        with pytest.raises(ValueError):
+            layer(np.ones((3, 7), np.float32))
+
+    def test_linear_flops(self):
+        assert Linear(8, 4, rng=0).flops(10) == 2 * 10 * 8 * 4
+
+    def test_linear_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 4)
+
+    def test_layernorm_module(self):
+        norm = LayerNorm(16)
+        out = norm(np.random.default_rng(0).standard_normal((5, 16)))
+        assert out.shape == (5, 16)
+
+    def test_layernorm_invalid(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+    def test_sequential(self):
+        model = Sequential(Linear(8, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        out = model(np.ones((4, 8), np.float32))
+        assert out.shape == (4, 2)
+
+    def test_activations_are_modules(self):
+        assert isinstance(ReLU(), Module) and isinstance(GELU(), Module)
+
+    def test_feedforward(self):
+        ffn = FeedForward(16, 32, rng=0)
+        assert ffn(np.ones((2, 16), np.float32)).shape == (2, 16)
+        assert ffn.flops(10) == 2 * (2 * 10 * 16 * 32)
+
+    def test_feedforward_gelu(self):
+        ffn = FeedForward(8, 8, activation="gelu", rng=0)
+        assert isinstance(ffn.activation, GELU)
+
+    def test_feedforward_unknown_activation(self):
+        with pytest.raises(ValueError):
+            FeedForward(8, 8, activation="swish")
+
+    def test_named_parameters_discovery(self):
+        ffn = FeedForward(8, 16, rng=0)
+        names = ffn.named_parameters()
+        assert any("linear1.weight" in n for n in names)
+        assert ffn.num_parameters() == sum(p.size for p in ffn.parameters())
+
+    def test_named_modules(self):
+        ffn = FeedForward(8, 16, rng=0)
+        modules = ffn.named_modules()
+        assert any(isinstance(m, Linear) for m in modules.values())
+
+
+class TestMultiHeadAttention:
+    def test_self_attention_shape(self):
+        attn = MultiHeadAttention(d_model=32, num_heads=4, rng=0)
+        x = np.random.default_rng(0).standard_normal((10, 32)).astype(np.float32)
+        assert attn(x).shape == (10, 32)
+
+    def test_cross_attention_shape(self):
+        attn = MultiHeadAttention(d_model=32, num_heads=4, rng=0)
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((5, 32)).astype(np.float32)
+        kv = rng.standard_normal((12, 32)).astype(np.float32)
+        assert attn(q, kv).shape == (5, 32)
+
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(d_model=30, num_heads=4)
+
+    def test_flops_quadratic_in_tokens(self):
+        attn = MultiHeadAttention(d_model=32, num_heads=4, rng=0)
+        f1 = sum(attn.flops(10, 10).values())
+        f2 = sum(attn.flops(20, 20).values())
+        assert f2 > 2 * f1  # super-linear growth (the O(N^2) term)
+
+    def test_attention_is_permutation_sensitive_to_values(self):
+        attn = MultiHeadAttention(d_model=16, num_heads=2, rng=0)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((6, 16)).astype(np.float32)
+        y = attn(x)
+        x2 = x.copy()
+        x2[0] += 1.0
+        assert not np.allclose(y, attn(x2))

@@ -1,0 +1,133 @@
+"""Tests for the quantization substrate (INT12 / INT8 fake quantization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.modules import Linear
+from repro.quant.calibration import MinMaxCalibrator, PercentileCalibrator
+from repro.quant.quantizer import (
+    QuantSpec,
+    compute_scale,
+    dequantize,
+    fake_quantize,
+    quantization_error,
+    quantize,
+)
+from repro.quant.qmodules import QuantizedLinear, quantize_linear
+
+
+class TestQuantSpec:
+    def test_ranges(self):
+        spec = QuantSpec(num_bits=8)
+        assert spec.qmax == 127 and spec.qmin == -128
+        spec12 = QuantSpec(num_bits=12)
+        assert spec12.qmax == 2047 and spec12.qmin == -2048
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantSpec(num_bits=1)
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bounded_by_scale(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000).astype(np.float32)
+        spec = QuantSpec(num_bits=12)
+        scale = compute_scale(x, spec)
+        recon = dequantize(quantize(x, scale, spec), scale)
+        assert np.max(np.abs(recon - x)) <= scale * 0.5 + 1e-6
+
+    def test_int12_much_better_than_int8(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(5000).astype(np.float32)
+        err8 = quantization_error(x, QuantSpec(num_bits=8))
+        err12 = quantization_error(x, QuantSpec(num_bits=12))
+        assert err12 < err8 / 8
+
+    def test_per_channel_scales(self):
+        x = np.stack([np.ones(10), 100 * np.ones(10)], axis=1)
+        spec = QuantSpec(num_bits=8, per_channel=True)
+        scale = compute_scale(x, spec)
+        assert scale.shape == (2,)
+        assert scale[1] > scale[0]
+
+    def test_clipping_at_extremes(self):
+        spec = QuantSpec(num_bits=8)
+        q = quantize(np.array([1e6]), np.array(1.0), spec)
+        assert q[0] == spec.qmax
+
+    def test_fake_quantize_idempotent(self):
+        x = np.random.default_rng(0).standard_normal(100)
+        spec = QuantSpec(num_bits=10)
+        once = fake_quantize(x, spec)
+        twice = fake_quantize(once, spec)
+        assert np.allclose(once, twice, atol=1e-6)
+
+    def test_zero_input(self):
+        spec = QuantSpec(num_bits=8)
+        assert np.allclose(fake_quantize(np.zeros(5), spec), 0.0)
+
+    @given(st.integers(4, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_error_decreases_with_bits(self, bits):
+        x = np.random.default_rng(42).standard_normal(2000)
+        err_low = quantization_error(x, QuantSpec(num_bits=bits))
+        err_high = quantization_error(x, QuantSpec(num_bits=bits + 2))
+        assert err_high <= err_low + 1e-9
+
+
+class TestCalibrators:
+    def test_minmax(self):
+        cal = MinMaxCalibrator()
+        cal.update(np.array([1.0, -3.0]))
+        cal.update(np.array([2.0]))
+        assert cal.max_abs() == 3.0
+        assert cal.num_batches == 2
+
+    def test_minmax_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxCalibrator().max_abs()
+
+    def test_percentile_clips_outliers(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(10000)
+        data[0] = 1000.0
+        cal = PercentileCalibrator(percentile=99.0)
+        cal.update(data)
+        assert cal.max_abs() < 10.0
+
+    def test_percentile_invalid(self):
+        with pytest.raises(ValueError):
+            PercentileCalibrator(percentile=0.0)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            PercentileCalibrator().max_abs()
+
+
+class TestQuantizedLinear:
+    def test_close_to_fp32_at_int12(self):
+        linear = Linear(32, 16, rng=0)
+        qlinear = quantize_linear(linear, num_bits=12)
+        x = np.random.default_rng(1).standard_normal((20, 32)).astype(np.float32)
+        rel = np.linalg.norm(qlinear(x) - linear(x)) / np.linalg.norm(linear(x))
+        assert rel < 0.01
+
+    def test_int8_worse_than_int12(self):
+        linear = Linear(32, 16, rng=0)
+        x = np.random.default_rng(1).standard_normal((20, 32)).astype(np.float32)
+        ref = linear(x)
+        err8 = np.linalg.norm(quantize_linear(linear, 8)(x) - ref)
+        err12 = np.linalg.norm(quantize_linear(linear, 12)(x) - ref)
+        assert err12 < err8
+
+    def test_flops_unchanged(self):
+        linear = Linear(16, 8, rng=0)
+        assert quantize_linear(linear, 12).flops(10) == linear.flops(10)
+
+    def test_feature_properties(self):
+        linear = Linear(16, 8, rng=0)
+        qlinear = QuantizedLinear(linear, QuantSpec(12))
+        assert qlinear.in_features == 16 and qlinear.out_features == 8
