@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.core.config import DEFAConfig
 from repro.core.flops import FlopsBreakdown
-from repro.core.pipeline import DEFAAttention, DEFAAttentionOutput, DEFALayerStats
+from repro.core.pipeline import (
+    DEFAAttention,
+    DEFAAttentionBatchOutput,
+    DEFAAttentionOutput,
+    DEFALayerStats,
+)
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.shapes import LevelShape
@@ -65,6 +70,21 @@ class DEFAEncoderResult:
         return merged.reduction()
 
 
+@dataclass
+class DEFAEncoderBatchResult:
+    """Result of running an encoder under DEFA on an image batch."""
+
+    memory: np.ndarray
+    """Final encoder output of shape ``(B, N_in, D)``."""
+
+    images: list[DEFAEncoderResult] = field(default_factory=list)
+    """Per-image results (stats and, optionally, detailed layer outputs)."""
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.images)
+
+
 class DEFAEncoderRunner:
     """Execute a deformable encoder with DEFA applied to each attention block.
 
@@ -88,9 +108,18 @@ class DEFAEncoderRunner:
         reference_points: np.ndarray,
         spatial_shapes: list[LevelShape],
         collect_details: bool = False,
-    ) -> DEFAEncoderResult:
-        """Run all encoder layers, propagating the FWP mask block to block."""
+    ) -> DEFAEncoderResult | DEFAEncoderBatchResult:
+        """Run all encoder layers, propagating the FWP mask block to block.
+
+        ``src`` may be a single image ``(N_in, D)`` or a batch ``(B, N_in,
+        D)``; batched inputs dispatch to :meth:`forward_batched` and return a
+        :class:`DEFAEncoderBatchResult`.
+        """
         x = np.asarray(src, dtype=FLOAT_DTYPE)
+        if x.ndim == 3:
+            return self.forward_batched(
+                x, pos, reference_points, spatial_shapes, collect_details=collect_details
+            )
         pos = np.asarray(pos, dtype=FLOAT_DTYPE)
         fmap_mask: np.ndarray | None = None
         layer_stats: list[DEFALayerStats] = []
@@ -109,6 +138,53 @@ class DEFAEncoderRunner:
             x = layer.norm2(x + layer.ffn(x))
 
         return DEFAEncoderResult(memory=x, layer_stats=layer_stats, layer_outputs=layer_outputs)
+
+    def forward_batched(
+        self,
+        src: np.ndarray,
+        pos: np.ndarray,
+        reference_points: np.ndarray,
+        spatial_shapes: list[LevelShape],
+        collect_details: bool = False,
+    ) -> DEFAEncoderBatchResult:
+        """Run all layers on an image batch, threading per-image FWP masks.
+
+        ``src`` has shape ``(B, N_in, D)``; ``pos`` and ``reference_points``
+        are shared across the batch (they only depend on the pyramid shapes).
+        Per-image results are equivalent to calling :meth:`forward` on each
+        image separately, but the tensor work runs batched.
+        """
+        x = np.asarray(src, dtype=FLOAT_DTYPE)
+        if x.ndim != 3:
+            raise ValueError("src must have shape (B, N_in, D)")
+        batch = x.shape[0]
+        pos = np.asarray(pos, dtype=FLOAT_DTYPE)
+        fmap_mask: np.ndarray | None = None
+        per_image_stats: list[list[DEFALayerStats]] = [[] for _ in range(batch)]
+        per_image_outputs: list[list[DEFAAttentionOutput]] = [[] for _ in range(batch)]
+
+        for layer, defa_attn in zip(self.encoder.layers, self.defa_layers):
+            query = x + pos
+            attn_out: DEFAAttentionBatchOutput = defa_attn.forward_detailed(
+                query, reference_points, x, spatial_shapes, fmap_mask=fmap_mask
+            )
+            for b, image in enumerate(attn_out.images):
+                per_image_stats[b].append(image.stats)
+                if collect_details:
+                    per_image_outputs[b].append(image)
+            fmap_mask = attn_out.fmap_mask_next
+            x = layer.norm1(x + attn_out.output)
+            x = layer.norm2(x + layer.ffn(x))
+
+        images = [
+            DEFAEncoderResult(
+                memory=x[b],
+                layer_stats=per_image_stats[b],
+                layer_outputs=per_image_outputs[b],
+            )
+            for b in range(batch)
+        ]
+        return DEFAEncoderBatchResult(memory=x, images=images)
 
     __call__ = forward
 

@@ -105,6 +105,50 @@ def compute_fmap_mask(
     return FWPResult(fmap_mask=mask, thresholds=thresholds, level_keep_fractions=keep_fractions)
 
 
+def compute_fmap_mask_batched(
+    frequency: np.ndarray,
+    spatial_shapes: list[LevelShape],
+    k: float,
+) -> list[FWPResult]:
+    """Per-image FWP masks for a batch of frequency arrays.
+
+    ``frequency`` has shape ``(B, N_in)``; the result list matches calling
+    :func:`compute_fmap_mask` on every row (identical thresholds and masks),
+    with the per-level statistics computed vectorized across the batch.
+    """
+    frequency = np.asarray(frequency, dtype=np.float64)
+    if frequency.ndim != 2:
+        raise ValueError("frequency must have shape (B, N_in)")
+    batch = frequency.shape[0]
+    n_in = total_pixels(spatial_shapes)
+    if frequency.shape[1] != n_in:
+        raise ValueError(f"frequency rows must have length {n_in}, got {frequency.shape[1]}")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+
+    starts = level_start_indices(spatial_shapes)
+    n_l = len(spatial_shapes)
+    masks = np.ones((batch, n_in), dtype=bool)
+    thresholds = np.zeros((batch, n_l), dtype=np.float64)
+    keep_fractions = np.zeros((batch, n_l), dtype=np.float64)
+    for lvl, shape in enumerate(spatial_shapes):
+        sl = slice(starts[lvl], starts[lvl] + shape.num_pixels)
+        level_freq = frequency[:, sl]  # (B, num_pixels)
+        level_thresholds = k * level_freq.mean(axis=1)
+        keep = level_freq >= level_thresholds[:, None]
+        masks[:, sl] = keep
+        thresholds[:, lvl] = level_thresholds
+        keep_fractions[:, lvl] = np.mean(keep, axis=1)
+    return [
+        FWPResult(
+            fmap_mask=masks[b],
+            thresholds=thresholds[b],
+            level_keep_fractions=keep_fractions[b],
+        )
+        for b in range(batch)
+    ]
+
+
 def apply_fmap_mask(value: np.ndarray, fmap_mask: np.ndarray | None) -> np.ndarray:
     """Zero out the value rows of pruned pixels.
 

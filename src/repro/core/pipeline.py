@@ -27,14 +27,25 @@ import numpy as np
 
 from repro.core.config import DEFAConfig
 from repro.core.flops import FlopsBreakdown, msdeform_attn_flops
-from repro.core.fwp import FWPResult, apply_fmap_mask, compute_fmap_mask
+from repro.core.fwp import (
+    FWPResult,
+    apply_fmap_mask,
+    compute_fmap_mask,
+    compute_fmap_mask_batched,
+)
 from repro.core.pap import PAPResult, compute_point_mask
 from repro.core.range_narrowing import RangeNarrowing
-from repro.core.sampling_stats import sampled_frequency
-from repro.nn.grid_sample import SamplingTrace, ms_deform_attn_from_trace, multi_scale_neighbors
+from repro.core.sampling_stats import sampled_frequency, sampled_frequency_batched
+from repro.nn.grid_sample import (
+    SamplingTrace,
+    ms_deform_attn_from_trace,
+    ms_deform_attn_from_trace_batched,
+    multi_scale_neighbors,
+    multi_scale_neighbors_batched,
+)
 from repro.nn.modules import Linear
 from repro.nn.msdeform_attn import MSDeformAttn
-from repro.nn.tensor_utils import FLOAT_DTYPE
+from repro.nn.tensor_utils import FLOAT_DTYPE, softmax
 from repro.quant.qmodules import QuantizedLinear, quantize_linear
 from repro.utils.shapes import LevelShape, total_pixels
 
@@ -49,7 +60,16 @@ class DEFALayerStats:
     points_kept: int
     pixels_total: int
     pixels_kept: int
-    """Pixels kept by the FWP mask applied to *this* block (from the previous block)."""
+    """Pixels kept by the FWP mask applied to *this* block (from the previous block).
+
+    First-block convention: FWP masks always come from the *previous* block,
+    so the first block of an encoder (``fmap_mask is None``) has no mask to
+    apply and ``pixels_kept == pixels_total`` — even when ``enable_fwp=True``
+    and the block *generates* a mask for its successor.  The generated mask is
+    accounted separately in :attr:`pixels_kept_next`.  Check
+    :attr:`mask_applied` to distinguish "no mask received" from "a mask that
+    happened to keep everything".
+    """
 
     pixels_kept_next: int
     """Pixels kept by the mask generated for the *next* block."""
@@ -58,6 +78,14 @@ class DEFALayerStats:
     """Fraction of offset components clamped by range narrowing."""
 
     flops: FlopsBreakdown
+
+    mask_applied: bool = False
+    """Whether an incoming FWP mask was applied to this block.
+
+    ``False`` for the first block of an encoder run (``fmap_mask is None``),
+    in which case :attr:`pixels_kept` equals :attr:`pixels_total` by
+    convention rather than by measurement.
+    """
 
     @property
     def point_reduction(self) -> float:
@@ -109,6 +137,42 @@ class DEFAAttentionOutput:
     pap: PAPResult
 
 
+@dataclass
+class DEFAAttentionBatchOutput:
+    """Result of one DEFA attention block executed on an image batch.
+
+    The heavy tensor work (projections, fused MSGS + aggregation) runs once
+    for the whole batch; the per-image record list carries the FWP/PAP masks,
+    traces and :class:`DEFALayerStats` of every image, exactly as if the
+    images had been processed one by one.
+    """
+
+    output: np.ndarray
+    """Batched block output of shape ``(B, N_q, D)``."""
+
+    images: list[DEFAAttentionOutput]
+    """Per-image detailed outputs (views into the batched tensors)."""
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.images)
+
+    @property
+    def stats(self) -> list[DEFALayerStats]:
+        """Per-image pruning statistics."""
+        return [image.stats for image in self.images]
+
+    @property
+    def fmap_mask_next(self) -> np.ndarray:
+        """Stacked per-image FWP keep-masks for the next block, ``(B, N_in)``."""
+        return np.stack([image.fmap_mask_next for image in self.images], axis=0)
+
+    @property
+    def point_mask(self) -> np.ndarray:
+        """Stacked per-image PAP keep-masks, ``(B, N_q, N_h, N_l, N_p)``."""
+        return np.stack([image.point_mask for image in self.images], axis=0)
+
+
 class DEFAAttention:
     """MSDeformAttn executed with the DEFA algorithm-level optimizations.
 
@@ -136,6 +200,18 @@ class DEFAAttention:
             return linear
         return quantize_linear(linear, self.config.quant_bits)
 
+    @staticmethod
+    def _project_batched(proj: Linear | QuantizedLinear, x: np.ndarray) -> np.ndarray:
+        """Apply a projection to a batch, keeping quantization per-image.
+
+        Dynamic activation quantization derives its scale from the array being
+        quantized, so a quantized projection must not see the whole batch as
+        one array — that would couple the images through a shared scale.
+        """
+        if isinstance(proj, QuantizedLinear):
+            return proj.forward_batched(x)
+        return proj(x)
+
     # ---------------------------------------------------------------- forward
 
     def forward_detailed(
@@ -145,25 +221,38 @@ class DEFAAttention:
         value_input: np.ndarray,
         spatial_shapes: list[LevelShape],
         fmap_mask: np.ndarray | None = None,
-    ) -> DEFAAttentionOutput:
+    ) -> DEFAAttentionOutput | DEFAAttentionBatchOutput:
         """Run one DEFA attention block.
 
         Parameters
         ----------
         query:
-            ``(N_q, D)`` query features (content + positional embedding).
+            ``(N_q, D)`` query features (content + positional embedding), or
+            a same-shape batch ``(B, N_q, D)``.
         reference_points:
-            ``(N_q, N_l, 2)`` normalized reference points.
+            ``(N_q, N_l, 2)`` normalized reference points (shared across a
+            batch; ``(B, N_q, N_l, 2)`` per-image points also accepted).
         value_input:
-            ``(N_in, D)`` flattened multi-scale feature maps.
+            ``(N_in, D)`` flattened multi-scale feature maps, or ``(B, N_in,
+            D)`` for a batch.
         spatial_shapes:
             Pyramid level shapes.
         fmap_mask:
             FWP keep-mask produced by the *previous* block (``None`` for the
-            first block — all pixels are kept).
+            first block — all pixels are kept by convention and the returned
+            stats report ``pixels_kept == pixels_total`` with
+            ``mask_applied=False``, even when ``enable_fwp=True``).  For a
+            batch, a ``(B, N_in)`` array of per-image masks.
+
+        Batched inputs return a :class:`DEFAAttentionBatchOutput` whose
+        per-image records match single-image execution.
         """
         query = np.asarray(query, dtype=FLOAT_DTYPE)
         value_input = np.asarray(value_input, dtype=FLOAT_DTYPE)
+        if query.ndim == 3:
+            return self._forward_detailed_batched(
+                query, reference_points, value_input, spatial_shapes, fmap_mask
+            )
         attn = self.attn
         n_q = query.shape[0]
         n_in = value_input.shape[0]
@@ -214,8 +303,8 @@ class DEFAAttention:
         head_outputs = ms_deform_attn_from_trace(
             value, trace, pap.attention_weights, point_mask=pap.point_mask
         )
-        frequency = sampled_frequency(trace, point_mask=pap.point_mask)
         if self.config.enable_fwp:
+            frequency = sampled_frequency(trace, point_mask=pap.point_mask)
             fwp = compute_fmap_mask(frequency, spatial_shapes, self.config.fwp_k)
         else:
             fwp = FWPResult(
@@ -227,6 +316,9 @@ class DEFAAttention:
         # Step 5: output projection.
         output = self._output_proj(head_outputs).astype(FLOAT_DTYPE)
 
+        # First-block convention: with no incoming mask every pixel is kept,
+        # so pixels_kept == n_in even when enable_fwp=True (the mask this
+        # block *generates* is reported in pixels_kept_next).
         pixels_kept = int(np.count_nonzero(fmap_mask)) if fmap_mask is not None else n_in
         stats = DEFALayerStats(
             num_queries=n_q,
@@ -247,6 +339,7 @@ class DEFAAttention:
                 points_kept=pap.num_kept,
                 pixels_kept=pixels_kept,
             ),
+            mask_applied=fmap_mask is not None,
         )
         return DEFAAttentionOutput(
             output=output,
@@ -260,6 +353,143 @@ class DEFAAttention:
             pap=pap,
         )
 
+    def _forward_detailed_batched(
+        self,
+        query: np.ndarray,
+        reference_points: np.ndarray,
+        value_input: np.ndarray,
+        spatial_shapes: list[LevelShape],
+        fmap_mask: np.ndarray | None,
+    ) -> DEFAAttentionBatchOutput:
+        """Batched DEFA block: vectorized tensors, per-image masks and stats."""
+        attn = self.attn
+        if value_input.ndim != 3 or value_input.shape[0] != query.shape[0]:
+            raise ValueError("value_input must be (B, N_in, D) with the query's batch size")
+        batch, n_q = query.shape[0], query.shape[1]
+        n_in = value_input.shape[1]
+        if n_in != total_pixels(spatial_shapes):
+            raise ValueError("value_input length does not match spatial_shapes")
+        if fmap_mask is not None:
+            fmap_mask = np.asarray(fmap_mask, dtype=bool)
+            if fmap_mask.shape != (batch, n_in):
+                raise ValueError("batched fmap_mask must have shape (B, N_in)")
+
+        # Step 1: attention probabilities (batched) + PAP masks.  PAP is a
+        # per-(query, head) operation, so folding the batch axis into the
+        # query axis gives per-image-identical masks from one vectorized call.
+        logits = self._project_batched(self._attention_weights, query).reshape(
+            batch, n_q, attn.num_heads, attn.num_levels * attn.num_points
+        )
+        probs = softmax(logits, axis=-1).reshape(
+            batch, n_q, attn.num_heads, attn.num_levels, attn.num_points
+        )
+        if self.config.enable_pap:
+            pap_all = compute_point_mask(
+                probs.reshape(batch * n_q, attn.num_heads, attn.num_levels, attn.num_points),
+                threshold=self.config.pap_threshold,
+                keep_top1=self.config.pap_keep_top1,
+                renormalize=self.config.renormalize_after_pap,
+            )
+            point_masks = pap_all.point_mask.reshape(probs.shape)
+            attn_weights = pap_all.attention_weights.reshape(probs.shape)
+            pap_threshold = pap_all.threshold
+        else:
+            point_masks = np.ones_like(probs, dtype=bool)
+            attn_weights = probs
+            pap_threshold = 0.0
+        paps = [
+            PAPResult(
+                point_mask=point_masks[b],
+                attention_weights=attn_weights[b],
+                threshold=pap_threshold,
+            )
+            for b in range(batch)
+        ]
+
+        # Step 2: sampling offsets + range narrowing (batched clamp,
+        # per-image clipping fractions).
+        offsets = self._project_batched(self._sampling_offsets, query).reshape(
+            batch, n_q, attn.num_heads, attn.num_levels, attn.num_points, 2
+        )
+        clipping_fractions = [0.0] * batch
+        if self.range_narrowing is not None:
+            clipping_fractions = [
+                self.range_narrowing.clipping_fraction(offsets[b]) for b in range(batch)
+            ]
+            offsets = self.range_narrowing.clamp_offsets(offsets)
+        locations = attn.compute_sampling_locations(reference_points, offsets, spatial_shapes)
+
+        # Step 3: value projection with the per-image FWP masks.
+        value = self._project_batched(self._value_proj, value_input).reshape(
+            batch, n_in, attn.num_heads, attn.d_head
+        )
+        if fmap_mask is not None:
+            value = value.copy()
+            value[~fmap_mask] = 0
+
+        # Step 4: fused MSGS + aggregation over the whole batch, then
+        # vectorized frequency counting and per-image FWP mask generation.
+        trace = multi_scale_neighbors_batched(spatial_shapes, locations)
+        head_outputs = ms_deform_attn_from_trace_batched(
+            value, trace, attn_weights, point_mask=point_masks
+        )
+        image_traces = trace.images()
+        if self.config.enable_fwp:
+            frequency = sampled_frequency_batched(trace, point_mask=point_masks)
+            fwps = compute_fmap_mask_batched(frequency, spatial_shapes, self.config.fwp_k)
+        else:
+            fwps = [
+                FWPResult(
+                    fmap_mask=np.ones(n_in, dtype=bool),
+                    thresholds=np.zeros(len(spatial_shapes)),
+                    level_keep_fractions=np.ones(len(spatial_shapes)),
+                )
+                for _ in range(batch)
+            ]
+
+        # Step 5: output projection (batched).
+        output = self._project_batched(self._output_proj, head_outputs).astype(FLOAT_DTYPE)
+
+        images: list[DEFAAttentionOutput] = []
+        for b in range(batch):
+            mask_b = fmap_mask[b] if fmap_mask is not None else None
+            pixels_kept = int(np.count_nonzero(mask_b)) if mask_b is not None else n_in
+            stats = DEFALayerStats(
+                num_queries=n_q,
+                num_tokens=n_in,
+                points_total=paps[b].num_points,
+                points_kept=paps[b].num_kept,
+                pixels_total=n_in,
+                pixels_kept=pixels_kept,
+                pixels_kept_next=fwps[b].num_kept,
+                offset_clipping_fraction=clipping_fractions[b],
+                flops=msdeform_attn_flops(
+                    d_model=attn.d_model,
+                    num_heads=attn.num_heads,
+                    num_levels=attn.num_levels,
+                    num_points=attn.num_points,
+                    num_queries=n_q,
+                    num_tokens=n_in,
+                    points_kept=paps[b].num_kept,
+                    pixels_kept=pixels_kept,
+                ),
+                mask_applied=mask_b is not None,
+            )
+            images.append(
+                DEFAAttentionOutput(
+                    output=output[b],
+                    stats=stats,
+                    fmap_mask_next=fwps[b].fmap_mask,
+                    point_mask=paps[b].point_mask,
+                    attention_weights=paps[b].attention_weights,
+                    sampling_locations=locations[b],
+                    trace=image_traces[b],
+                    fwp=fwps[b],
+                    pap=paps[b],
+                )
+            )
+        return DEFAAttentionBatchOutput(output=output, images=images)
+
     def forward(
         self,
         query: np.ndarray,
@@ -268,7 +498,7 @@ class DEFAAttention:
         spatial_shapes: list[LevelShape],
         fmap_mask: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Convenience wrapper returning only the ``(N_q, D)`` output."""
+        """Output-only wrapper: ``(N_q, D)``, or ``(B, N_q, D)`` for a batch."""
         return self.forward_detailed(
             query, reference_points, value_input, spatial_shapes, fmap_mask=fmap_mask
         ).output

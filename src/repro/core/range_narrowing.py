@@ -55,22 +55,24 @@ class RangeNarrowing:
     def clamp_offsets(self, sampling_offsets: np.ndarray) -> np.ndarray:
         """Clamp raw sampling offsets into the per-level bounded ranges.
 
-        ``sampling_offsets`` has shape ``(N_q, N_h, N_l, N_p, 2)`` and is
-        expressed in pixels of the sampled level (the Deformable DETR
-        convention before dividing by the level size).
+        ``sampling_offsets`` has shape ``(N_q, N_h, N_l, N_p, 2)`` — or
+        ``(B, N_q, N_h, N_l, N_p, 2)`` for a batch — and is expressed in
+        pixels of the sampled level (the Deformable DETR convention before
+        dividing by the level size).
         """
         offsets = np.asarray(sampling_offsets, dtype=FLOAT_DTYPE)
-        if offsets.ndim != 5 or offsets.shape[2] != self.num_levels:
+        if offsets.ndim not in (5, 6) or offsets.shape[-3] != self.num_levels:
             raise ValueError(
-                f"offsets must have shape (N_q, N_h, {self.num_levels}, N_p, 2), got {offsets.shape}"
+                f"offsets must have shape (..., N_q, N_h, {self.num_levels}, N_p, 2), "
+                f"got {offsets.shape}"
             )
-        ranges = np.asarray(self.level_ranges, dtype=FLOAT_DTYPE)[None, None, :, None, None]
+        ranges = np.asarray(self.level_ranges, dtype=FLOAT_DTYPE)[:, None, None]
         return np.clip(offsets, -ranges, ranges)
 
     def clipping_fraction(self, sampling_offsets: np.ndarray) -> float:
         """Fraction of offset components altered by the clamp (a fidelity metric)."""
         offsets = np.asarray(sampling_offsets, dtype=FLOAT_DTYPE)
-        ranges = np.asarray(self.level_ranges, dtype=FLOAT_DTYPE)[None, None, :, None, None]
+        ranges = np.asarray(self.level_ranges, dtype=FLOAT_DTYPE)[:, None, None]
         clipped = np.abs(offsets) > ranges
         return float(np.mean(clipped)) if offsets.size else 0.0
 

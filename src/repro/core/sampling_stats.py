@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.grid_sample import SamplingTrace
+from repro.nn.grid_sample import BatchedSamplingTrace, SamplingTrace
 from repro.utils.shapes import LevelShape, level_start_indices, total_pixels
 
 
@@ -48,6 +48,33 @@ def sampled_frequency(
     indices = trace.flat_indices[valid]
     np.add.at(freq, indices, 1)
     return freq
+
+
+def sampled_frequency_batched(
+    trace: BatchedSamplingTrace,
+    point_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-image sampled frequencies of a whole batch, shape ``(B, N_in)``.
+
+    Equivalent to calling :func:`sampled_frequency` on every
+    ``trace.image(b)`` but computed with a single ``np.bincount`` over
+    batch-offset token indices — much faster than one ``np.add.at`` per
+    image (the counts are integers, so the results are exactly equal).
+    """
+    n_in = total_pixels(trace.spatial_shapes)
+    batch = trace.batch_size
+    valid = trace.valid
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != valid.shape[:-1]:
+            raise ValueError("point_mask shape must match trace points")
+        valid = valid & point_mask[..., None]
+    offsets = (np.arange(batch, dtype=np.int64) * n_in).reshape(
+        (batch,) + (1,) * (trace.flat_indices.ndim - 1)
+    )
+    indices = (trace.flat_indices + offsets)[valid]
+    counts = np.bincount(indices, minlength=batch * n_in)
+    return counts.reshape(batch, n_in).astype(np.int64)
 
 
 def split_frequency_by_level(

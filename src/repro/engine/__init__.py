@@ -1,0 +1,35 @@
+"""Batched multi-image execution engine.
+
+This package is the scaling layer on top of the single-image reproduction:
+
+* :mod:`repro.engine.batching` — :class:`BatchRunner` groups same-shape
+  workload inputs and executes them through the vectorized batched kernels;
+* :mod:`repro.engine.trace_cache` — :class:`TraceCache` memoizes deterministic
+  ``(spec, seed)`` layer traces with hit/miss accounting;
+* :mod:`repro.engine.parallel` — process-parallel experiment execution behind
+  the ``--jobs`` flag of :mod:`repro.experiments.runner`.
+"""
+
+from repro.engine.batching import (
+    BatchRunner,
+    BatchRunResult,
+    BatchRunStats,
+    WorkItem,
+    defa_forward_fn,
+    encoder_forward_fn,
+)
+from repro.engine.parallel import run_experiments_parallel
+from repro.engine.trace_cache import DEFAULT_TRACE_CACHE, TraceCache, TraceCacheStats
+
+__all__ = [
+    "BatchRunner",
+    "BatchRunResult",
+    "BatchRunStats",
+    "WorkItem",
+    "defa_forward_fn",
+    "encoder_forward_fn",
+    "run_experiments_parallel",
+    "DEFAULT_TRACE_CACHE",
+    "TraceCache",
+    "TraceCacheStats",
+]

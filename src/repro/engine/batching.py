@@ -1,0 +1,198 @@
+"""Shape-grouped batched execution of workload inputs.
+
+The NN substrate and the DEFA pipeline can execute a *same-shape* batch of
+images in one fully vectorized pass (see
+:meth:`repro.nn.msdeform_attn.MSDeformAttn.forward_detailed` and
+:meth:`repro.core.pipeline.DEFAAttention.forward_detailed`).  Real workload
+streams, however, mix resolutions.  :class:`BatchRunner` bridges the two: it
+groups submitted :class:`WorkItem`\\ s by their shape signature, packs each
+group into batches of at most ``max_batch_size`` images, runs one batched
+forward per pack and scatters the results back into submission order.
+
+The runner is model-agnostic — it drives any callable with the signature
+``forward(features (B, N_in, D), spatial_shapes) -> (B, N_in, D)`` — and
+:func:`encoder_forward_fn` / :func:`defa_forward_fn` adapt the stock encoder
+and the DEFA encoder runner to that signature (deriving the positional
+encoding and reference points per shape signature, cached across batches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor_utils import FLOAT_DTYPE
+from repro.utils.shapes import LevelShape
+
+ShapeKey = tuple[tuple[int, int], ...]
+"""Shape signature of a work item: the ``(height, width)`` of every level."""
+
+BatchForward = Callable[[np.ndarray, list[LevelShape]], np.ndarray]
+"""A batched forward: ``(features (B, N_in, D), spatial_shapes) -> (B, N_in, D)``."""
+
+
+@dataclass(frozen=True, eq=False)
+class WorkItem:
+    """One image (flattened multi-scale features) queued for execution.
+
+    ``eq=False``: the dataclass-generated ``__eq__``/``__hash__`` would
+    choke on the ndarray field (ambiguous truth value / unhashable), so
+    items use identity semantics like any queue entry.
+    """
+
+    item_id: int | str
+    features: np.ndarray
+    """Flattened multi-scale features of shape ``(N_in, D)``."""
+
+    spatial_shapes: tuple[LevelShape, ...]
+    """Pyramid level shapes whose pixel counts sum to ``N_in``."""
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 2:
+            raise ValueError("WorkItem features must have shape (N_in, D)")
+        n_in = sum(s.num_pixels for s in self.spatial_shapes)
+        if self.features.shape[0] != n_in:
+            raise ValueError(
+                f"features have {self.features.shape[0]} tokens but spatial "
+                f"shapes sum to {n_in}"
+            )
+
+    @property
+    def shape_key(self) -> ShapeKey:
+        """Grouping key: items with equal keys can share one batched forward."""
+        return tuple(s.as_tuple() for s in self.spatial_shapes)
+
+
+@dataclass
+class BatchRunStats:
+    """Accounting of one :meth:`BatchRunner.run` call."""
+
+    num_items: int = 0
+    num_groups: int = 0
+    """Number of distinct shape signatures seen."""
+
+    batch_sizes: list[int] = field(default_factory=list)
+    """Size of every batched forward that was launched, in launch order."""
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batch_sizes)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+
+@dataclass
+class BatchRunResult:
+    """Outputs of a :meth:`BatchRunner.run` call, in submission order."""
+
+    outputs: list[np.ndarray]
+    """Per-item outputs (``(N_in, D)`` each), aligned with the input items."""
+
+    item_ids: list[int | str]
+    stats: BatchRunStats
+
+
+class BatchRunner:
+    """Group same-shape work items and execute them in vectorized batches.
+
+    Parameters
+    ----------
+    forward_fn:
+        Batched forward callable (see :data:`BatchForward`).
+    max_batch_size:
+        Upper bound on the number of images stacked into one forward.
+    """
+
+    def __init__(self, forward_fn: BatchForward, max_batch_size: int = 8) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.forward_fn = forward_fn
+        self.max_batch_size = max_batch_size
+
+    def plan(self, items: list[WorkItem]) -> dict[ShapeKey, list[int]]:
+        """Group item indices by shape signature (insertion-ordered)."""
+        groups: dict[ShapeKey, list[int]] = {}
+        for index, item in enumerate(items):
+            groups.setdefault(item.shape_key, []).append(index)
+        return groups
+
+    def run(self, items: list[WorkItem]) -> BatchRunResult:
+        """Execute all items, batching within each shape group.
+
+        The result order matches the submission order regardless of how the
+        items were grouped, and every output equals the corresponding
+        single-image forward (the batched kernels are equivalence-tested).
+        """
+        groups = self.plan(items)
+        outputs: list[np.ndarray | None] = [None] * len(items)
+        stats = BatchRunStats(num_items=len(items), num_groups=len(groups))
+        for indices in groups.values():
+            shapes = list(items[indices[0]].spatial_shapes)
+            for start in range(0, len(indices), self.max_batch_size):
+                chunk = indices[start : start + self.max_batch_size]
+                stacked = np.stack(
+                    [np.asarray(items[i].features, dtype=FLOAT_DTYPE) for i in chunk]
+                )
+                batched_out = self.forward_fn(stacked, shapes)
+                if batched_out.shape[0] != len(chunk):
+                    raise ValueError(
+                        "forward_fn returned a batch of "
+                        f"{batched_out.shape[0]} for {len(chunk)} items"
+                    )
+                for out_index, item_index in enumerate(chunk):
+                    # Copy so a retained per-item output does not pin the
+                    # whole (B, N_in, D) batch array in memory.
+                    outputs[item_index] = np.array(batched_out[out_index])
+                stats.batch_sizes.append(len(chunk))
+        filled = [out for out in outputs if out is not None]
+        if len(filled) != len(items):
+            raise RuntimeError("BatchRunner left an item without an output")
+        return BatchRunResult(outputs=filled, item_ids=[item.item_id for item in items], stats=stats)
+
+
+def _positional_inputs(spatial_shapes: list[LevelShape], d_model: int):
+    from repro.nn.positional import make_reference_points, sine_positional_encoding
+
+    pos = sine_positional_encoding(spatial_shapes, d_model)
+    reference_points = make_reference_points(spatial_shapes)
+    return pos, reference_points
+
+
+def encoder_forward_fn(encoder) -> BatchForward:
+    """Adapt a :class:`~repro.nn.encoder.DeformableEncoder` to the runner.
+
+    Positional encodings and reference points depend only on the pyramid
+    shapes, so they are derived once per shape signature and cached.
+    """
+    cache: dict[ShapeKey, tuple[np.ndarray, np.ndarray]] = {}
+
+    def forward(features: np.ndarray, spatial_shapes: list[LevelShape]) -> np.ndarray:
+        key = tuple(s.as_tuple() for s in spatial_shapes)
+        if key not in cache:
+            cache[key] = _positional_inputs(spatial_shapes, encoder.d_model)
+        pos, reference_points = cache[key]
+        return encoder.forward(features, pos, reference_points, spatial_shapes)
+
+    return forward
+
+
+def defa_forward_fn(runner) -> BatchForward:
+    """Adapt a :class:`~repro.core.encoder_runner.DEFAEncoderRunner`.
+
+    Runs the full DEFA algorithm (per-image FWP/PAP mask threading) on each
+    batch and returns the batched encoder memory.
+    """
+    cache: dict[ShapeKey, tuple[np.ndarray, np.ndarray]] = {}
+
+    def forward(features: np.ndarray, spatial_shapes: list[LevelShape]) -> np.ndarray:
+        key = tuple(s.as_tuple() for s in spatial_shapes)
+        if key not in cache:
+            cache[key] = _positional_inputs(spatial_shapes, runner.encoder.d_model)
+        pos, reference_points = cache[key]
+        return runner.forward_batched(features, pos, reference_points, spatial_shapes).memory
+
+    return forward

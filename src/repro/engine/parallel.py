@@ -1,0 +1,77 @@
+"""Process-parallel execution of the registered experiments.
+
+Every experiment in :data:`repro.experiments.EXPERIMENTS` is an independent,
+deterministic computation, so the experiment suite is embarrassingly parallel
+across experiment ids.  :func:`run_experiments_parallel` fans the selected ids
+out over a :class:`concurrent.futures.ProcessPoolExecutor` and returns the
+same ``{experiment_id: ExperimentResult}`` mapping the serial runner produces
+— determinism of the individual experiments guarantees identical results (the
+engine test suite asserts this).
+
+The worker imports the experiment registry inside the subprocess, so the
+module stays importable without triggering the (heavy) experiment imports.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable
+
+
+def _run_single_experiment(experiment_id: str):
+    """Worker entry point: run one experiment by id (must be picklable)."""
+    from repro.experiments import EXPERIMENTS
+
+    return EXPERIMENTS[experiment_id]()
+
+
+def run_experiments_parallel(
+    ids: list[str],
+    jobs: int,
+    on_result: Callable[[str, object], None] | None = None,
+) -> dict:
+    """Run the given experiment ids across *jobs* worker processes.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids to run (already validated against the registry).
+    jobs:
+        Number of worker processes; capped at ``len(ids)``.
+    on_result:
+        Optional ``(experiment_id, result)`` callback fired as each
+        experiment *completes* (completion order, not submission order).
+        This lets callers persist finished results incrementally, so one
+        failing experiment does not discard the others — matching the
+        serial runner's save-as-you-go behaviour.
+
+    Returns
+    -------
+    ``{experiment_id: ExperimentResult}`` in the input id order.
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if not ids:
+        return {}
+    workers = min(jobs, len(ids))
+    results: dict = {}
+    first_error: Exception | None = None
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_run_single_experiment, experiment_id): experiment_id
+            for experiment_id in ids
+        }
+        for future in as_completed(futures):
+            experiment_id = futures[future]
+            try:
+                result = future.result()
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+                continue
+            results[experiment_id] = result
+            if on_result is not None:
+                on_result(experiment_id, result)
+    if first_error is not None:
+        raise first_error
+    return {experiment_id: results[experiment_id] for experiment_id in ids}

@@ -1,0 +1,106 @@
+"""Keyed cache for deterministic layer-trace generation.
+
+Trace generation (:func:`repro.workloads.traces.generate_layer_traces`) is the
+most expensive artefact of the accelerator-level experiments: it runs the full
+NumPy encoder with head fitting.  It is also fully deterministic given
+``(spec, seed, num_layers, fit_heads)``, so re-running it for an identical key
+is pure waste.  :class:`TraceCache` memoizes the generated traces under the
+canonical :func:`~repro.workloads.traces.trace_cache_key` and keeps hit/miss
+accounting so callers (and tests) can verify that no identical trace is ever
+regenerated.
+
+A module-level :data:`DEFAULT_TRACE_CACHE` is provided for callers that want
+one process-wide cache; experiments that manage memory explicitly can
+instantiate their own and :meth:`TraceCache.clear` it when done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.specs import WorkloadSpec
+from repro.workloads.traces import LayerTrace, TraceKey, generate_layer_traces, trace_cache_key
+
+
+@dataclass(frozen=True)
+class TraceCacheStats:
+    """Immutable snapshot of a cache's accounting."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class TraceCache:
+    """Memoize :func:`generate_layer_traces` results by canonical key.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional bound on the number of cached trace lists; when exceeded the
+        least-recently-inserted entry is evicted (traces are large, so
+        unbounded growth across many workloads would exhaust memory).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self._entries: dict[TraceKey, list[LayerTrace]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: TraceKey) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> TraceCacheStats:
+        return TraceCacheStats(hits=self._hits, misses=self._misses, entries=len(self._entries))
+
+    def get_or_generate(
+        self,
+        spec: WorkloadSpec,
+        seed: int = 0,
+        num_layers: int | None = None,
+        fit_heads: bool = True,
+    ) -> list[LayerTrace]:
+        """Return the traces for ``(spec, seed, ...)``, generating on a miss.
+
+        The supported parameters are exactly the ones that feed the canonical
+        key — anything else would make equal keys map to different traces.
+        A fresh list is returned on every call (the :class:`LayerTrace`
+        entries themselves are shared), so callers that reorder or trim their
+        copy cannot corrupt the cache for later hits.
+        """
+        key = trace_cache_key(spec, seed=seed, num_layers=num_layers, fit_heads=fit_heads)
+        if key in self._entries:
+            self._hits += 1
+            return list(self._entries[key])
+        self._misses += 1
+        traces = generate_layer_traces(
+            spec, num_layers=num_layers, fit_heads=fit_heads, rng=seed
+        )
+        self._entries[key] = traces
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        return list(traces)
+
+    def clear(self) -> None:
+        """Drop all cached traces (accounting is kept)."""
+        self._entries.clear()
+
+
+DEFAULT_TRACE_CACHE = TraceCache(max_entries=16)
+"""Process-wide default cache used by callers that do not manage their own."""

@@ -30,7 +30,7 @@ class EncoderLayerOutput:
     """Intermediates of one encoder layer forward pass."""
 
     output: np.ndarray
-    """Layer output of shape ``(N_in, D)``."""
+    """Layer output of shape ``(N_in, D)`` (``(B, N_in, D)`` when batched)."""
 
     attention: MSDeformAttnOutput
     """Detailed MSDeformAttn intermediates for this layer."""
@@ -41,7 +41,7 @@ class EncoderOutput:
     """Result of a full encoder forward pass."""
 
     memory: np.ndarray
-    """Final encoder output (``(N_in, D)``)."""
+    """Final encoder output (``(N_in, D)``, or ``(B, N_in, D)`` when batched)."""
 
     layers: list[EncoderLayerOutput] = field(default_factory=list)
     """Per-layer intermediates (present when ``collect_details=True``)."""
@@ -87,8 +87,10 @@ class DeformableEncoderLayer(Module):
     ) -> EncoderLayerOutput:
         """Forward pass returning intermediates.
 
-        ``src`` and ``pos`` both have shape ``(N_in, D)``; the query of the
-        attention block is ``src + pos`` while the value is ``src`` itself.
+        ``src`` has shape ``(N_in, D)`` or ``(B, N_in, D)``; ``pos`` has shape
+        ``(N_in, D)`` and is shared across the batch (positional encodings
+        only depend on the pyramid shapes).  The query of the attention block
+        is ``src + pos`` while the value is ``src`` itself.
         """
         src = np.asarray(src, dtype=FLOAT_DTYPE)
         pos = np.asarray(pos, dtype=FLOAT_DTYPE)
@@ -107,7 +109,7 @@ class DeformableEncoderLayer(Module):
         reference_points: np.ndarray,
         spatial_shapes: list[LevelShape],
     ) -> np.ndarray:
-        """Layer output of shape ``(N_in, D)``."""
+        """Layer output of shape ``(N_in, D)`` (``(B, N_in, D)`` when batched)."""
         return self.forward_detailed(src, pos, reference_points, spatial_shapes).output
 
     def flops(self, num_tokens: int) -> dict[str, int]:
@@ -161,7 +163,11 @@ class DeformableEncoder(Module):
         spatial_shapes: list[LevelShape],
         with_trace: bool = False,
     ) -> EncoderOutput:
-        """Run all layers, collecting per-layer intermediates."""
+        """Run all layers, collecting per-layer intermediates.
+
+        ``src`` may be a single image ``(N_in, D)`` or a batch ``(B, N_in, D)``;
+        batched runs execute every layer on the whole batch at once.
+        """
         outputs: list[EncoderLayerOutput] = []
         x = np.asarray(src, dtype=FLOAT_DTYPE)
         for layer in self.layers:
@@ -179,7 +185,7 @@ class DeformableEncoder(Module):
         reference_points: np.ndarray,
         spatial_shapes: list[LevelShape],
     ) -> np.ndarray:
-        """Final encoder memory of shape ``(N_in, D)``."""
+        """Final encoder memory of shape ``(N_in, D)`` (``(B, N_in, D)`` batched)."""
         x = np.asarray(src, dtype=FLOAT_DTYPE)
         for layer in self.layers:
             x = layer(x, pos, reference_points, spatial_shapes)

@@ -28,9 +28,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.grid_sample import (
+    BatchedSamplingTrace,
     SamplingTrace,
     ms_deform_attn_core,
+    ms_deform_attn_core_batched,
+    ms_deform_attn_from_trace_batched,
     multi_scale_neighbors,
+    multi_scale_neighbors_batched,
 )
 from repro.nn.modules import Linear, Module
 from repro.nn.tensor_utils import FLOAT_DTYPE, softmax
@@ -49,7 +53,12 @@ class MSDeformAttnOutput:
     """
 
     output: np.ndarray
-    """Final output of shape ``(N_q, D)`` (after the output projection)."""
+    """Final output of shape ``(N_q, D)`` (after the output projection).
+
+    Batched forwards prepend a batch axis to every tensor in this record
+    (``(B, N_q, D)`` here, ``(B, N_q, N_h, N_l, N_p)`` for the attention
+    weights, and so on).
+    """
 
     attention_weights: np.ndarray
     """Softmax attention probabilities, shape ``(N_q, N_h, N_l, N_p)``."""
@@ -63,12 +72,16 @@ class MSDeformAttnOutput:
     value: np.ndarray
     """Projected value tensor of shape ``(N_in, N_h, D_h)``."""
 
-    trace: SamplingTrace | None = None
+    trace: SamplingTrace | BatchedSamplingTrace | None = None
     """Optional integer-level sampling trace (neighbour indices / weights)."""
 
 
 class MSDeformAttn(Module):
-    """Multi-scale deformable attention module (single image, no batch axis).
+    """Multi-scale deformable attention module.
+
+    Inputs may be single images (``(N_q, D)`` queries / ``(N_in, D)`` values)
+    or same-shape batches (``(B, N_q, D)`` / ``(B, N_in, D)``); the batched
+    path is fully vectorized and equivalent to looping over the images.
 
     Parameters
     ----------
@@ -146,23 +159,30 @@ class MSDeformAttn(Module):
     # ------------------------------------------------------------------ API
 
     def project_attention_logits(self, query: np.ndarray) -> np.ndarray:
-        """Raw attention logits ``Q W^A`` of shape ``(N_q, N_h, N_l * N_p)``."""
-        n_q = query.shape[0]
+        """Raw attention logits ``Q W^A`` of shape ``(..., N_q, N_h, N_l * N_p)``.
+
+        ``query`` may carry arbitrary leading axes (e.g. a batch axis) before
+        the trailing ``(N_q, D)`` pair.
+        """
         logits = self.attention_weights(query)
-        return logits.reshape(n_q, self.num_heads, self.num_levels * self.num_points)
+        return logits.reshape(
+            query.shape[:-1] + (self.num_heads, self.num_levels * self.num_points)
+        )
 
     def attention_probabilities(self, query: np.ndarray) -> np.ndarray:
-        """Softmax attention probabilities of shape ``(N_q, N_h, N_l, N_p)``."""
+        """Softmax attention probabilities of shape ``(..., N_q, N_h, N_l, N_p)``."""
         logits = self.project_attention_logits(query)
         probs = softmax(logits, axis=-1)
-        n_q = query.shape[0]
-        return probs.reshape(n_q, self.num_heads, self.num_levels, self.num_points)
+        return probs.reshape(
+            query.shape[:-1] + (self.num_heads, self.num_levels, self.num_points)
+        )
 
     def project_sampling_offsets(self, query: np.ndarray) -> np.ndarray:
-        """Raw sampling offsets ``Q W^S`` of shape ``(N_q, N_h, N_l, N_p, 2)``."""
-        n_q = query.shape[0]
+        """Raw sampling offsets ``Q W^S`` of shape ``(..., N_q, N_h, N_l, N_p, 2)``."""
         offsets = self.sampling_offsets(query)
-        return offsets.reshape(n_q, self.num_heads, self.num_levels, self.num_points, 2)
+        return offsets.reshape(
+            query.shape[:-1] + (self.num_heads, self.num_levels, self.num_points, 2)
+        )
 
     def compute_sampling_locations(
         self,
@@ -175,14 +195,20 @@ class MSDeformAttn(Module):
         ``reference_points`` has shape ``(N_q, N_l, 2)`` (normalized); offsets
         are expressed in pixels of their level and divided by the level size,
         following the Deformable DETR convention.
+
+        Batched offsets ``(B, N_q, N_h, N_l, N_p, 2)`` are supported with
+        either shared ``(N_q, N_l, 2)`` or per-image ``(B, N_q, N_l, 2)``
+        reference points.
         """
         if len(spatial_shapes) != self.num_levels:
             raise ValueError("spatial_shapes length must equal num_levels")
         normalizer = np.array(
             [[s.width, s.height] for s in spatial_shapes], dtype=FLOAT_DTYPE
         )  # (N_l, 2)
-        ref = np.asarray(reference_points, dtype=FLOAT_DTYPE)[:, None, :, None, :]
-        return ref + sampling_offsets / normalizer[None, None, :, None, :]
+        ref = np.asarray(reference_points, dtype=FLOAT_DTYPE)
+        # Insert the head and point axes: (..., N_q, N_l, 2) -> (..., N_q, 1, N_l, 1, 2).
+        ref = ref[..., :, None, :, None, :]
+        return ref + sampling_offsets / normalizer[:, None, :]
 
     def forward_detailed(
         self,
@@ -197,32 +223,59 @@ class MSDeformAttn(Module):
         Parameters
         ----------
         query:
-            ``(N_q, D)`` query features (content + positional embedding).
+            ``(N_q, D)`` query features (content + positional embedding), or a
+            batch ``(B, N_q, D)``.
         reference_points:
-            ``(N_q, N_l, 2)`` normalized reference points.
+            ``(N_q, N_l, 2)`` normalized reference points; batched inputs may
+            share them or pass per-image points ``(B, N_q, N_l, 2)``.
         value_input:
-            ``(N_in, D)`` flattened multi-scale feature maps ``X``.
+            ``(N_in, D)`` flattened multi-scale feature maps ``X``, or a batch
+            ``(B, N_in, D)`` matching the query batch.
         spatial_shapes:
             Pyramid level shapes whose pixel counts sum to ``N_in``.
         with_trace:
             If ``True``, also compute the integer sampling trace.
+
+        Batched inputs take the fully vectorized kernels (no per-image Python
+        loop); every field of the result gains a leading batch axis and the
+        trace becomes a :class:`~repro.nn.grid_sample.BatchedSamplingTrace`.
         """
         query = np.asarray(query, dtype=FLOAT_DTYPE)
         value_input = np.asarray(value_input, dtype=FLOAT_DTYPE)
-        n_in = value_input.shape[0]
+        if query.ndim not in (2, 3):
+            raise ValueError("query must have shape (N_q, D) or (B, N_q, D)")
+        if value_input.ndim != query.ndim:
+            raise ValueError("query and value_input must both be batched or both single")
+        batched = query.ndim == 3
+        if batched and value_input.shape[0] != query.shape[0]:
+            raise ValueError("query and value_input batch sizes differ")
+        n_in = value_input.shape[-2]
         if n_in != total_pixels(spatial_shapes):
             raise ValueError("value_input length does not match spatial_shapes")
-        n_q = query.shape[0]
 
-        value = self.value_proj(value_input).reshape(n_in, self.num_heads, self.d_head)
+        value = self.value_proj(value_input).reshape(
+            value_input.shape[:-1] + (self.num_heads, self.d_head)
+        )
         attention = self.attention_probabilities(query)
         offsets = self.project_sampling_offsets(query)
         locations = self.compute_sampling_locations(reference_points, offsets, spatial_shapes)
 
-        head_outputs = ms_deform_attn_core(value, spatial_shapes, locations, attention)
+        trace = None
+        if batched:
+            if with_trace:
+                # Build the trace once and reuse it for the kernel — the
+                # neighbour computation is the non-gather setup cost.
+                trace = multi_scale_neighbors_batched(spatial_shapes, locations)
+                head_outputs = ms_deform_attn_from_trace_batched(value, trace, attention)
+            else:
+                head_outputs = ms_deform_attn_core_batched(
+                    value, spatial_shapes, locations, attention
+                )
+        else:
+            head_outputs = ms_deform_attn_core(value, spatial_shapes, locations, attention)
+            if with_trace:
+                trace = multi_scale_neighbors(spatial_shapes, locations)
         output = self.output_proj(head_outputs)
-
-        trace = multi_scale_neighbors(spatial_shapes, locations) if with_trace else None
         return MSDeformAttnOutput(
             output=output.astype(FLOAT_DTYPE),
             attention_weights=attention,
@@ -239,7 +292,10 @@ class MSDeformAttn(Module):
         value_input: np.ndarray,
         spatial_shapes: list[LevelShape],
     ) -> np.ndarray:
-        """Standard forward pass returning only the ``(N_q, D)`` output."""
+        """Standard forward pass returning only the ``(N_q, D)`` output.
+
+        Accepts single-image ``(N_q, D)`` or batched ``(B, N_q, D)`` inputs.
+        """
         return self.forward_detailed(query, reference_points, value_input, spatial_shapes).output
 
     # ------------------------------------------------------------- analysis

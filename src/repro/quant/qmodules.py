@@ -60,6 +60,32 @@ class QuantizedLinear(Module):
             out = out + self.inner.bias
         return out
 
+    def forward_batched(self, x: np.ndarray) -> np.ndarray:
+        """Forward a batch ``(B, ..., D)`` with *per-image* activation scales.
+
+        Dynamic activation quantization computes the max-abs over the array
+        being quantized; feeding a whole batch through :meth:`forward` would
+        therefore couple the images through one shared scale and break
+        equivalence with per-image execution.  This method computes one
+        dynamic scale per batch element (identical to quantizing each image
+        separately) while still performing a single batched matmul.
+        """
+        x = np.asarray(x, dtype=FLOAT_DTYPE)
+        if x.ndim < 2:
+            raise ValueError("batched input must have at least 2 dimensions")
+        max_abs = self.activation_max_abs
+        if max_abs is None:
+            if self.activation_spec.per_channel and x.ndim >= 3:
+                reduce_axes = tuple(range(1, x.ndim - 1))  # per image, per channel
+            else:
+                reduce_axes = tuple(range(1, x.ndim))  # per image
+            max_abs = np.max(np.abs(x), axis=reduce_axes, keepdims=True)
+        x_q = fake_quantize(x, self.activation_spec, max_abs=max_abs).astype(FLOAT_DTYPE)
+        out = x_q @ self.quantized_weight
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
     def flops(self, num_rows: int) -> int:
         """Same MAC count as the wrapped layer (quantization changes energy, not FLOPs)."""
         return self.inner.flops(num_rows)

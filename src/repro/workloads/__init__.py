@@ -8,7 +8,7 @@ from repro.workloads.specs import (
 )
 from repro.workloads.synthetic_images import SceneGenerator, SyntheticScene
 from repro.workloads.dataset import SyntheticDetectionDataset
-from repro.workloads.traces import LayerTrace, generate_layer_traces
+from repro.workloads.traces import LayerTrace, cached_layer_traces, generate_layer_traces
 
 __all__ = [
     "SCALE_PRESETS",
@@ -19,5 +19,6 @@ __all__ = [
     "SyntheticScene",
     "SyntheticDetectionDataset",
     "LayerTrace",
+    "cached_layer_traces",
     "generate_layer_traces",
 ]

@@ -73,6 +73,55 @@ class LayerTrace:
         return self.attention_weights.shape[3]
 
 
+TraceKey = tuple[WorkloadSpec, int, int | None, bool]
+"""Cache key of one deterministic trace generation — see :func:`trace_cache_key`."""
+
+
+def trace_cache_key(
+    spec: WorkloadSpec,
+    seed: int = 0,
+    num_layers: int | None = None,
+    fit_heads: bool = True,
+) -> TraceKey:
+    """Canonical cache key for a :func:`generate_layer_traces` invocation.
+
+    Trace generation is deterministic given ``(spec, seed)`` (plus the layer
+    count and head-fitting switch), so two invocations with equal keys return
+    identical traces.  The key format is::
+
+        (spec, seed, num_layers, fit_heads)
+
+    ``WorkloadSpec`` is a frozen dataclass, so the spec itself is the
+    identity — keying on it (rather than on ``spec.name``) guarantees that
+    two specs differing in resolution or model geometry never share an
+    entry.  The engine's :class:`~repro.engine.trace_cache.TraceCache` uses
+    this key so identical ``(spec, seed)`` traces are never regenerated.
+    """
+    return (spec, int(seed), num_layers, bool(fit_heads))
+
+
+def cached_layer_traces(
+    spec: WorkloadSpec,
+    seed: int = 0,
+    num_layers: int | None = None,
+    fit_heads: bool = True,
+) -> list["LayerTrace"]:
+    """Default-cached trace generation: the preferred entry point.
+
+    Delegates to the engine's process-wide
+    :data:`~repro.engine.trace_cache.DEFAULT_TRACE_CACHE`, so an identical
+    ``(spec, seed)`` trace is never regenerated within a process.  Use
+    :func:`generate_layer_traces` directly only when bypassing the cache is
+    intended (e.g. custom features or a pre-built encoder).
+    """
+    # Imported lazily: repro.engine depends on this module.
+    from repro.engine.trace_cache import DEFAULT_TRACE_CACHE
+
+    return DEFAULT_TRACE_CACHE.get_or_generate(
+        spec, seed=seed, num_layers=num_layers, fit_heads=fit_heads
+    )
+
+
 def synthetic_workload_input(
     spec: WorkloadSpec,
     num_hotspots: int = 8,

@@ -125,6 +125,31 @@ class TestPAP:
         high = compute_point_mask(probs, threshold=min(threshold + 0.05, 0.99))
         assert high.pruned_fraction >= low.pruned_fraction - 1e-9
 
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        sharp=st.floats(0.1, 8.0),
+        threshold=st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_keep_top1_invariant(self, seed, sharp, threshold):
+        """With ``keep_top1=True`` the argmax point of every (query, head) is kept.
+
+        This must hold for *any* probability tensor and threshold — even ones
+        where the threshold exceeds every probability of a pair.
+        """
+        probs = self._probs(n_q=12, sharp=sharp, seed=seed)
+        result = compute_point_mask(probs, threshold=threshold, keep_top1=True)
+        n_q, n_h = probs.shape[:2]
+        flat_probs = probs.reshape(n_q, n_h, -1)
+        flat_mask = result.point_mask.reshape(n_q, n_h, -1)
+        top = np.argmax(flat_probs, axis=-1)
+        q_idx, h_idx = np.meshgrid(np.arange(n_q), np.arange(n_h), indexing="ij")
+        assert flat_mask[q_idx, h_idx, top].all()
+        # ... and every kept point is either above threshold or the top-1.
+        kept_not_top = flat_mask.copy()
+        kept_not_top[q_idx, h_idx, top] = False
+        assert np.all(flat_probs[kept_not_top] >= threshold)
+
 
 class TestFWP:
     def _shapes(self):
@@ -161,6 +186,35 @@ class TestFWP:
         with pytest.raises(ValueError):
             compute_fmap_mask(np.zeros(20), self._shapes(), k=-1.0)
 
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        k=st.floats(0.0, 3.0),
+        max_freq=st.integers(1, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fwp_invariants_match_eq2(self, seed, k, max_freq):
+        """Property check of Eq. 2: per-level thresholds are ``k * mean`` and
+        keep-fractions always lie in ``[0, 1]``."""
+        shapes = self._shapes()
+        rng = np.random.default_rng(seed)
+        freq = rng.integers(0, max_freq + 1, size=20).astype(float)
+        result = compute_fmap_mask(freq, shapes, k=k)
+        assert np.all(result.level_keep_fractions >= 0.0)
+        assert np.all(result.level_keep_fractions <= 1.0)
+        assert 0.0 <= result.keep_fraction <= 1.0
+        # Recompute the Eq. 2 thresholds independently, level by level.
+        offset = 0
+        for lvl, shape in enumerate(shapes):
+            level_freq = freq[offset : offset + shape.num_pixels]
+            expected_threshold = k * level_freq.mean()
+            assert result.thresholds[lvl] == pytest.approx(expected_threshold)
+            expected_keep = level_freq >= expected_threshold
+            np.testing.assert_array_equal(
+                result.fmap_mask[offset : offset + shape.num_pixels], expected_keep
+            )
+            assert result.level_keep_fractions[lvl] == pytest.approx(expected_keep.mean())
+            offset += shape.num_pixels
+
     def test_apply_fmap_mask_zeroes_rows(self):
         value = np.ones((6, 3), dtype=np.float32)
         mask = np.array([True, False, True, True, False, True])
@@ -174,6 +228,53 @@ class TestFWP:
 
     def test_mask_storage_bits(self):
         assert mask_storage_bits(np.ones(100, dtype=bool)) == 100
+
+
+class TestBatchedPruningHelpers:
+    def _batched_trace(self, batch=3, seed=0):
+        from repro.nn.grid_sample import multi_scale_neighbors_batched
+
+        shapes = [LevelShape(4, 4), LevelShape(2, 2)]
+        rng = np.random.default_rng(seed)
+        locs = rng.uniform(-0.1, 1.1, size=(batch, 7, 2, 2, 3, 2)).astype(np.float32)
+        return shapes, multi_scale_neighbors_batched(shapes, locs), rng
+
+    def test_sampled_frequency_batched_matches_per_image(self):
+        from repro.core.sampling_stats import sampled_frequency_batched
+
+        shapes, trace, rng = self._batched_trace()
+        mask = rng.random((3, 7, 2, 2, 3)) > 0.4
+        batched = sampled_frequency_batched(trace, point_mask=mask)
+        for b in range(3):
+            single = sampled_frequency(trace.image(b), point_mask=mask[b])
+            np.testing.assert_array_equal(batched[b], single)
+
+    def test_compute_fmap_mask_batched_matches_per_image(self):
+        from repro.core.fwp import compute_fmap_mask_batched
+
+        shapes = [LevelShape(4, 4), LevelShape(2, 2)]
+        rng = np.random.default_rng(1)
+        freq = rng.integers(0, 9, size=(3, 20)).astype(float)
+        batched = compute_fmap_mask_batched(freq, shapes, k=0.8)
+        assert len(batched) == 3
+        for b in range(3):
+            single = compute_fmap_mask(freq[b], shapes, k=0.8)
+            np.testing.assert_array_equal(batched[b].fmap_mask, single.fmap_mask)
+            np.testing.assert_allclose(batched[b].thresholds, single.thresholds)
+            np.testing.assert_allclose(
+                batched[b].level_keep_fractions, single.level_keep_fractions
+            )
+
+    def test_compute_fmap_mask_batched_validation(self):
+        from repro.core.fwp import compute_fmap_mask_batched
+
+        shapes = [LevelShape(4, 4), LevelShape(2, 2)]
+        with pytest.raises(ValueError):
+            compute_fmap_mask_batched(np.zeros(20), shapes, k=1.0)
+        with pytest.raises(ValueError):
+            compute_fmap_mask_batched(np.zeros((2, 5)), shapes, k=1.0)
+        with pytest.raises(ValueError):
+            compute_fmap_mask_batched(np.zeros((2, 20)), shapes, k=-1.0)
 
 
 class TestSamplingStats:

@@ -62,6 +62,36 @@ class TestDEFAAttention:
         assert out.stats.pixels_kept == 0
         assert out.stats.pixel_reduction == 1.0
 
+    def test_first_block_convention(self, tiny_workload_run, tiny_defa_output, tiny_spec):
+        """First-block stats convention: with ``fmap_mask=None`` and
+        ``enable_fwp=True``, ``pixels_kept`` equals ``pixels_total`` (no mask
+        was received to apply — FWP masks always come from the *previous*
+        block) while the mask generated for the next block is accounted in
+        ``pixels_kept_next``.  ``mask_applied`` makes the convention explicit.
+        """
+        n_in = tiny_spec.num_tokens
+        stats = tiny_defa_output.stats
+        # tiny_defa_output runs the default config (enable_fwp=True), no mask.
+        assert not stats.mask_applied
+        assert stats.pixels_kept == stats.pixels_total == n_in
+        assert stats.pixel_reduction == 0.0
+        # The block still *generates* a pruning mask for its successor.
+        assert stats.pixels_kept_next < n_in
+        assert stats.pixel_reduction_next > 0.0
+        # Applying any mask (here: the generated one) flips the flag and makes
+        # pixels_kept a measurement again.
+        run = tiny_workload_run
+        defa = DEFAAttention(run["encoder"].layers[0].self_attn, DEFAConfig())
+        masked = defa.forward_detailed(
+            run["features"] + run["pos"],
+            run["reference_points"],
+            run["features"],
+            run["spec"].spatial_shapes,
+            fmap_mask=tiny_defa_output.fmap_mask_next,
+        )
+        assert masked.stats.mask_applied
+        assert masked.stats.pixels_kept == tiny_defa_output.stats.pixels_kept_next
+
     def test_wrong_mask_length_raises(self, tiny_workload_run):
         run = tiny_workload_run
         defa = DEFAAttention(run["encoder"].layers[0].self_attn, DEFAConfig())

@@ -1,0 +1,246 @@
+"""Tests for the batched execution engine: BatchRunner, TraceCache, --jobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchRunner,
+    TraceCache,
+    WorkItem,
+    defa_forward_fn,
+    encoder_forward_fn,
+    run_experiments_parallel,
+)
+from repro.core.config import DEFAConfig
+from repro.core.encoder_runner import DEFAEncoderRunner
+from repro.experiments.runner import run_experiments
+from repro.nn.encoder import DeformableEncoder
+from repro.nn.positional import make_reference_points, sine_positional_encoding
+from repro.utils.shapes import LevelShape
+from repro.workloads.specs import get_workload
+from repro.workloads.traces import trace_cache_key
+
+SHAPES_A = (LevelShape(8, 12), LevelShape(4, 6))
+SHAPES_B = (LevelShape(6, 8), LevelShape(3, 4))
+D_MODEL = 32
+
+
+def _item(item_id, shapes, seed):
+    rng = np.random.default_rng(seed)
+    n_in = sum(s.num_pixels for s in shapes)
+    return WorkItem(
+        item_id=item_id,
+        features=rng.standard_normal((n_in, D_MODEL)).astype(np.float32),
+        spatial_shapes=shapes,
+    )
+
+
+def _encoder() -> DeformableEncoder:
+    return DeformableEncoder(
+        num_layers=2,
+        d_model=D_MODEL,
+        num_heads=4,
+        num_levels=2,
+        num_points=2,
+        ffn_dim=64,
+        rng=0,
+    )
+
+
+class TestWorkItem:
+    def test_shape_key_groups_equal_pyramids(self):
+        assert _item(0, SHAPES_A, 0).shape_key == _item(1, SHAPES_A, 1).shape_key
+        assert _item(0, SHAPES_A, 0).shape_key != _item(1, SHAPES_B, 1).shape_key
+
+    def test_token_mismatch_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            WorkItem(0, rng.standard_normal((5, D_MODEL)), SHAPES_A)
+
+    def test_non_2d_features_raise(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            WorkItem(0, rng.standard_normal((2, 108, D_MODEL)), SHAPES_A)
+
+    def test_identity_semantics(self):
+        """Items are hashable and comparable despite the ndarray field."""
+        a = _item(0, SHAPES_A, 0)
+        b = _item(0, SHAPES_A, 0)
+        assert a in {a} and a != b and a == a
+        assert b not in {a}
+
+
+class TestBatchRunner:
+    def test_groups_and_batches(self):
+        items = [
+            _item("a0", SHAPES_A, 0),
+            _item("b0", SHAPES_B, 1),
+            _item("a1", SHAPES_A, 2),
+            _item("a2", SHAPES_A, 3),
+            _item("b1", SHAPES_B, 4),
+        ]
+        calls = []
+
+        def forward(batch, shapes):
+            calls.append(batch.shape[0])
+            return batch  # identity
+
+        runner = BatchRunner(forward, max_batch_size=2)
+        result = runner.run(items)
+        # 3 same-shape A items -> batches of 2 + 1; 2 B items -> one batch.
+        assert sorted(result.stats.batch_sizes) == [1, 2, 2]
+        assert result.stats.num_groups == 2
+        assert result.stats.num_items == 5
+        assert result.stats.num_batches == 3
+        assert result.item_ids == ["a0", "b0", "a1", "a2", "b1"]
+
+    def test_outputs_in_submission_order_and_equivalent(self):
+        encoder = _encoder()
+        items = [
+            _item(i, SHAPES_A if i % 2 == 0 else SHAPES_B, seed=i) for i in range(6)
+        ]
+        runner = BatchRunner(encoder_forward_fn(encoder), max_batch_size=4)
+        result = runner.run(items)
+        for item, output in zip(items, result.outputs):
+            shapes = list(item.spatial_shapes)
+            pos = sine_positional_encoding(shapes, D_MODEL)
+            reference = make_reference_points(shapes)
+            single = encoder.forward(item.features, pos, reference, shapes)
+            np.testing.assert_allclose(output, single, atol=1e-5)
+
+    def test_defa_forward_fn_equivalent(self):
+        encoder = _encoder()
+        runner_defa = DEFAEncoderRunner(encoder, DEFAConfig())
+        items = [_item(i, SHAPES_A, seed=10 + i) for i in range(3)]
+        engine = BatchRunner(defa_forward_fn(runner_defa), max_batch_size=8)
+        result = engine.run(items)
+        shapes = list(SHAPES_A)
+        pos = sine_positional_encoding(shapes, D_MODEL)
+        reference = make_reference_points(shapes)
+        for item, output in zip(items, result.outputs):
+            single = runner_defa.forward(item.features, pos, reference, shapes)
+            np.testing.assert_allclose(output, single.memory, atol=1e-5)
+
+    def test_wrong_forward_batch_raises(self):
+        runner = BatchRunner(lambda batch, shapes: batch[:1], max_batch_size=4)
+        with pytest.raises(ValueError):
+            runner.run([_item(0, SHAPES_A, 0), _item(1, SHAPES_A, 1)])
+
+    def test_invalid_batch_size_raises(self):
+        with pytest.raises(ValueError):
+            BatchRunner(lambda batch, shapes: batch, max_batch_size=0)
+
+    def test_empty_run(self):
+        runner = BatchRunner(lambda batch, shapes: batch)
+        result = runner.run([])
+        assert result.outputs == [] and result.stats.num_batches == 0
+
+
+class TestTraceCache:
+    def test_hit_and_miss_accounting(self):
+        spec = get_workload("deformable_detr", "tiny")
+        cache = TraceCache()
+        first = cache.get_or_generate(spec, seed=0, num_layers=1)
+        again = cache.get_or_generate(spec, seed=0, num_layers=1)
+        other = cache.get_or_generate(spec, seed=1, num_layers=1)
+        # identical (spec, seed) is never regenerated: the LayerTrace objects
+        # are shared, only the list container is fresh per call.
+        assert [t is u for t, u in zip(again, first)] == [True]
+        assert other[0] is not first[0]
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 2 and stats.entries == 2
+        assert stats.requests == 3
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_key_format(self):
+        spec = get_workload("deformable_detr", "tiny")
+        assert trace_cache_key(spec, seed=3, num_layers=2) == (spec, 3, 2, True)
+
+    def test_key_distinguishes_same_name_different_geometry(self):
+        """Two specs with equal names but different resolutions must not share
+        a cache entry (the key carries the full frozen spec, not spec.name)."""
+        from dataclasses import replace
+
+        spec = get_workload("deformable_detr", "tiny")
+        other = replace(spec, image_height=32, image_width=48)
+        assert spec.name == other.name
+        assert trace_cache_key(spec, seed=0) != trace_cache_key(other, seed=0)
+
+    def test_eviction_bound(self):
+        spec = get_workload("deformable_detr", "tiny")
+        cache = TraceCache(max_entries=1)
+        cache.get_or_generate(spec, seed=0, num_layers=1)
+        cache.get_or_generate(spec, seed=1, num_layers=1)
+        assert len(cache) == 1
+        assert trace_cache_key(spec, seed=1, num_layers=1) in cache
+        assert trace_cache_key(spec, seed=0, num_layers=1) not in cache
+
+    def test_caller_mutation_does_not_corrupt_cache(self):
+        spec = get_workload("deformable_detr", "tiny")
+        cache = TraceCache()
+        traces = cache.get_or_generate(spec, seed=0, num_layers=1)
+        kept = traces[0]
+        traces.clear()  # caller trims its copy
+        assert cache.get_or_generate(spec, seed=0, num_layers=1)[0] is kept
+
+    def test_cached_layer_traces_entry_point(self):
+        from repro.engine.trace_cache import DEFAULT_TRACE_CACHE
+        from repro.workloads import cached_layer_traces
+
+        spec = get_workload("deformable_detr", "tiny")
+        before = DEFAULT_TRACE_CACHE.stats
+        first = cached_layer_traces(spec, seed=123, num_layers=1)
+        again = cached_layer_traces(spec, seed=123, num_layers=1)
+        assert again[0] is first[0]
+        after = DEFAULT_TRACE_CACHE.stats
+        assert after.misses == before.misses + 1
+        assert after.hits >= before.hits + 1
+
+    def test_clear(self):
+        spec = get_workload("deformable_detr", "tiny")
+        cache = TraceCache()
+        cache.get_or_generate(spec, seed=0, num_layers=1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            TraceCache(max_entries=0)
+
+
+class TestParallelRunner:
+    """--jobs execution must be deterministic: identical to the serial runner."""
+
+    IDS = ["fig1b", "table1"]  # analytic experiments, fast enough for a test
+
+    def test_parallel_matches_serial(self):
+        serial = run_experiments(self.IDS, verbose=False, jobs=1)
+        parallel = run_experiments(self.IDS, verbose=False, jobs=2)
+        assert set(serial) == set(parallel)
+        for experiment_id in self.IDS:
+            assert serial[experiment_id].headers == parallel[experiment_id].headers
+            assert serial[experiment_id].rows == parallel[experiment_id].rows
+            assert serial[experiment_id].notes == parallel[experiment_id].notes
+
+    def test_run_experiments_parallel_direct(self):
+        results = run_experiments_parallel(["fig1b"], jobs=2)
+        assert results["fig1b"].experiment_id == "fig1b"
+
+    def test_on_result_callback_fires_per_completion(self):
+        seen = []
+        results = run_experiments_parallel(
+            self.IDS, jobs=2, on_result=lambda eid, result: seen.append(eid)
+        )
+        assert sorted(seen) == sorted(self.IDS)
+        assert set(results) == set(self.IDS)
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            run_experiments(self.IDS, verbose=False, jobs=0)
+        with pytest.raises(ValueError):
+            run_experiments_parallel(self.IDS, jobs=-1)
+
+    def test_empty_ids(self):
+        assert run_experiments_parallel([], jobs=2) == {}
