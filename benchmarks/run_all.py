@@ -1,0 +1,173 @@
+"""Repo-standard benchmark harness: run every perf benchmark, emit one JSON.
+
+Runs the batched-engine benchmark and the sparse-execution sweep and writes a
+single machine-readable record (name, config, speedups, per-kernel timings)
+so the perf trajectory can be tracked PR-over-PR::
+
+    PYTHONPATH=src python benchmarks/run_all.py --json BENCH_all.json
+
+``--scale compact`` (the default) keeps the iteration budget tight enough for
+a CI smoke job; ``--scale paper`` reproduces the full paper-scale numbers of
+``benchmarks/bench_sparse_speedup.py``.  ``--check`` exits non-zero when the
+sparse/dense (or batched/serial) equivalence drifts beyond tolerance, which
+is how CI guards the numerics without asserting hardware-dependent speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# The sibling benchmark scripts are plain files, not a package; make them
+# importable regardless of how this script is invoked (direct path, -m, ...).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core.config import DEFAConfig
+from repro.eval.profiler import (
+    measure_encoder_batched_speedup,
+    measure_sparse_speedup,
+    sweep_sparse_speedup,
+)
+from repro.nn.encoder import DeformableEncoder
+from repro.utils.shapes import make_level_shapes
+from repro.workloads.specs import get_workload
+
+ENGINE_EQUIVALENCE_TOL = 1e-5
+"""Batched-vs-serial engine outputs are float32-path only: strict tolerance."""
+
+SPARSE_FP32_EQUIVALENCE_TOL = 1e-5
+"""Sparse-vs-dense drift bound for unquantized configs."""
+
+SPARSE_INT12_EQUIVALENCE_TOL = 5e-3
+"""Sparse-vs-dense drift bound for INT12 configs: the ~1e-7 float32 kernel
+rounding difference can be amplified to a full quantization step by the
+dynamically scaled output projection, so the bound is a few steps wide."""
+
+#: Sparse-sweep scale and repeats per harness scale preset.
+SCALE_PRESETS = {
+    "compact": {"sparse_scale": "small", "repeats": 2},
+    "medium": {"sparse_scale": "medium", "repeats": 3},
+    "paper": {"sparse_scale": "paper", "repeats": 3},
+}
+
+
+def run_engine_benchmark(repeats: int) -> dict:
+    """The batched-engine speedup benchmark (see bench_batched_engine.py)."""
+    shapes = make_level_shapes(32, 48, (8, 16))
+    encoder = DeformableEncoder(
+        num_layers=2,
+        d_model=64,
+        num_heads=4,
+        num_levels=len(shapes),
+        num_points=2,
+        ffn_dim=128,
+        rng=0,
+    )
+    report = measure_encoder_batched_speedup(
+        encoder, shapes, batch_size=8, repeats=repeats, rng=1
+    )
+    return {
+        "name": "batched_engine",
+        "config": {
+            "batch_size": report.batch_size,
+            "num_tokens": report.num_tokens,
+            "d_model": report.d_model,
+        },
+        "speedup": report.speedup,
+        "timings_ms": {"serial": 1e3 * report.serial_s, "batched": 1e3 * report.batched_s},
+        "max_abs_diff": report.max_abs_diff,
+        "equivalence_tol": ENGINE_EQUIVALENCE_TOL,
+    }
+
+
+def run_sparse_benchmark(sparse_scale: str, repeats: int) -> dict:
+    """The sparse-execution sweep, in the exact record shape of
+    ``bench_sparse_speedup.py`` so the two JSONs stay comparable PR-over-PR."""
+    from bench_sparse_speedup import sweep_record
+
+    reports = sweep_sparse_speedup(scale=sparse_scale, repeats=repeats, rng_seed=0)
+    record = sweep_record(reports, repeats)
+    record["generated_by"] = "benchmarks/run_all.py"
+    record["equivalence_tol"] = SPARSE_INT12_EQUIVALENCE_TOL
+    return record
+
+
+def run_sparse_fp32_equivalence(sparse_scale: str, repeats: int) -> dict:
+    """One unquantized operating point, held to the strict 1e-5 equivalence."""
+    workload = get_workload("deformable_detr", sparse_scale)
+    config = DEFAConfig(fwp_k=1.0, quant_bits=None)
+    report = measure_sparse_speedup(workload, config, repeats=repeats, rng=0)
+    return {
+        "name": "sparse_equivalence_fp32",
+        "config": {"workload": workload.name, "fwp_k": 1.0, "quant_bits": None},
+        "speedup": report.speedup,
+        "timings_ms": {"dense": 1e3 * report.dense_s, "sparse": 1e3 * report.sparse_s},
+        "max_abs_diff": report.max_abs_diff,
+        "equivalence_tol": SPARSE_FP32_EQUIVALENCE_TOL,
+    }
+
+
+def check_equivalence(record: dict) -> list[str]:
+    """Collect equivalence-drift failures across all benchmark entries."""
+    failures = []
+    for bench in record["benchmarks"]:
+        tol = bench["equivalence_tol"]
+        diffs = []
+        if "max_abs_diff" in bench:
+            diffs.append(("", bench["max_abs_diff"]))
+        for result in bench.get("results", []):
+            diffs.append((f" (fwp_k={result['fwp_k']})", result["max_abs_diff"]))
+        for label, diff in diffs:
+            if diff > tol:
+                failures.append(
+                    f"{bench['name']}{label}: max |diff| {diff:.2e} exceeds tolerance {tol:.0e}"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--json", type=Path, default=Path("BENCH_all.json"),
+                        help="output path of the machine-readable record")
+    parser.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="compact",
+                        help="iteration budget: compact (CI smoke) ... paper (full numbers)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override best-of-N repeats of every benchmark")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if sparse/dense or batched/serial equivalence drifts")
+    args = parser.parse_args(argv)
+
+    preset = SCALE_PRESETS[args.scale]
+    repeats = args.repeats if args.repeats is not None else preset["repeats"]
+
+    print(f"running benchmarks (scale={args.scale}, repeats={repeats}) ...")
+    record = {
+        "name": "run_all",
+        "config": {"scale": args.scale, "repeats": repeats},
+        "benchmarks": [
+            run_engine_benchmark(repeats),
+            run_sparse_benchmark(preset["sparse_scale"], repeats),
+            run_sparse_fp32_equivalence(preset["sparse_scale"], repeats),
+        ],
+    }
+
+    args.json.write_text(json.dumps(record, indent=2) + "\n")
+    for bench in record["benchmarks"]:
+        speedup = bench.get("speedup") or bench.get("summary", {}).get("max_speedup")
+        print(f"  {bench['name']}: speedup {speedup:.2f}x")
+    print(f"wrote {args.json}")
+
+    if args.check:
+        failures = check_equivalence(record)
+        if failures:
+            for failure in failures:
+                print(f"EQUIVALENCE DRIFT: {failure}", file=sys.stderr)
+            return 1
+        print("equivalence check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,10 +6,16 @@ from repro.core.pap import PAPResult, compute_point_mask
 from repro.core.range_narrowing import RangeNarrowing
 from repro.core.sampling_stats import sampled_frequency
 from repro.core.flops import FlopsBreakdown, msdeform_attn_flops
-from repro.core.pipeline import DEFAAttention, DEFAAttentionOutput, DEFALayerStats
+from repro.core.pipeline import (
+    SPARSE_MODES,
+    DEFAAttention,
+    DEFAAttentionOutput,
+    DEFALayerStats,
+)
 from repro.core.encoder_runner import DEFAEncoderResult, DEFAEncoderRunner
 
 __all__ = [
+    "SPARSE_MODES",
     "DEFAConfig",
     "FWPResult",
     "compute_fmap_mask",

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.config import DEFAConfig
 from repro.core.flops import FlopsBreakdown
 from repro.core.pipeline import (
+    SPARSE_MODES,
     DEFAAttention,
     DEFAAttentionBatchOutput,
     DEFAAttentionOutput,
@@ -94,12 +95,33 @@ class DEFAEncoderRunner:
         The full-precision encoder whose weights are reused.
     config:
         DEFA algorithm configuration.
+    sparse_mode:
+        Execution switch forwarded to every :class:`DEFAAttention` block (see
+        :data:`repro.core.pipeline.SPARSE_MODES`): ``"auto"`` (default) runs
+        the compacted gather/scatter kernels whenever the FWP/PAP reduction
+        ratio makes them profitable, ``"dense"``/``"sparse"`` force one path.
     """
 
-    def __init__(self, encoder: DeformableEncoder, config: DEFAConfig) -> None:
+    def __init__(
+        self, encoder: DeformableEncoder, config: DEFAConfig, sparse_mode: str = "auto"
+    ) -> None:
         self.encoder = encoder
         self.config = config
-        self.defa_layers = [DEFAAttention(layer.self_attn, config) for layer in encoder.layers]
+        self.defa_layers = [
+            DEFAAttention(layer.self_attn, config, sparse_mode=sparse_mode)
+            for layer in encoder.layers
+        ]
+
+    @property
+    def sparse_mode(self) -> str:
+        return self.defa_layers[0].sparse_mode if self.defa_layers else "auto"
+
+    @sparse_mode.setter
+    def sparse_mode(self, mode: str) -> None:
+        if mode not in SPARSE_MODES:
+            raise ValueError(f"sparse_mode must be one of {SPARSE_MODES}, got {mode!r}")
+        for layer in self.defa_layers:
+            layer.sparse_mode = mode
 
     def forward(
         self,

@@ -153,13 +153,18 @@ def apply_fmap_mask(value: np.ndarray, fmap_mask: np.ndarray | None) -> np.ndarr
     """Zero out the value rows of pruned pixels.
 
     ``value`` may be ``(N_in, D)`` or ``(N_in, N_h, D_h)``; a copy is returned
-    when a mask is applied so the caller's array is never mutated.
+    when a mask actually prunes something so the caller's array is never
+    mutated.  When the mask keeps every pixel (``fmap_mask.all()``) the input
+    array is returned *unchanged and uncopied* — callers must treat the result
+    as read-only (every call site in this repo already does).
     """
     if fmap_mask is None:
         return value
     fmap_mask = np.asarray(fmap_mask, dtype=bool)
     if fmap_mask.shape[0] != value.shape[0]:
         raise ValueError("fmap_mask length must match the value token axis")
+    if fmap_mask.all():
+        return value
     result = value.copy()
     result[~fmap_mask] = 0
     return result

@@ -17,6 +17,13 @@ MSDeformAttn` module and executes it with the paper's rearranged dataflow
 All four linear projections are (optionally) fake-quantized to the configured
 bit width.  The pipeline returns detailed statistics (kept points/pixels,
 FLOP breakdown) that feed the Fig. 6 experiments and the hardware simulator.
+
+Pruning executes through one of two equivalence-tested paths, selected by the
+``sparse_mode`` switch (see :data:`SPARSE_MODES`): the masked-dense kernels
+(pruned work simulated by zeroing — the hardware-faithful *numerics* with
+dense software cost) or the compacted gather/scatter kernels (pruned pixels
+and points skipped before any memory traffic — the paper's compute savings
+realised as wall-clock speedup; see ``benchmarks/bench_sparse_speedup.py``).
 """
 
 from __future__ import annotations
@@ -37,17 +44,30 @@ from repro.core.pap import PAPResult, compute_point_mask
 from repro.core.range_narrowing import RangeNarrowing
 from repro.core.sampling_stats import sampled_frequency, sampled_frequency_batched
 from repro.nn.grid_sample import (
+    SPARSE_MODES,
     SamplingTrace,
     ms_deform_attn_from_trace,
     ms_deform_attn_from_trace_batched,
+    ms_deform_attn_sparse_from_trace,
+    ms_deform_attn_sparse_from_trace_batched,
     multi_scale_neighbors,
     multi_scale_neighbors_batched,
+    use_sparse_gather,
 )
 from repro.nn.modules import Linear
 from repro.nn.msdeform_attn import MSDeformAttn
 from repro.nn.tensor_utils import FLOAT_DTYPE, softmax
 from repro.quant.qmodules import QuantizedLinear, quantize_linear
 from repro.utils.shapes import LevelShape, total_pixels
+from repro.utils.timing import kernel_section
+
+SPARSE_AUTO_PIXEL_KEEP_MAX = 0.85
+"""``auto``: use the compacted value projection when at most this fraction of
+fmap pixels survives the incoming FWP mask."""
+
+SPARSE_AUTO_MIN_TOKENS = 512
+"""``auto``: minimum ``N_in`` (per image) before the compacted value
+projection can pay for its gather/scatter overhead."""
 
 
 @dataclass
@@ -86,6 +106,12 @@ class DEFALayerStats:
     in which case :attr:`pixels_kept` equals :attr:`pixels_total` by
     convention rather than by measurement.
     """
+
+    sparse_projection: bool = False
+    """Whether the value projection ran on the compacted (kept-pixel) rows."""
+
+    sparse_gather: bool = False
+    """Whether MSGS + aggregation ran the compacted (kept-point) kernel."""
 
     @property
     def point_reduction(self) -> float:
@@ -182,11 +208,19 @@ class DEFAAttention:
         The wrapped full-precision attention module (its weights are reused).
     config:
         The :class:`DEFAConfig` describing which techniques are enabled.
+    sparse_mode:
+        One of :data:`SPARSE_MODES`.  Controls whether FWP/PAP masks are
+        executed with the compacted gather/scatter kernels (actual wall-clock
+        savings) or the masked-dense kernels (pruning simulated by zeroing).
+        Both paths are equivalence-tested to 1e-5.
     """
 
-    def __init__(self, attn: MSDeformAttn, config: DEFAConfig) -> None:
+    def __init__(self, attn: MSDeformAttn, config: DEFAConfig, sparse_mode: str = "auto") -> None:
+        if sparse_mode not in SPARSE_MODES:
+            raise ValueError(f"sparse_mode must be one of {SPARSE_MODES}, got {sparse_mode!r}")
         self.attn = attn
         self.config = config
+        self.sparse_mode = sparse_mode
         self.range_narrowing: RangeNarrowing | None = None
         if config.enable_range_narrowing:
             self.range_narrowing = RangeNarrowing(config.effective_ranges(attn.num_levels))
@@ -211,6 +245,89 @@ class DEFAAttention:
         if isinstance(proj, QuantizedLinear):
             return proj.forward_batched(x)
         return proj(x)
+
+    # ------------------------------------------------------------ sparse path
+
+    def _use_sparse_projection(
+        self, fmap_mask: np.ndarray | None, tokens_per_image: int, batched: bool = False
+    ) -> bool:
+        """Decide whether the value projection runs on compacted rows.
+
+        No incoming mask ⇒ dense by convention (the first block of an encoder
+        never receives one).  ``auto`` additionally requires the image to be
+        large enough and the mask to actually prune; a batch uses the
+        *maximum* per-image keep fraction (sparse only when every image alone
+        would go sparse) so batched and single-image runs make the same
+        decision wherever possible.
+        """
+        if fmap_mask is None or self.sparse_mode == "dense":
+            return False
+        if self.sparse_mode == "sparse":
+            return True
+        if tokens_per_image < SPARSE_AUTO_MIN_TOKENS:
+            return False
+        if batched:
+            per_image = np.count_nonzero(fmap_mask, axis=1)
+            keep_fraction = float(per_image.max()) / max(tokens_per_image, 1)
+        else:
+            keep_fraction = np.count_nonzero(fmap_mask) / max(fmap_mask.size, 1)
+        return keep_fraction <= SPARSE_AUTO_PIXEL_KEEP_MAX
+
+    def _project_values(
+        self, value_input: np.ndarray, fmap_mask: np.ndarray | None
+    ) -> tuple[np.ndarray, bool]:
+        """Single-image value projection ``V = X W^V`` under the FWP mask.
+
+        Returns the ``(N_in, N_h, D_h)`` value tensor (pruned rows zero) and
+        whether the compacted path ran.  The compacted path gathers the kept
+        rows, projects the ``(N_kept, D)`` compact array only and scatters the
+        result back; quantized projections derive their dynamic activation
+        scale from the *full* input so both paths quantize identically.
+        """
+        attn = self.attn
+        n_in = value_input.shape[0]
+        proj = self._value_proj
+        if not self._use_sparse_projection(fmap_mask, n_in):
+            value = proj(value_input).reshape(n_in, attn.num_heads, attn.d_head)
+            return apply_fmap_mask(value, fmap_mask), False
+        kept = np.flatnonzero(fmap_mask)
+        value = np.zeros((n_in, attn.d_model), dtype=FLOAT_DTYPE)
+        if kept.size:
+            if isinstance(proj, QuantizedLinear):
+                value[kept] = proj.forward_rows(value_input, kept)
+            else:
+                value[kept] = proj(value_input[kept])
+        return value.reshape(n_in, attn.num_heads, attn.d_head), True
+
+    def _project_values_batched(
+        self, value_input: np.ndarray, fmap_mask: np.ndarray | None
+    ) -> tuple[np.ndarray, bool]:
+        """Batched value projection under per-image FWP masks.
+
+        The compacted path concatenates the kept rows of every image into one
+        ``(sum_b N_kept_b, D)`` matmul (per-image quantization scales are
+        preserved by :meth:`QuantizedLinear.forward_rows_batched`) and
+        scatters the outputs back into the zero-initialised batch tensor.
+        """
+        attn = self.attn
+        batch, n_in = value_input.shape[0], value_input.shape[1]
+        proj = self._value_proj
+        if not self._use_sparse_projection(fmap_mask, n_in, batched=True):
+            value = self._project_batched(proj, value_input).reshape(
+                batch, n_in, attn.num_heads, attn.d_head
+            )
+            if fmap_mask is not None and not fmap_mask.all():
+                value = value.copy()
+                value[~fmap_mask] = 0
+            return value, False
+        kept = np.flatnonzero(fmap_mask.reshape(-1))
+        value = np.zeros((batch * n_in, attn.d_model), dtype=FLOAT_DTYPE)
+        if kept.size:
+            if isinstance(proj, QuantizedLinear):
+                value[kept] = proj.forward_rows_batched(value_input, kept)
+            else:
+                value[kept] = proj(value_input.reshape(batch * n_in, -1)[kept])
+        return value.reshape(batch, n_in, attn.num_heads, attn.d_head), True
 
     # ---------------------------------------------------------------- forward
 
@@ -242,7 +359,8 @@ class DEFAAttention:
             first block — all pixels are kept by convention and the returned
             stats report ``pixels_kept == pixels_total`` with
             ``mask_applied=False``, even when ``enable_fwp=True``).  For a
-            batch, a ``(B, N_in)`` array of per-image masks.
+            batch, a ``(B, N_in)`` array of per-image masks.  Integer masks
+            are coerced to boolean (non-zero means *keep*).
 
         Batched inputs return a :class:`DEFAAttentionBatchOutput` whose
         per-image records match single-image execution.
@@ -258,13 +376,16 @@ class DEFAAttention:
         n_in = value_input.shape[0]
         if n_in != total_pixels(spatial_shapes):
             raise ValueError("value_input length does not match spatial_shapes")
-        if fmap_mask is not None and fmap_mask.shape[0] != n_in:
-            raise ValueError("fmap_mask length must equal the number of tokens")
+        if fmap_mask is not None:
+            fmap_mask = np.asarray(fmap_mask, dtype=bool)  # accept int/bool masks
+            if fmap_mask.shape[0] != n_in:
+                raise ValueError("fmap_mask length must equal the number of tokens")
 
         # Step 1: attention probabilities + PAP point mask.
-        logits = self._attention_weights(query).reshape(
-            n_q, attn.num_heads, attn.num_levels * attn.num_points
-        )
+        with kernel_section("query_proj"):
+            logits = self._attention_weights(query).reshape(
+                n_q, attn.num_heads, attn.num_levels * attn.num_points
+            )
         shifted = logits - logits.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)
         probs = (exp / exp.sum(axis=-1, keepdims=True)).reshape(
@@ -285,36 +406,51 @@ class DEFAAttention:
             )
 
         # Step 2: sampling offsets of the surviving points + range narrowing.
-        offsets = self._sampling_offsets(query).reshape(
-            n_q, attn.num_heads, attn.num_levels, attn.num_points, 2
-        )
+        with kernel_section("query_proj"):
+            offsets = self._sampling_offsets(query).reshape(
+                n_q, attn.num_heads, attn.num_levels, attn.num_points, 2
+            )
         clipping_fraction = 0.0
         if self.range_narrowing is not None:
             clipping_fraction = self.range_narrowing.clipping_fraction(offsets)
             offsets = self.range_narrowing.clamp_offsets(offsets)
         locations = attn.compute_sampling_locations(reference_points, offsets, spatial_shapes)
 
-        # Step 3: value projection with the FWP mask from the previous block.
-        value = self._value_proj(value_input).reshape(n_in, attn.num_heads, attn.d_head)
-        value = apply_fmap_mask(value, fmap_mask)
+        # Step 3: value projection with the FWP mask from the previous block
+        # (compacted to the kept rows when the sparse path is active).
+        with kernel_section("value_proj"):
+            value, sparse_projection = self._project_values(value_input, fmap_mask)
 
         # Step 4: fused MSGS + aggregation, with frequency counting for FWP.
-        trace = multi_scale_neighbors(spatial_shapes, locations)
-        head_outputs = ms_deform_attn_from_trace(
-            value, trace, pap.attention_weights, point_mask=pap.point_mask
+        with kernel_section("neighbors"):
+            trace = multi_scale_neighbors(spatial_shapes, locations)
+        sparse_gather = use_sparse_gather(
+            pap.point_mask if self.config.enable_pap else None,
+            pap.point_mask.size * 4,
+            self.sparse_mode,
         )
-        if self.config.enable_fwp:
-            frequency = sampled_frequency(trace, point_mask=pap.point_mask)
-            fwp = compute_fmap_mask(frequency, spatial_shapes, self.config.fwp_k)
-        else:
-            fwp = FWPResult(
-                fmap_mask=np.ones(n_in, dtype=bool),
-                thresholds=np.zeros(len(spatial_shapes)),
-                level_keep_fractions=np.ones(len(spatial_shapes)),
+        if sparse_gather:
+            head_outputs = ms_deform_attn_sparse_from_trace(
+                value, trace, pap.attention_weights, point_mask=pap.point_mask
             )
+        else:
+            head_outputs = ms_deform_attn_from_trace(
+                value, trace, pap.attention_weights, point_mask=pap.point_mask
+            )
+        with kernel_section("fwp"):
+            if self.config.enable_fwp:
+                frequency = sampled_frequency(trace, point_mask=pap.point_mask)
+                fwp = compute_fmap_mask(frequency, spatial_shapes, self.config.fwp_k)
+            else:
+                fwp = FWPResult(
+                    fmap_mask=np.ones(n_in, dtype=bool),
+                    thresholds=np.zeros(len(spatial_shapes)),
+                    level_keep_fractions=np.ones(len(spatial_shapes)),
+                )
 
         # Step 5: output projection.
-        output = self._output_proj(head_outputs).astype(FLOAT_DTYPE)
+        with kernel_section("output_proj"):
+            output = self._output_proj(head_outputs).astype(FLOAT_DTYPE)
 
         # First-block convention: with no incoming mask every pixel is kept,
         # so pixels_kept == n_in even when enable_fwp=True (the mask this
@@ -340,6 +476,8 @@ class DEFAAttention:
                 pixels_kept=pixels_kept,
             ),
             mask_applied=fmap_mask is not None,
+            sparse_projection=sparse_projection,
+            sparse_gather=sparse_gather,
         )
         return DEFAAttentionOutput(
             output=output,
@@ -377,9 +515,10 @@ class DEFAAttention:
         # Step 1: attention probabilities (batched) + PAP masks.  PAP is a
         # per-(query, head) operation, so folding the batch axis into the
         # query axis gives per-image-identical masks from one vectorized call.
-        logits = self._project_batched(self._attention_weights, query).reshape(
-            batch, n_q, attn.num_heads, attn.num_levels * attn.num_points
-        )
+        with kernel_section("query_proj"):
+            logits = self._project_batched(self._attention_weights, query).reshape(
+                batch, n_q, attn.num_heads, attn.num_levels * attn.num_points
+            )
         probs = softmax(logits, axis=-1).reshape(
             batch, n_q, attn.num_heads, attn.num_levels, attn.num_points
         )
@@ -408,9 +547,10 @@ class DEFAAttention:
 
         # Step 2: sampling offsets + range narrowing (batched clamp,
         # per-image clipping fractions).
-        offsets = self._project_batched(self._sampling_offsets, query).reshape(
-            batch, n_q, attn.num_heads, attn.num_levels, attn.num_points, 2
-        )
+        with kernel_section("query_proj"):
+            offsets = self._project_batched(self._sampling_offsets, query).reshape(
+                batch, n_q, attn.num_heads, attn.num_levels, attn.num_points, 2
+            )
         clipping_fractions = [0.0] * batch
         if self.range_narrowing is not None:
             clipping_fractions = [
@@ -419,36 +559,47 @@ class DEFAAttention:
             offsets = self.range_narrowing.clamp_offsets(offsets)
         locations = attn.compute_sampling_locations(reference_points, offsets, spatial_shapes)
 
-        # Step 3: value projection with the per-image FWP masks.
-        value = self._project_batched(self._value_proj, value_input).reshape(
-            batch, n_in, attn.num_heads, attn.d_head
-        )
-        if fmap_mask is not None:
-            value = value.copy()
-            value[~fmap_mask] = 0
+        # Step 3: value projection with the per-image FWP masks (compacted
+        # across the batch when the sparse path is active).
+        with kernel_section("value_proj"):
+            value, sparse_projection = self._project_values_batched(value_input, fmap_mask)
 
         # Step 4: fused MSGS + aggregation over the whole batch, then
         # vectorized frequency counting and per-image FWP mask generation.
-        trace = multi_scale_neighbors_batched(spatial_shapes, locations)
-        head_outputs = ms_deform_attn_from_trace_batched(
-            value, trace, attn_weights, point_mask=point_masks
+        with kernel_section("neighbors"):
+            trace = multi_scale_neighbors_batched(spatial_shapes, locations)
+        sparse_gather = use_sparse_gather(
+            point_masks if self.config.enable_pap else None,
+            point_masks[0].size * 4,  # per-image slots: keep batched == single
+            self.sparse_mode,
+            batched=True,
         )
-        image_traces = trace.images()
-        if self.config.enable_fwp:
-            frequency = sampled_frequency_batched(trace, point_mask=point_masks)
-            fwps = compute_fmap_mask_batched(frequency, spatial_shapes, self.config.fwp_k)
+        if sparse_gather:
+            head_outputs = ms_deform_attn_sparse_from_trace_batched(
+                value, trace, attn_weights, point_mask=point_masks
+            )
         else:
-            fwps = [
-                FWPResult(
-                    fmap_mask=np.ones(n_in, dtype=bool),
-                    thresholds=np.zeros(len(spatial_shapes)),
-                    level_keep_fractions=np.ones(len(spatial_shapes)),
-                )
-                for _ in range(batch)
-            ]
+            head_outputs = ms_deform_attn_from_trace_batched(
+                value, trace, attn_weights, point_mask=point_masks
+            )
+        image_traces = trace.images()
+        with kernel_section("fwp"):
+            if self.config.enable_fwp:
+                frequency = sampled_frequency_batched(trace, point_mask=point_masks)
+                fwps = compute_fmap_mask_batched(frequency, spatial_shapes, self.config.fwp_k)
+            else:
+                fwps = [
+                    FWPResult(
+                        fmap_mask=np.ones(n_in, dtype=bool),
+                        thresholds=np.zeros(len(spatial_shapes)),
+                        level_keep_fractions=np.ones(len(spatial_shapes)),
+                    )
+                    for _ in range(batch)
+                ]
 
         # Step 5: output projection (batched).
-        output = self._project_batched(self._output_proj, head_outputs).astype(FLOAT_DTYPE)
+        with kernel_section("output_proj"):
+            output = self._project_batched(self._output_proj, head_outputs).astype(FLOAT_DTYPE)
 
         images: list[DEFAAttentionOutput] = []
         for b in range(batch):
@@ -474,6 +625,8 @@ class DEFAAttention:
                     pixels_kept=pixels_kept,
                 ),
                 mask_applied=mask_b is not None,
+                sparse_projection=sparse_projection,
+                sparse_gather=sparse_gather,
             )
             images.append(
                 DEFAAttentionOutput(

@@ -180,15 +180,22 @@ def encoder_forward_fn(encoder) -> BatchForward:
     return forward
 
 
-def defa_forward_fn(runner) -> BatchForward:
+def defa_forward_fn(runner, sparse_mode: str | None = None) -> BatchForward:
     """Adapt a :class:`~repro.core.encoder_runner.DEFAEncoderRunner`.
 
     Runs the full DEFA algorithm (per-image FWP/PAP mask threading) on each
-    batch and returns the batched encoder memory.
+    batch and returns the batched encoder memory.  ``sparse_mode`` (one of
+    ``"auto"``/``"dense"``/``"sparse"``) sets the runner's execution switch
+    before every batch dispatched through this adapter, so each adapter
+    always runs in its own mode even when several adapters share one runner;
+    the runner is left in that mode afterwards.  ``None`` keeps the runner's
+    current mode.
     """
     cache: dict[ShapeKey, tuple[np.ndarray, np.ndarray]] = {}
 
     def forward(features: np.ndarray, spatial_shapes: list[LevelShape]) -> np.ndarray:
+        if sparse_mode is not None:
+            runner.sparse_mode = sparse_mode
         key = tuple(s.as_tuple() for s in spatial_shapes)
         if key not in cache:
             cache[key] = _positional_inputs(spatial_shapes, runner.encoder.d_model)

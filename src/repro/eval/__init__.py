@@ -4,7 +4,13 @@ from repro.eval.detection_metrics import average_precision, coco_style_map, matc
 from repro.eval.fidelity import FidelityReport, compare_outputs
 from repro.eval.ap_estimator import APEstimate, CalibratedAPEstimator
 from repro.eval.pruning_stats import PruningStatsReport, collect_pruning_stats
-from repro.eval.profiler import LatencyBreakdown, profile_gpu_latency_breakdown
+from repro.eval.profiler import (
+    LatencyBreakdown,
+    SparseSpeedupReport,
+    measure_sparse_speedup,
+    profile_defa_kernel_breakdown,
+    profile_gpu_latency_breakdown,
+)
 
 __all__ = [
     "average_precision",
@@ -18,4 +24,7 @@ __all__ = [
     "collect_pruning_stats",
     "LatencyBreakdown",
     "profile_gpu_latency_breakdown",
+    "SparseSpeedupReport",
+    "measure_sparse_speedup",
+    "profile_defa_kernel_breakdown",
 ]

@@ -21,12 +21,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.gpu import GPUCostModel, GPUSpec, RTX_3090TI
+from repro.core.config import DEFAConfig
+from repro.core.pipeline import DEFAAttention
 from repro.nn.encoder import DeformableEncoder
+from repro.nn.msdeform_attn import MSDeformAttn
 from repro.nn.positional import make_reference_points, sine_positional_encoding
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.rng import as_rng
 from repro.utils.shapes import LevelShape, total_pixels
-from repro.workloads.specs import WorkloadSpec
+from repro.utils.timing import KernelTimings, collect_kernel_timings
+from repro.workloads.specs import WorkloadSpec, get_workload
 
 
 @dataclass(frozen=True)
@@ -168,3 +172,228 @@ def _timed(fn) -> float:
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+# --------------------------------------------------------------------------
+# Sparse-execution profiling
+
+
+@dataclass(frozen=True)
+class SparseSpeedupReport:
+    """Dense-vs-sparse wall clock of one DEFA block at one operating point."""
+
+    workload: str
+    fwp_k: float
+    pap_threshold: float
+    num_tokens: int
+    pixel_reduction: float
+    """Fraction of fmap pixels pruned by the incoming FWP mask."""
+
+    point_reduction: float
+    """Fraction of sampling points pruned by PAP in the timed block."""
+
+    flops_reduction: float
+    """Analytic FLOP reduction of the prunable operators (Fig. 6b metric)."""
+
+    dense_s: float
+    """Best-of-repeats wall clock of the masked-dense block forward."""
+
+    sparse_s: float
+    """Best-of-repeats wall clock of the compacted-kernel block forward."""
+
+    max_abs_diff: float
+    """Max elementwise deviation between the two block outputs."""
+
+    dense_kernels: dict[str, float]
+    """Per-section seconds of one dense forward (projection/gather/...)."""
+
+    sparse_kernels: dict[str, float]
+    """Per-section seconds of one sparse forward."""
+
+    @property
+    def speedup(self) -> float:
+        """Dense-over-sparse wall-clock ratio (> 1 means sparse wins)."""
+        return self.dense_s / self.sparse_s if self.sparse_s > 0 else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly record for the benchmark harness."""
+        return {
+            "workload": self.workload,
+            "fwp_k": self.fwp_k,
+            "pap_threshold": self.pap_threshold,
+            "num_tokens": self.num_tokens,
+            "pixel_reduction": self.pixel_reduction,
+            "point_reduction": self.point_reduction,
+            "flops_reduction": self.flops_reduction,
+            "dense_ms": 1e3 * self.dense_s,
+            "sparse_ms": 1e3 * self.sparse_s,
+            "speedup": self.speedup,
+            "max_abs_diff": self.max_abs_diff,
+            "dense_kernels_ms": {k: 1e3 * v for k, v in self.dense_kernels.items()},
+            "sparse_kernels_ms": {k: 1e3 * v for k, v in self.sparse_kernels.items()},
+        }
+
+
+SPARSE_SWEEP_OPERATING_POINTS: tuple[tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (0.5, 0.01),
+    (0.75, 0.035),
+    (1.0, 0.035),
+    (1.15, 0.05),
+)
+"""Default ``(fwp_k, pap_threshold)`` sweep of the sparse-speedup benchmark.
+
+Reduction grows along the sweep: the paper operating point sits in the
+middle, ``fwp_k = 1.0`` yields roughly the 50 % pixel reduction quoted as the
+benchmark target at the paper scale, and the extremes bracket no pruning and
+aggressive pruning.  ``fwp_k == 0`` disables FWP, ``pap_threshold == 0``
+disables PAP."""
+
+
+def sweep_sparse_speedup(
+    model_name: str = "deformable_detr",
+    scale: str = "paper",
+    operating_points: tuple[tuple[float, float], ...] | None = None,
+    repeats: int = 3,
+    rng_seed: int = 0,
+    quant_bits: int | None = 12,
+) -> list[SparseSpeedupReport]:
+    """Dense-vs-sparse speedup sweep over FWP/PAP operating points.
+
+    Every operating point re-seeds the generator with *rng_seed*, so all
+    points see identical synthetic weights and features and the measured
+    reduction ratios are directly comparable.
+    """
+    workload = get_workload(model_name, scale)
+    points = operating_points if operating_points is not None else SPARSE_SWEEP_OPERATING_POINTS
+    reports = []
+    for fwp_k, pap_threshold in points:
+        config = DEFAConfig(
+            enable_fwp=fwp_k > 0,
+            fwp_k=fwp_k if fwp_k > 0 else 0.75,
+            enable_pap=pap_threshold > 0,
+            pap_threshold=pap_threshold,
+            quant_bits=quant_bits,
+        )
+        reports.append(
+            measure_sparse_speedup(workload, config, repeats=repeats, rng=rng_seed)
+        )
+    return reports
+
+
+def profile_defa_kernel_breakdown(
+    defa: DEFAAttention,
+    query: np.ndarray,
+    reference_points: np.ndarray,
+    value_input: np.ndarray,
+    spatial_shapes: list[LevelShape],
+    fmap_mask: np.ndarray | None = None,
+) -> KernelTimings:
+    """Per-kernel wall-clock breakdown of one DEFA block forward.
+
+    Returns the :class:`~repro.utils.timing.KernelTimings` of a single
+    ``forward_detailed`` call: ``value_proj`` / ``query_proj`` /
+    ``output_proj`` (projections), ``neighbors`` (bilinear index math),
+    ``gather`` and ``aggregate`` (the MSGS hot loop) and ``fwp`` (frequency
+    counting + mask generation).  This is the software-side analogue of the
+    Fig. 1b latency breakdown, available for both execution paths via
+    ``defa.sparse_mode``.
+    """
+    with collect_kernel_timings() as timings:
+        defa.forward_detailed(
+            query, reference_points, value_input, spatial_shapes, fmap_mask=fmap_mask
+        )
+    return timings
+
+
+def measure_sparse_speedup(
+    workload: WorkloadSpec,
+    config: DEFAConfig | None = None,
+    repeats: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> SparseSpeedupReport:
+    """Time one DEFA block in dense vs sparse mode at a pruning operating point.
+
+    Builds an :class:`MSDeformAttn` block at the workload's model geometry,
+    runs a first (unmasked) block to obtain a realistic FWP mask, then times
+    the *second* block — the one that receives the mask — once with
+    ``sparse_mode="dense"`` (pruning simulated by zeroing) and once with
+    ``sparse_mode="sparse"`` (compacted gather/scatter kernels).  Both runs
+    see identical inputs and masks, so ``max_abs_diff`` measures the numeric
+    equivalence of the two paths directly.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    config = config or DEFAConfig()
+    rng = as_rng(rng)
+    shapes = workload.spatial_shapes
+    model = workload.model
+    n_in = workload.num_tokens
+    attn = MSDeformAttn(
+        d_model=model.d_model,
+        num_heads=model.num_heads,
+        num_levels=model.num_levels,
+        num_points=model.num_points,
+        rng=rng,
+    )
+    features = rng.standard_normal((n_in, model.d_model)).astype(FLOAT_DTYPE)
+    pos = sine_positional_encoding(shapes, model.d_model)
+    reference_points = make_reference_points(shapes)
+    query = features + pos
+
+    defa = DEFAAttention(attn, config, sparse_mode="dense")
+    first = defa.forward_detailed(query, reference_points, features, shapes)
+    fmap_mask = first.fmap_mask_next.copy()
+    del first  # release the first block's trace before timing
+
+    def run_dense():
+        defa.sparse_mode = "dense"
+        return defa.forward_detailed(
+            query, reference_points, features, shapes, fmap_mask=fmap_mask
+        )
+
+    def run_sparse():
+        defa.sparse_mode = "sparse"
+        return defa.forward_detailed(
+            query, reference_points, features, shapes, fmap_mask=fmap_mask
+        )
+
+    dense_out = run_dense()  # warm-up + reference
+    sparse_out = run_sparse()
+    max_abs_diff = float(np.max(np.abs(dense_out.output - sparse_out.output)))
+    stats = dense_out.stats
+    del dense_out, sparse_out  # release the big traces before timing
+
+    # Interleave the repeats: wall-clock on a shared host drifts in "eras"
+    # (allocator/page-cache state), and alternating the two paths exposes
+    # both to the same conditions so the best-of ratio stays meaningful.
+    dense_times, sparse_times = [], []
+    for _ in range(repeats):
+        dense_times.append(_timed(run_dense))
+        sparse_times.append(_timed(run_sparse))
+    dense_s = min(dense_times)
+    sparse_s = min(sparse_times)
+
+    defa.sparse_mode = "dense"
+    dense_kernels = profile_defa_kernel_breakdown(
+        defa, query, reference_points, features, shapes, fmap_mask=fmap_mask
+    )
+    defa.sparse_mode = "sparse"
+    sparse_kernels = profile_defa_kernel_breakdown(
+        defa, query, reference_points, features, shapes, fmap_mask=fmap_mask
+    )
+
+    return SparseSpeedupReport(
+        workload=workload.name,
+        fwp_k=config.fwp_k if config.enable_fwp else 0.0,
+        pap_threshold=config.pap_threshold if config.enable_pap else 0.0,
+        num_tokens=n_in,
+        pixel_reduction=stats.pixel_reduction,
+        point_reduction=stats.point_reduction,
+        flops_reduction=stats.flops_reduction,
+        dense_s=dense_s,
+        sparse_s=sparse_s,
+        max_abs_diff=max_abs_diff,
+        dense_kernels=dict(dense_kernels.seconds),
+        sparse_kernels=dict(sparse_kernels.seconds),
+    )

@@ -1,15 +1,24 @@
 """Bilinear grid-sampling kernels for multi-scale deformable attention.
 
-Two code paths are provided:
+Three code paths are provided:
 
 * a vectorized NumPy path used by the NN substrate
-  (:func:`bilinear_sample_level`, :func:`ms_deform_attn_core`), and
+  (:func:`bilinear_sample_level`, :func:`ms_deform_attn_core`),
 * an index-level path (:func:`bilinear_neighbors`,
   :func:`multi_scale_neighbors`) that exposes the integer neighbour pixels and
   interpolation weights of every sampling point.  The index-level path is what
   FWP frequency counting, the bank-conflict simulator and the fmap-reuse
   tracker consume — it corresponds to the memory accesses the accelerator
-  actually performs.
+  actually performs, and
+* a *sparse* path (:func:`ms_deform_attn_core_sparse`,
+  :func:`ms_deform_attn_sparse_from_trace` and their batched variants) that
+  compacts the PAP point mask **before** the bilinear gather: surviving
+  points are gathered into a dense ``(N_kept, ...)`` work set, only their
+  neighbours are fetched from the value array, and the contributions are
+  accumulated back into the per-(query, head) outputs with a segment sum.
+  This is the software analogue of the accelerator skipping pruned points
+  entirely — it turns the pruning ratio into wall-clock speedup instead of
+  multiplying gathered values by zero.
 
 Coordinate convention: sampling locations are normalized to ``[0, 1]`` in
 ``(x, y)`` order (as in Deformable DETR).  They are mapped to pixel
@@ -25,6 +34,7 @@ import numpy as np
 
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.shapes import LevelShape, level_start_indices
+from repro.utils.timing import kernel_section
 
 
 def bilinear_neighbors(
@@ -241,10 +251,16 @@ def _neighbors_arrays(
     rows, cols, weights, valid, safe_flat = _batched_neighbors(
         spatial_shapes, sampling_locations
     )
-    flat = np.where(valid, safe_flat, -1)
+    # Mark invalid neighbours in place: safe_flat is freshly allocated here,
+    # and scattering -1 into the (few) out-of-bounds slots is cheaper than a
+    # full np.where copy of the ~N_q*N_h*N_l*N_p*4 index array.
+    safe_flat[~valid] = -1
+    flat = safe_flat
+    # Read-only broadcast view: every consumer only indexes/compares levels,
+    # and skipping the materialised copy keeps trace construction lean.
     levels = np.broadcast_to(
         np.arange(n_l, dtype=np.int64)[:, None], sampling_locations.shape[:-1]
-    ).copy()
+    )
     return levels, rows, cols, flat, weights, valid
 
 
@@ -282,26 +298,26 @@ def multi_scale_neighbors(
     )
 
 
-def _batched_neighbors(
-    spatial_shapes: list[LevelShape], sampling_locations: np.ndarray
+def _neighbor_grid(
+    x: np.ndarray,
+    y: np.ndarray,
+    heights: np.ndarray,
+    widths: np.ndarray,
+    starts: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Level-vectorized neighbour computation over arbitrary leading axes.
+    """Shared bilinear neighbour/weight/index math of the dense and sparse paths.
 
-    ``sampling_locations`` has shape ``(..., N_l, N_p, 2)``.  There is no
-    per-level Python loop: the level sizes enter as broadcast arrays, so one
-    pass of elementwise ops covers the whole batch.  The float32 expressions
-    match :func:`bilinear_neighbors` exactly, so the results are
-    bit-identical to sampling each level separately.
+    ``x``/``y`` are pixel-space coordinates of arbitrary shape ``S``;
+    ``heights``/``widths``/``starts`` are ``int64`` arrays broadcastable
+    against the ``S + (4,)`` neighbour stacks (per-level rows in the dense
+    trace path, per-point columns in the compacted path).  The float32
+    expressions match :func:`bilinear_neighbors` exactly, so results are
+    bit-identical however the leading axes are organised.
 
     Returns ``(rows, cols, weights, valid, safe_flat)`` where ``safe_flat``
     holds in-bounds *global* token indices (out-of-bounds neighbours are
     clamped, not ``-1`` — pair with ``valid`` to mask them).
     """
-    n_l = len(spatial_shapes)
-    widths = np.array([s.width for s in spatial_shapes], dtype=FLOAT_DTYPE).reshape(n_l, 1)
-    heights = np.array([s.height for s in spatial_shapes], dtype=FLOAT_DTYPE).reshape(n_l, 1)
-    x = sampling_locations[..., 0] * widths - 0.5  # (..., N_l, N_p)
-    y = sampling_locations[..., 1] * heights - 0.5
     x0 = np.floor(x).astype(np.int64)
     y0 = np.floor(y).astype(np.int64)
     t1 = (x - x0).astype(FLOAT_DTYPE)
@@ -315,15 +331,36 @@ def _batched_neighbors(
     w3 = t1 * t0
     weights = np.stack([w0, w1, w2, w3], axis=-1).astype(FLOAT_DTYPE)
 
+    valid = (rows >= 0) & (rows < heights) & (cols >= 0) & (cols < widths)
+    # minimum/maximum instead of np.clip — identical results, lower overhead.
+    rows_c = np.minimum(np.maximum(rows, 0), heights - 1)
+    cols_c = np.minimum(np.maximum(cols, 0), widths - 1)
+    safe_flat = starts + rows_c * widths + cols_c
+    return rows, cols, weights, valid, safe_flat
+
+
+def _batched_neighbors(
+    spatial_shapes: list[LevelShape], sampling_locations: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Level-vectorized neighbour computation over arbitrary leading axes.
+
+    ``sampling_locations`` has shape ``(..., N_l, N_p, 2)``.  There is no
+    per-level Python loop: the level sizes enter as broadcast arrays, so one
+    pass of elementwise ops covers the whole batch and the results are
+    bit-identical to sampling each level separately.
+
+    Returns ``(rows, cols, weights, valid, safe_flat)`` — see
+    :func:`_neighbor_grid`.
+    """
+    n_l = len(spatial_shapes)
+    widths = np.array([s.width for s in spatial_shapes], dtype=FLOAT_DTYPE).reshape(n_l, 1)
+    heights = np.array([s.height for s in spatial_shapes], dtype=FLOAT_DTYPE).reshape(n_l, 1)
+    x = sampling_locations[..., 0] * widths - 0.5  # (..., N_l, N_p)
+    y = sampling_locations[..., 1] * heights - 0.5
     hi = np.array([s.height for s in spatial_shapes], dtype=np.int64).reshape(n_l, 1, 1)
     wi = np.array([s.width for s in spatial_shapes], dtype=np.int64).reshape(n_l, 1, 1)
     starts = np.array(level_start_indices(spatial_shapes), dtype=np.int64).reshape(n_l, 1, 1)
-    valid = (rows >= 0) & (rows < hi) & (cols >= 0) & (cols < wi)
-    # minimum/maximum instead of np.clip — identical results, lower overhead.
-    rows_c = np.minimum(np.maximum(rows, 0), hi - 1)
-    cols_c = np.minimum(np.maximum(cols, 0), wi - 1)
-    safe_flat = starts + rows_c * wi + cols_c
-    return rows, cols, weights, valid, safe_flat
+    return _neighbor_grid(x, y, hi, wi, starts)
 
 
 def multi_scale_neighbors_batched(
@@ -449,8 +486,10 @@ def ms_deform_attn_from_trace(
     for h in range(n_h):
         idx = flat[:, h].reshape(n_q, -1)  # (N_q, N_l*N_p*4)
         w = combined[:, h].reshape(n_q, -1)
-        gathered = value[idx, h]  # (N_q, N_l*N_p*4, D_h)
-        output[:, h] = np.einsum("qkc,qk->qc", gathered, w)
+        with kernel_section("gather"):
+            gathered = value[idx, h]  # (N_q, N_l*N_p*4, D_h)
+        with kernel_section("aggregate"):
+            output[:, h] = np.einsum("qkc,qk->qc", gathered, w)
     return output.reshape(n_q, n_h * d_h)
 
 
@@ -524,10 +563,12 @@ def ms_deform_attn_core_batched(
     output = np.empty((batch, n_q, n_h, d_h), dtype=FLOAT_DTYPE)
     for start in range(0, n_q, chunk):
         sl = slice(start, start + chunk)
-        idx = (b_off + safe_flat[:, sl]) * n_h + h_off
-        gathered = np.take(value_flat, idx, axis=0)  # (B, q, N_h, N_l, N_p, 4, D_h)
-        sampled = np.einsum("bqhlpnc,bqhlpn->bqhlpc", gathered, effective[:, sl])
-        output[:, sl] = np.einsum("bqhlpc,bqhlp->bqhc", sampled, effective_weights[:, sl])
+        with kernel_section("gather"):
+            idx = (b_off + safe_flat[:, sl]) * n_h + h_off
+            gathered = np.take(value_flat, idx, axis=0)  # (B, q, N_h, N_l, N_p, 4, D_h)
+        with kernel_section("aggregate"):
+            sampled = np.einsum("bqhlpnc,bqhlpn->bqhlpc", gathered, effective[:, sl])
+            output[:, sl] = np.einsum("bqhlpc,bqhlp->bqhc", sampled, effective_weights[:, sl])
     return output.reshape(batch, n_q, n_h * d_h)
 
 
@@ -572,7 +613,420 @@ def ms_deform_attn_from_trace_batched(
     output = np.empty((batch, n_q, n_h, d_h), dtype=FLOAT_DTYPE)
     for start in range(0, n_q, chunk):
         sl = slice(start, start + chunk)
-        idx = (b_off + flat[:, sl]) * n_h + h_off
-        gathered = np.take(value_flat, idx, axis=0)  # (B, q, N_h, K, D_h)
-        output[:, sl] = np.einsum("bqhkc,bqhk->bqhc", gathered, combined[:, sl])
+        with kernel_section("gather"):
+            idx = (b_off + flat[:, sl]) * n_h + h_off
+            gathered = np.take(value_flat, idx, axis=0)  # (B, q, N_h, K, D_h)
+        with kernel_section("aggregate"):
+            output[:, sl] = np.einsum("bqhkc,bqhk->bqhc", gathered, combined[:, sl])
     return output.reshape(batch, n_q, n_h * d_h)
+
+
+# --------------------------------------------------------------------------
+# Sparse (compacted gather/scatter) execution path
+#
+# The dense kernels above *simulate* PAP pruning by multiplying attention
+# weights with the point mask — every pruned point is still gathered and
+# multiplied by zero.  The kernels below drop pruned points before any memory
+# traffic happens: surviving points are compacted into a flat work set, one
+# gather fetches exactly their neighbour value rows, an einsum folds the four
+# bilinear neighbours of each point, and a segment sum scatters the per-point
+# contributions back into the (query, head) output slots.  Results match the
+# dense kernels to float32 rounding (the same terms are summed, minus exact
+# zeros), which the equivalence tests pin at 1e-5.
+
+SPARSE_MODES = ("auto", "dense", "sparse")
+"""Valid values of the ``sparse_mode`` execution switch, shared by every
+layer that exposes it (kernels here, :class:`repro.core.pipeline.
+DEFAAttention`, the encoder runner and the engine adapters).
+
+* ``"dense"`` — the original masked-dense kernels: pruned value rows are
+  zeroed after a full projection and pruned points are multiplied by zero in
+  the gather.  Pruning changes numerics only, never wall clock.
+* ``"sparse"`` — always run the compacted gather/scatter kernels whenever a
+  mask is available (useful for tests and benchmarks).
+* ``"auto"`` — pick sparse per stage when the measured reduction ratio and
+  the problem size clear the thresholds below (dense wins at low reduction
+  and on tiny inputs, where compaction overhead dominates).
+"""
+
+SPARSE_AUTO_POINT_KEEP_MAX = 0.70
+"""``auto`` sparse dispatch: use the sparse gather when at most this fraction
+of sampling points survives the PAP mask.  Above it, the compaction overhead
+(flatnonzero + segment bookkeeping) outweighs the avoided gather traffic."""
+
+SPARSE_AUTO_MIN_SLOTS = 32768
+"""``auto`` sparse dispatch: minimum number of *per-image* gather slots
+(``N_q * N_h * N_l * N_p * 4``) before the sparse path can win — below it,
+fixed per-call overhead dominates and dense is faster.  Deliberately counted
+per image, not per batch: batched and single-image execution must make the
+same dense/sparse decision, otherwise quantized configs could amplify the
+float32 rounding difference between the two kernels into a full quantization
+step and break batched-vs-serial equivalence."""
+
+_SPARSE_CONTRIB_BUDGET_BYTES = 8 * 1024 * 1024
+"""Upper bound on the compacted ``(N_kept, D_h)`` contribution block per
+chunk, mirroring the cache-size chunking of the dense kernels."""
+
+
+def use_sparse_gather(
+    point_mask: np.ndarray | None,
+    slots_per_image: int,
+    sparse_mode: str,
+    batched: bool = False,
+) -> bool:
+    """Shared dispatch rule of the ``sparse_mode`` switch for point gathering.
+
+    ``sparse_mode`` is one of ``"dense"``, ``"sparse"`` or ``"auto"``; the
+    auto rule compares the point keep-fraction against
+    :data:`SPARSE_AUTO_POINT_KEEP_MAX` and requires at least
+    :data:`SPARSE_AUTO_MIN_SLOTS` *per-image* gather slots
+    (``slots_per_image`` must not include the batch axis).
+
+    With ``batched=True`` the leading axis of ``point_mask`` is the image
+    axis and the keep-fraction test applies to the *maximum* per-image
+    fraction: a batch goes sparse only when every image alone would.  This
+    mirrors the per-image slot counting — the batched and single-image runs
+    must make the same decision wherever possible, otherwise quantized
+    configs amplify the float32 rounding difference between the two kernels
+    into a quantization step and break batched-vs-serial equivalence.
+    """
+    if sparse_mode not in SPARSE_MODES:
+        raise ValueError(f"sparse_mode must be one of {SPARSE_MODES}, got {sparse_mode!r}")
+    if sparse_mode == "dense":
+        return False
+    if sparse_mode == "sparse":
+        return True
+    if point_mask is None or slots_per_image < SPARSE_AUTO_MIN_SLOTS:
+        return False
+    if batched:
+        batch = point_mask.shape[0]
+        per_image = np.count_nonzero(point_mask.reshape(batch, -1), axis=1)
+        keep_fraction = float(per_image.max()) / max(point_mask[0].size, 1)
+    else:
+        keep_fraction = np.count_nonzero(point_mask) / max(point_mask.size, 1)
+    return keep_fraction <= SPARSE_AUTO_POINT_KEEP_MAX
+
+
+def _segment_sum_into(out: np.ndarray, contrib: np.ndarray, seg: np.ndarray) -> None:
+    """Accumulate ``contrib`` rows into ``out[seg]`` for *sorted* segment ids.
+
+    ``seg`` must be non-decreasing (compaction via ``np.flatnonzero``
+    guarantees it).  Implemented with one ``np.add.reduceat`` over the starts
+    of the non-empty segments — orders of magnitude faster than ``np.add.at``
+    and exact up to float summation order.
+    """
+    if contrib.shape[0] == 0:
+        return
+    first = int(seg[0])
+    last = int(seg[-1])
+    counts = np.bincount(seg - first, minlength=last - first + 1)
+    nonempty = counts > 0
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    # Non-empty segment starts are strictly increasing, and the rows between
+    # two consecutive ones belong to exactly the earlier segment (empty
+    # segments contribute no rows), so reduceat sums each segment exactly.
+    sums = np.add.reduceat(contrib, starts[nonempty], axis=0)
+    out[first : last + 1][nonempty] += sums
+
+
+def _sparse_gather_aggregate(
+    value_flat: np.ndarray,
+    flat_indices: np.ndarray,
+    effective_weights: np.ndarray,
+    point_mask: np.ndarray | None,
+    attn: np.ndarray,
+    *,
+    batch: int,
+    n_q: int,
+    n_in: int,
+) -> np.ndarray:
+    """Compacted gather + segment-sum aggregation over kept sampling points.
+
+    Compaction happens at *point* granularity: the four neighbours of a kept
+    point are gathered as one ``(4, D_h)`` block and reduced with an einsum,
+    so the segment sum only sees one row per surviving point (4x fewer rows
+    than per-neighbour compaction — the segment sum is the serial part of the
+    kernel, the einsum is vectorized).
+
+    Parameters
+    ----------
+    value_flat:
+        ``(B * N_in * N_h, D_h)`` value rows on the flat (batch, token, head)
+        axis.
+    flat_indices:
+        ``(B, N_q, N_h, N_l, N_p, 4)`` neighbour token indices (``-1`` where
+        out of bounds; clamped before the gather, their weight is zero).
+    effective_weights:
+        ``(B, N_q, N_h, N_l, N_p, 4)`` bilinear weights with out-of-bounds
+        neighbours already zeroed (``weights * valid``).
+    point_mask:
+        ``(B, N_q, N_h, N_l, N_p)`` keep flags, or ``None`` for all points.
+    attn:
+        ``(B, N_q, N_h, N_l, N_p)`` attention probabilities.
+
+    Returns
+    -------
+    ``(B * N_q * N_h, D_h)`` aggregated head outputs.
+    """
+    d_h = value_flat.shape[1]
+    n_h = flat_indices.shape[2]
+    points_per_head = flat_indices.shape[3] * flat_indices.shape[4]  # N_l * N_p
+    rows = batch * n_q
+    points_per_row = n_h * points_per_head
+    flat2 = np.ascontiguousarray(flat_indices).reshape(rows * points_per_row, 4)
+    w2 = np.ascontiguousarray(effective_weights).reshape(rows * points_per_row, 4)
+    attn2 = np.ascontiguousarray(attn).reshape(rows * points_per_row)
+    keep2 = None if point_mask is None else point_mask.reshape(rows * points_per_row)
+
+    output = np.zeros((rows * n_h, d_h), dtype=FLOAT_DTYPE)
+    budget_points = max(_SPARSE_CONTRIB_BUDGET_BYTES // (4 * 4 * max(d_h, 1)), 1)
+    chunk = max(1, min(rows, budget_points // max(points_per_row, 1)))
+    for start in range(0, rows, chunk):
+        stop = min(start + chunk, rows)
+        lo, hi = start * points_per_row, stop * points_per_row
+        with kernel_section("gather"):
+            if keep2 is None:
+                kept = np.arange(hi - lo, dtype=np.int64)
+            else:
+                kept = np.flatnonzero(keep2[lo:hi])
+            if kept.size == 0:
+                continue
+            seg = kept // points_per_head  # local (row * N_h + head) segment id
+            head = seg % n_h
+            token = flat2[lo:hi][kept]  # (N_kept, 4)
+            np.maximum(token, 0, out=token)  # clamp -1 slots (weight is zero)
+            if batch > 1:
+                image = (start + seg // n_h) // n_q
+                gather_idx = ((image[:, None] * n_in) + token) * n_h + head[:, None]
+            else:
+                gather_idx = token * n_h + head[:, None]
+            gathered = value_flat[gather_idx]  # (N_kept, 4, D_h)
+        with kernel_section("aggregate"):
+            w_kept = w2[lo:hi][kept] * attn2[lo:hi][kept][:, None]  # (N_kept, 4)
+            contrib = np.einsum("kfc,kf->kc", gathered, w_kept)
+            _segment_sum_into(output[start * n_h : stop * n_h], contrib, seg)
+    return output
+
+
+def ms_deform_attn_sparse_from_trace(
+    value: np.ndarray,
+    trace: SamplingTrace,
+    attention_weights: np.ndarray,
+    point_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sparse equivalent of :func:`ms_deform_attn_from_trace`.
+
+    PAP-pruned points (and out-of-bounds neighbours) are dropped *before* the
+    value gather: only surviving neighbour slots touch memory, and their
+    weighted contributions are accumulated with a segment sum.  Matches the
+    dense kernel to float32 rounding; the speedup grows with the pruned
+    fraction.
+    """
+    value = np.asarray(value, dtype=FLOAT_DTYPE)
+    if value.ndim != 3:
+        raise ValueError("value must have shape (N_in, N_h, D_h)")
+    n_in, n_h, d_h = value.shape
+    n_q = trace.num_queries
+    attn = np.asarray(attention_weights, dtype=FLOAT_DTYPE)
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != attn.shape:
+            raise ValueError("point_mask shape must match attention_weights")
+    effective = trace.weights * trace.valid.astype(FLOAT_DTYPE)
+    value_flat = np.ascontiguousarray(value).reshape(n_in * n_h, d_h)
+    output = _sparse_gather_aggregate(
+        value_flat,
+        trace.flat_indices[None],
+        effective[None],
+        None if point_mask is None else point_mask[None],
+        attn[None],
+        batch=1,
+        n_q=n_q,
+        n_in=n_in,
+    )
+    return output.reshape(n_q, n_h * d_h)
+
+
+def ms_deform_attn_sparse_from_trace_batched(
+    value: np.ndarray,
+    trace: BatchedSamplingTrace,
+    attention_weights: np.ndarray,
+    point_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched variant of :func:`ms_deform_attn_sparse_from_trace`.
+
+    ``value`` has shape ``(B, N_in, N_h, D_h)``; image ``b`` of the result
+    equals the single-image sparse kernel on ``trace.image(b)`` exactly (the
+    compaction order is per-image contiguous).
+    """
+    value = np.asarray(value, dtype=FLOAT_DTYPE)
+    if value.ndim != 4:
+        raise ValueError("value must have shape (B, N_in, N_h, D_h)")
+    batch, n_in, n_h, d_h = value.shape
+    if trace.batch_size != batch:
+        raise ValueError("trace batch size must match value")
+    n_q = trace.num_queries
+    attn = np.asarray(attention_weights, dtype=FLOAT_DTYPE)
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != attn.shape:
+            raise ValueError("point_mask shape must match attention_weights")
+    effective = trace.weights * trace.valid.astype(FLOAT_DTYPE)
+    value_flat = np.ascontiguousarray(value).reshape(batch * n_in * n_h, d_h)
+    output = _sparse_gather_aggregate(
+        value_flat,
+        trace.flat_indices,
+        effective,
+        point_mask,
+        attn,
+        batch=batch,
+        n_q=n_q,
+        n_in=n_in,
+    )
+    return output.reshape(batch, n_q, n_h * d_h)
+
+
+def _core_sparse_impl(
+    value: np.ndarray,
+    spatial_shapes: list[LevelShape],
+    sampling_locations: np.ndarray,
+    attention_weights: np.ndarray,
+    point_mask: np.ndarray | None,
+    batch: int,
+) -> np.ndarray:
+    """Compact-before-neighbours sparse core shared by single/batched entry points.
+
+    All arrays carry a leading batch axis (``batch == 1`` for single images).
+    Unlike the from-trace sparse kernels, pruned points here skip even the
+    bilinear *neighbour computation*: sampling locations are compacted first,
+    neighbour/weight math runs on the ``(N_kept, ...)`` survivors only.
+    """
+    b, n_in, n_h, d_h = value.shape
+    _, n_q, _, n_l, n_p, _ = sampling_locations.shape
+    points_per_qh = n_l * n_p
+    total_points = batch * n_q * n_h * points_per_qh
+
+    if point_mask is None:
+        kept = np.arange(total_points, dtype=np.int64)
+    else:
+        kept = np.flatnonzero(np.asarray(point_mask, dtype=bool).reshape(-1))
+
+    widths = np.array([s.width for s in spatial_shapes], dtype=FLOAT_DTYPE)
+    heights = np.array([s.height for s in spatial_shapes], dtype=FLOAT_DTYPE)
+    hi = np.array([s.height for s in spatial_shapes], dtype=np.int64)
+    wi = np.array([s.width for s in spatial_shapes], dtype=np.int64)
+    starts = np.array(level_start_indices(spatial_shapes), dtype=np.int64)
+
+    loc_flat = np.ascontiguousarray(sampling_locations).reshape(total_points, 2)
+    attn_flat = np.ascontiguousarray(attention_weights).reshape(total_points)
+    value_flat = np.ascontiguousarray(value).reshape(b * n_in * n_h, d_h)
+
+    output = np.zeros((batch * n_q * n_h, d_h), dtype=FLOAT_DTYPE)
+    chunk = max(1, _SPARSE_CONTRIB_BUDGET_BYTES // (4 * 4 * max(d_h, 1)))
+    for lo in range(0, kept.size, chunk):
+        idx = kept[lo : lo + chunk]
+        with kernel_section("gather"):
+            lvl = (idx // n_p) % n_l
+            loc = loc_flat[idx]
+            # Same bilinear math as the dense trace path, on survivors only.
+            x = loc[:, 0] * widths[lvl] - 0.5
+            y = loc[:, 1] * heights[lvl] - 0.5
+            _, _, weights, valid, flat = _neighbor_grid(
+                x, y, hi[lvl][:, None], wi[lvl][:, None], starts[lvl][:, None]
+            )  # (K, 4) each
+            seg = idx // points_per_qh  # global (image * N_q + query) * N_h + head
+            head = seg % n_h
+            if batch > 1:
+                image = seg // (n_q * n_h)
+                gather_idx = ((image[:, None] * n_in) + flat) * n_h + head[:, None]
+            else:
+                gather_idx = flat * n_h + head[:, None]
+            gathered = value_flat[gather_idx]  # (K, 4, D_h)
+        with kernel_section("aggregate"):
+            w4 = weights * valid.astype(FLOAT_DTYPE) * attn_flat[idx][:, None]
+            contrib = np.einsum("kfc,kf->kc", gathered, w4)
+            _segment_sum_into(output, contrib, seg)
+    return output
+
+
+def ms_deform_attn_core_sparse(
+    value: np.ndarray,
+    spatial_shapes: list[LevelShape],
+    sampling_locations: np.ndarray,
+    attention_weights: np.ndarray,
+    point_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sparse equivalent of :func:`ms_deform_attn_core`.
+
+    The ``(N_q, N_h, N_l, N_p)`` point set is compacted with the PAP mask
+    before any per-point work: pruned points skip the bilinear neighbour
+    computation *and* the value gather entirely.  Matches the dense kernel to
+    float32 rounding.
+    """
+    value = np.asarray(value, dtype=FLOAT_DTYPE)
+    if value.ndim != 3:
+        raise ValueError("value must have shape (N_in, N_h, D_h)")
+    sampling_locations = np.asarray(sampling_locations, dtype=FLOAT_DTYPE)
+    if sampling_locations.ndim != 5 or sampling_locations.shape[-1] != 2:
+        raise ValueError("sampling_locations must have shape (N_q, N_h, N_l, N_p, 2)")
+    attention_weights = np.asarray(attention_weights, dtype=FLOAT_DTYPE)
+    if attention_weights.shape != sampling_locations.shape[:-1]:
+        raise ValueError("attention_weights shape must match sampling_locations[:-1]")
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != attention_weights.shape:
+            raise ValueError("point_mask shape must match attention_weights")
+    n_in = value.shape[0]
+    expected = sum(s.num_pixels for s in spatial_shapes)
+    if n_in != expected:
+        raise ValueError(f"value has {n_in} tokens but spatial shapes sum to {expected}")
+    n_q, n_h = sampling_locations.shape[0], sampling_locations.shape[1]
+    output = _core_sparse_impl(
+        value[None],
+        spatial_shapes,
+        sampling_locations[None],
+        attention_weights[None],
+        None if point_mask is None else point_mask[None],
+        batch=1,
+    )
+    return output.reshape(n_q, n_h * value.shape[2])
+
+
+def ms_deform_attn_core_sparse_batched(
+    value: np.ndarray,
+    spatial_shapes: list[LevelShape],
+    sampling_locations: np.ndarray,
+    attention_weights: np.ndarray,
+    point_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched variant of :func:`ms_deform_attn_core_sparse`.
+
+    Shapes follow :func:`ms_deform_attn_core_batched` (leading batch axis);
+    the batch folds into the compacted point axis, so one kernel pass serves
+    the whole batch.
+    """
+    value = np.asarray(value, dtype=FLOAT_DTYPE)
+    if value.ndim != 4:
+        raise ValueError("value must have shape (B, N_in, N_h, D_h)")
+    sampling_locations = np.asarray(sampling_locations, dtype=FLOAT_DTYPE)
+    if sampling_locations.ndim != 6 or sampling_locations.shape[-1] != 2:
+        raise ValueError("sampling_locations must have shape (B, N_q, N_h, N_l, N_p, 2)")
+    attention_weights = np.asarray(attention_weights, dtype=FLOAT_DTYPE)
+    if attention_weights.shape != sampling_locations.shape[:-1]:
+        raise ValueError("attention_weights shape must match sampling_locations[:-1]")
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != attention_weights.shape:
+            raise ValueError("point_mask shape must match attention_weights")
+    batch, n_in = value.shape[0], value.shape[1]
+    expected = sum(s.num_pixels for s in spatial_shapes)
+    if n_in != expected:
+        raise ValueError(f"value has {n_in} tokens but spatial shapes sum to {expected}")
+    if sampling_locations.shape[0] != batch:
+        raise ValueError("sampling_locations batch axis must match value")
+    n_q, n_h = sampling_locations.shape[1], sampling_locations.shape[2]
+    output = _core_sparse_impl(
+        value, spatial_shapes, sampling_locations, attention_weights, point_mask, batch=batch
+    )
+    return output.reshape(batch, n_q, n_h * value.shape[3])

@@ -32,9 +32,14 @@ from repro.nn.grid_sample import (
     SamplingTrace,
     ms_deform_attn_core,
     ms_deform_attn_core_batched,
+    ms_deform_attn_core_sparse,
+    ms_deform_attn_core_sparse_batched,
     ms_deform_attn_from_trace_batched,
+    ms_deform_attn_sparse_from_trace,
+    ms_deform_attn_sparse_from_trace_batched,
     multi_scale_neighbors,
     multi_scale_neighbors_batched,
+    use_sparse_gather,
 )
 from repro.nn.modules import Linear, Module
 from repro.nn.tensor_utils import FLOAT_DTYPE, softmax
@@ -217,6 +222,8 @@ class MSDeformAttn(Module):
         value_input: np.ndarray,
         spatial_shapes: list[LevelShape],
         with_trace: bool = False,
+        point_mask: np.ndarray | None = None,
+        sparse_mode: str = "auto",
     ) -> MSDeformAttnOutput:
         """Full forward pass returning intermediates.
 
@@ -235,6 +242,18 @@ class MSDeformAttn(Module):
             Pyramid level shapes whose pixel counts sum to ``N_in``.
         with_trace:
             If ``True``, also compute the integer sampling trace.
+        point_mask:
+            Optional boolean keep-mask of shape ``(N_q, N_h, N_l, N_p)``
+            (batched: with a leading ``B``); ``False`` points contribute
+            nothing, as under PAP pruning.
+        sparse_mode:
+            ``"auto"`` (default), ``"dense"`` or ``"sparse"`` — whether a
+            supplied ``point_mask`` executes through the compacted
+            (pruned-points-dropped-before-gather) kernels.  Under ``"auto"``
+            the dense kernels always run when no mask is given, so existing
+            callers are unchanged; ``"sparse"`` forces the compacted kernels
+            even without a mask (all points kept — useful for testing and
+            benchmarking the kernels themselves).
 
         Batched inputs take the fully vectorized kernels (no per-image Python
         loop); every field of the result gains a leading batch axis and the
@@ -260,21 +279,50 @@ class MSDeformAttn(Module):
         offsets = self.project_sampling_offsets(query)
         locations = self.compute_sampling_locations(reference_points, offsets, spatial_shapes)
 
+        if point_mask is not None:
+            point_mask = np.asarray(point_mask, dtype=bool)
+            if point_mask.shape != attention.shape:
+                raise ValueError("point_mask shape must match the attention weights")
+        slots_per_image = (attention[0].size if batched else attention.size) * 4
+        sparse = use_sparse_gather(point_mask, slots_per_image, sparse_mode, batched=batched)
+
         trace = None
         if batched:
             if with_trace:
                 # Build the trace once and reuse it for the kernel — the
                 # neighbour computation is the non-gather setup cost.
                 trace = multi_scale_neighbors_batched(spatial_shapes, locations)
-                head_outputs = ms_deform_attn_from_trace_batched(value, trace, attention)
+                if sparse:
+                    head_outputs = ms_deform_attn_sparse_from_trace_batched(
+                        value, trace, attention, point_mask=point_mask
+                    )
+                else:
+                    head_outputs = ms_deform_attn_from_trace_batched(
+                        value, trace, attention, point_mask=point_mask
+                    )
+            elif sparse:
+                head_outputs = ms_deform_attn_core_sparse_batched(
+                    value, spatial_shapes, locations, attention, point_mask=point_mask
+                )
             else:
                 head_outputs = ms_deform_attn_core_batched(
-                    value, spatial_shapes, locations, attention
+                    value, spatial_shapes, locations, attention, point_mask=point_mask
                 )
         else:
-            head_outputs = ms_deform_attn_core(value, spatial_shapes, locations, attention)
             if with_trace:
                 trace = multi_scale_neighbors(spatial_shapes, locations)
+            if sparse and trace is not None:
+                head_outputs = ms_deform_attn_sparse_from_trace(
+                    value, trace, attention, point_mask=point_mask
+                )
+            elif sparse:
+                head_outputs = ms_deform_attn_core_sparse(
+                    value, spatial_shapes, locations, attention, point_mask=point_mask
+                )
+            else:
+                head_outputs = ms_deform_attn_core(
+                    value, spatial_shapes, locations, attention, point_mask=point_mask
+                )
         output = self.output_proj(head_outputs)
         return MSDeformAttnOutput(
             output=output.astype(FLOAT_DTYPE),

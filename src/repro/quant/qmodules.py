@@ -60,6 +60,41 @@ class QuantizedLinear(Module):
             out = out + self.inner.bias
         return out
 
+    def activation_scale_max_abs(self, x: np.ndarray) -> float | np.ndarray:
+        """The max-abs that :meth:`forward` would quantize *x* with.
+
+        Either the calibrated ``activation_max_abs`` or the dynamic maximum
+        over the whole array (per channel when the activation spec asks for
+        it).  The sparse execution path uses this to quantize a compacted
+        *subset* of ``x`` with exactly the scale the dense path derives from
+        the full array, keeping the two paths numerically identical.
+        """
+        if self.activation_max_abs is not None:
+            return self.activation_max_abs
+        x = np.asarray(x, dtype=FLOAT_DTYPE)
+        if self.activation_spec.per_channel and x.ndim >= 2:
+            return np.max(np.abs(x.reshape(-1, x.shape[-1])), axis=0)
+        return float(np.max(np.abs(x))) if x.size else 0.0
+
+    def forward_rows(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Project only ``x[rows]``, quantized with the *full-array* scale.
+
+        The compacted value projection of the sparse execution path: the
+        dynamic activation scale is derived from all of ``x`` (one cheap
+        max-abs pass), so the returned ``(N_kept, D_out)`` rows are exactly
+        the corresponding rows of ``forward(x)`` — but the matmul only runs
+        on the surviving rows.
+        """
+        x = np.asarray(x, dtype=FLOAT_DTYPE)
+        if x.ndim != 2:
+            raise ValueError("forward_rows expects a (N, D) input")
+        max_abs = self.activation_scale_max_abs(x)
+        x_q = fake_quantize(x[rows], self.activation_spec, max_abs=max_abs).astype(FLOAT_DTYPE)
+        out = x_q @ self.quantized_weight
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
     def forward_batched(self, x: np.ndarray) -> np.ndarray:
         """Forward a batch ``(B, ..., D)`` with *per-image* activation scales.
 
@@ -81,6 +116,36 @@ class QuantizedLinear(Module):
                 reduce_axes = tuple(range(1, x.ndim))  # per image
             max_abs = np.max(np.abs(x), axis=reduce_axes, keepdims=True)
         x_q = fake_quantize(x, self.activation_spec, max_abs=max_abs).astype(FLOAT_DTYPE)
+        out = x_q @ self.quantized_weight
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
+    def forward_rows_batched(self, x: np.ndarray, flat_rows: np.ndarray) -> np.ndarray:
+        """Project selected rows of a ``(B, N, D)`` batch with per-image scales.
+
+        ``flat_rows`` indexes the flattened ``(B * N)`` row axis (rows of any
+        image may be selected).  Each selected row is quantized with the
+        dynamic scale of *its own image* — exactly the scales
+        :meth:`forward_batched` derives — so the result matches the
+        corresponding rows of ``forward_batched(x)`` while the matmul runs on
+        the survivors only.
+        """
+        x = np.asarray(x, dtype=FLOAT_DTYPE)
+        if x.ndim != 3:
+            raise ValueError("forward_rows_batched expects a (B, N, D) input")
+        batch, n_rows, _ = x.shape
+        rows2d = x.reshape(batch * n_rows, x.shape[-1])[flat_rows]
+        max_abs = self.activation_max_abs
+        if max_abs is None:
+            image = np.asarray(flat_rows, dtype=np.int64) // n_rows
+            if self.activation_spec.per_channel:
+                per_image = np.max(np.abs(x), axis=1)  # (B, D)
+                max_abs = per_image[image]
+            else:
+                per_image = np.max(np.abs(x), axis=(1, 2))  # (B,)
+                max_abs = per_image[image][:, None]
+        x_q = fake_quantize(rows2d, self.activation_spec, max_abs=max_abs).astype(FLOAT_DTYPE)
         out = x_q @ self.quantized_weight
         if self.inner.bias is not None:
             out = out + self.inner.bias

@@ -1,0 +1,388 @@
+"""Golden equivalence and edge-case tests for the sparse execution path.
+
+The sparse kernels compact FWP/PAP masks into gather lists *before* touching
+memory; the dense kernels simulate the same pruning by multiplying with
+zeros.  Both must agree:
+
+* to 1e-5 on unquantized configs (pure float32 paths, single and batched);
+* to a few INT12 quantization steps on quantized configs — the ~1e-7 float32
+  summation-order difference between the kernels can flip a rounding decision
+  in the dynamically scaled output projection, which is one quantization step
+  (~1e-3), not an error.
+
+Edge cases from the PR checklist: all-pruned fmap mask, single-survivor fmap
+mask, an all-pruned point mask for one (head, level), and int/bool fmap-mask
+dtype coercion — on both paths, with sane :class:`DEFALayerStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAConfig
+from repro.core.encoder_runner import DEFAEncoderRunner
+from repro.core.fwp import apply_fmap_mask
+from repro.core.pipeline import SPARSE_MODES, DEFAAttention
+from repro.nn.encoder import DeformableEncoder
+from repro.nn.grid_sample import (
+    ms_deform_attn_core,
+    ms_deform_attn_core_batched,
+    ms_deform_attn_core_sparse,
+    ms_deform_attn_core_sparse_batched,
+    ms_deform_attn_from_trace,
+    ms_deform_attn_from_trace_batched,
+    ms_deform_attn_sparse_from_trace,
+    ms_deform_attn_sparse_from_trace_batched,
+    multi_scale_neighbors,
+    multi_scale_neighbors_batched,
+    use_sparse_gather,
+)
+from repro.nn.positional import make_reference_points, sine_positional_encoding
+from repro.quant.qmodules import quantize_linear
+from repro.nn.modules import Linear
+from repro.utils.shapes import LevelShape
+
+TOL = 1e-5
+"""Strict float32-path equivalence tolerance (unquantized configs)."""
+
+QUANT_TOL = 5e-3
+"""Quantized-config tolerance: a few INT12 steps (see module docstring)."""
+
+SHAPES = [LevelShape(8, 12), LevelShape(4, 6), LevelShape(2, 3)]
+N_IN = sum(s.num_pixels for s in SHAPES)
+N_Q, N_H, N_L, N_P, D_H = 29, 4, 3, 2, 8
+
+
+def _kernel_inputs(seed=0, batch=None):
+    rng = np.random.default_rng(seed)
+    lead = () if batch is None else (batch,)
+    value = rng.standard_normal(lead + (N_IN, N_H, D_H)).astype(np.float32)
+    locs = rng.uniform(-0.15, 1.15, lead + (N_Q, N_H, N_L, N_P, 2)).astype(np.float32)
+    attn = rng.uniform(0.0, 1.0, lead + (N_Q, N_H, N_L, N_P)).astype(np.float32)
+    mask = rng.uniform(0.0, 1.0, attn.shape) < 0.35
+    return value, locs, attn, mask
+
+
+class TestSparseKernels:
+    def test_from_trace_matches_dense(self):
+        value, locs, attn, mask = _kernel_inputs()
+        trace = multi_scale_neighbors(SHAPES, locs)
+        dense = ms_deform_attn_from_trace(value, trace, attn, point_mask=mask)
+        sparse = ms_deform_attn_sparse_from_trace(value, trace, attn, point_mask=mask)
+        np.testing.assert_allclose(sparse, dense, atol=TOL)
+
+    def test_from_trace_matches_dense_batched(self):
+        value, locs, attn, mask = _kernel_inputs(seed=1, batch=3)
+        trace = multi_scale_neighbors_batched(SHAPES, locs)
+        dense = ms_deform_attn_from_trace_batched(value, trace, attn, point_mask=mask)
+        sparse = ms_deform_attn_sparse_from_trace_batched(value, trace, attn, point_mask=mask)
+        np.testing.assert_allclose(sparse, dense, atol=TOL)
+        # Batched sparse equals per-image sparse exactly (per-image compaction).
+        for b in range(3):
+            single = ms_deform_attn_sparse_from_trace(
+                value[b], trace.image(b), attn[b], point_mask=mask[b]
+            )
+            np.testing.assert_allclose(sparse[b], single, atol=TOL)
+
+    def test_core_sparse_matches_dense(self):
+        value, locs, attn, mask = _kernel_inputs(seed=2)
+        dense = ms_deform_attn_core(value, SHAPES, locs, attn, point_mask=mask)
+        sparse = ms_deform_attn_core_sparse(value, SHAPES, locs, attn, point_mask=mask)
+        np.testing.assert_allclose(sparse, dense, atol=TOL)
+
+    def test_core_sparse_matches_dense_batched(self):
+        value, locs, attn, mask = _kernel_inputs(seed=3, batch=2)
+        dense = ms_deform_attn_core_batched(value, SHAPES, locs, attn, point_mask=mask)
+        sparse = ms_deform_attn_core_sparse_batched(value, SHAPES, locs, attn, point_mask=mask)
+        np.testing.assert_allclose(sparse, dense, atol=TOL)
+
+    def test_no_mask_means_all_points(self):
+        value, locs, attn, _ = _kernel_inputs(seed=4)
+        trace = multi_scale_neighbors(SHAPES, locs)
+        dense = ms_deform_attn_from_trace(value, trace, attn)
+        sparse = ms_deform_attn_sparse_from_trace(value, trace, attn)
+        np.testing.assert_allclose(sparse, dense, atol=TOL)
+        core_sparse = ms_deform_attn_core_sparse(value, SHAPES, locs, attn)
+        np.testing.assert_allclose(core_sparse, dense, atol=1e-4)
+
+    def test_all_pruned_point_mask_yields_zeros(self):
+        value, locs, attn, _ = _kernel_inputs(seed=5)
+        mask = np.zeros((N_Q, N_H, N_L, N_P), dtype=bool)
+        trace = multi_scale_neighbors(SHAPES, locs)
+        assert np.all(ms_deform_attn_sparse_from_trace(value, trace, attn, point_mask=mask) == 0)
+        assert np.all(ms_deform_attn_core_sparse(value, SHAPES, locs, attn, point_mask=mask) == 0)
+
+    def test_all_pruned_for_one_head_level(self):
+        """Pruning every point of one (head, level) pair matches dense."""
+        value, locs, attn, mask = _kernel_inputs(seed=6)
+        mask = mask.copy()
+        mask[:, 2, 1, :] = False  # head 2, level 1: fully pruned
+        mask[:, 0, :, :] = True  # head 0: fully kept (contrast case)
+        trace = multi_scale_neighbors(SHAPES, locs)
+        dense = ms_deform_attn_from_trace(value, trace, attn, point_mask=mask)
+        sparse = ms_deform_attn_sparse_from_trace(value, trace, attn, point_mask=mask)
+        np.testing.assert_allclose(sparse, dense, atol=TOL)
+        core = ms_deform_attn_core_sparse(value, SHAPES, locs, attn, point_mask=mask)
+        np.testing.assert_allclose(core, dense, atol=1e-4)
+
+    def test_single_survivor_point(self):
+        value, locs, attn, _ = _kernel_inputs(seed=7)
+        mask = np.zeros((N_Q, N_H, N_L, N_P), dtype=bool)
+        mask[11, 1, 0, 1] = True
+        trace = multi_scale_neighbors(SHAPES, locs)
+        dense = ms_deform_attn_from_trace(value, trace, attn, point_mask=mask)
+        sparse = ms_deform_attn_sparse_from_trace(value, trace, attn, point_mask=mask)
+        np.testing.assert_allclose(sparse, dense, atol=TOL)
+        # Only the (query 11, head 1) slot may be non-zero.
+        out = sparse.reshape(N_Q, N_H, D_H)
+        assert np.any(out[11, 1] != 0)
+        zeroed = out.copy()
+        zeroed[11, 1] = 0
+        assert np.all(zeroed == 0)
+
+    def test_use_sparse_gather_dispatch(self):
+        mask = np.zeros((4, 2, 2, 2), dtype=bool)
+        assert use_sparse_gather(mask, 10**9, "sparse")
+        assert not use_sparse_gather(mask, 10**9, "dense")
+        assert not use_sparse_gather(None, 10**9, "auto")  # no mask -> dense
+        assert not use_sparse_gather(mask, 100, "auto")  # tiny input -> dense
+        assert use_sparse_gather(mask, 10**9, "auto")  # large + heavy pruning
+        assert not use_sparse_gather(np.ones_like(mask), 10**9, "auto")  # no pruning
+        with pytest.raises(ValueError):
+            use_sparse_gather(mask, 100, "blocked")
+
+    def test_use_sparse_gather_batched_uses_max_per_image_fraction(self):
+        """A batch goes sparse only when every image alone would (batched
+        decisions must match the per-image serial runs wherever possible)."""
+        sparse_image = np.zeros((1, 4, 2, 2, 2), dtype=bool)  # keep 0%
+        dense_image = np.ones((1, 4, 2, 2, 2), dtype=bool)  # keep 100%
+        mixed = np.concatenate([sparse_image, dense_image])
+        assert use_sparse_gather(sparse_image, 10**9, "auto", batched=True)
+        assert not use_sparse_gather(dense_image, 10**9, "auto", batched=True)
+        # One dense-leaning image forces the whole batch dense, even though
+        # the aggregate keep fraction (0.5) is below the threshold.
+        assert not use_sparse_gather(mixed, 10**9, "auto", batched=True)
+
+
+class TestApplyFmapMask:
+    def test_all_true_mask_skips_the_copy(self):
+        value = np.ones((N_IN, 4), dtype=np.float32)
+        out = apply_fmap_mask(value, np.ones(N_IN, dtype=bool))
+        assert out is value  # documented: no copy when nothing is pruned
+
+    def test_int_mask_is_coerced(self):
+        value = np.ones((N_IN, 4), dtype=np.float32)
+        mask = np.ones(N_IN, dtype=np.int64)
+        mask[:5] = 0
+        out = apply_fmap_mask(value, mask)
+        assert out is not value
+        assert np.all(out[:5] == 0) and np.all(out[5:] == 1)
+
+
+def _defa_inputs(seed=0, batch=None):
+    rng = np.random.default_rng(seed)
+    d_model = N_H * D_H
+    lead = () if batch is None else (batch,)
+    features = rng.standard_normal(lead + (N_IN, d_model)).astype(np.float32)
+    pos = sine_positional_encoding(SHAPES, d_model)
+    reference = make_reference_points(SHAPES)
+    return features, features + pos, reference
+
+
+def _make_defa(config, sparse_mode, seed=0):
+    from repro.nn.msdeform_attn import MSDeformAttn
+
+    attn = MSDeformAttn(
+        d_model=N_H * D_H, num_heads=N_H, num_levels=N_L, num_points=N_P, rng=seed
+    )
+    return DEFAAttention(attn, config, sparse_mode=sparse_mode)
+
+
+FP32_CONFIG = DEFAConfig(quant_bits=None)
+INT12_CONFIG = DEFAConfig()
+
+
+class TestDEFASparseEquivalence:
+    @pytest.mark.parametrize("mask_kind", ["generated", "all_pruned", "single_survivor", "int_dtype"])
+    def test_single_image_paths_agree(self, mask_kind):
+        features, query, reference = _defa_inputs(seed=10)
+        dense = _make_defa(FP32_CONFIG, "dense", seed=3)
+        sparse = _make_defa(FP32_CONFIG, "sparse", seed=3)
+        if mask_kind == "generated":
+            fmap_mask = dense.forward_detailed(query, reference, features, SHAPES).fmap_mask_next
+        elif mask_kind == "all_pruned":
+            fmap_mask = np.zeros(N_IN, dtype=bool)
+        elif mask_kind == "single_survivor":
+            fmap_mask = np.zeros(N_IN, dtype=bool)
+            fmap_mask[N_IN // 2] = True
+        else:  # int dtype coercion
+            fmap_mask = np.ones(N_IN, dtype=np.int32)
+            fmap_mask[::3] = 0
+        out_dense = dense.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        out_sparse = sparse.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        np.testing.assert_allclose(out_sparse.output, out_dense.output, atol=TOL)
+        np.testing.assert_array_equal(out_sparse.fmap_mask_next, out_dense.fmap_mask_next)
+        np.testing.assert_array_equal(out_sparse.point_mask, out_dense.point_mask)
+        # Stats agree except for the path markers.
+        expected_kept = int(np.count_nonzero(np.asarray(fmap_mask, dtype=bool)))
+        for out, is_sparse in ((out_dense, False), (out_sparse, True)):
+            stats = out.stats
+            assert stats.pixels_kept == expected_kept
+            assert stats.mask_applied
+            assert 0.0 <= stats.pixel_reduction <= 1.0
+            assert stats.points_kept <= stats.points_total
+            assert stats.sparse_projection == is_sparse
+            assert stats.sparse_gather == is_sparse
+
+    @pytest.mark.parametrize("mask_kind", ["generated", "all_pruned", "int_dtype"])
+    def test_batched_paths_agree(self, mask_kind):
+        batch = 3
+        features, query, reference = _defa_inputs(seed=11, batch=batch)
+        dense = _make_defa(FP32_CONFIG, "dense", seed=4)
+        sparse = _make_defa(FP32_CONFIG, "sparse", seed=4)
+        if mask_kind == "generated":
+            fmap_mask = dense.forward_detailed(query, reference, features, SHAPES).fmap_mask_next
+        elif mask_kind == "all_pruned":
+            fmap_mask = np.zeros((batch, N_IN), dtype=bool)
+        else:
+            rng = np.random.default_rng(5)
+            fmap_mask = (rng.uniform(0, 1, (batch, N_IN)) < 0.6).astype(np.int8)
+        out_dense = dense.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        out_sparse = sparse.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        np.testing.assert_allclose(out_sparse.output, out_dense.output, atol=TOL)
+        for b in range(batch):
+            img_d, img_s = out_dense.images[b], out_sparse.images[b]
+            np.testing.assert_array_equal(img_s.fmap_mask_next, img_d.fmap_mask_next)
+            np.testing.assert_array_equal(img_s.point_mask, img_d.point_mask)
+            assert img_s.stats.pixels_kept == img_d.stats.pixels_kept
+            assert img_s.stats.sparse_projection and img_s.stats.sparse_gather
+            assert not img_d.stats.sparse_projection and not img_d.stats.sparse_gather
+
+    def test_batched_sparse_matches_single_sparse(self):
+        """Sparse batched execution equals the per-image sparse loop."""
+        batch = 3
+        features, query, reference = _defa_inputs(seed=12, batch=batch)
+        sparse = _make_defa(FP32_CONFIG, "sparse", seed=6)
+        first = sparse.forward_detailed(query, reference, features, SHAPES)
+        fmap_mask = first.fmap_mask_next
+        batched = sparse.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        for b in range(batch):
+            single = sparse.forward_detailed(
+                query[b], reference, features[b], SHAPES, fmap_mask=fmap_mask[b]
+            )
+            np.testing.assert_allclose(batched.output[b], single.output, atol=TOL)
+            np.testing.assert_array_equal(batched.images[b].fmap_mask_next, single.fmap_mask_next)
+
+    def test_quantized_config_agrees_within_quant_steps(self):
+        """INT12 configs: sparse/dense drift is bounded by quantization steps.
+
+        The compacted kernels reorder float32 summation, which can flip a
+        rounding decision inside the dynamically scaled output projection —
+        one INT12 step, not an equivalence failure.  Projection outputs
+        themselves quantize identically (same scales), asserted separately in
+        TestQuantizedRows.
+        """
+        features, query, reference = _defa_inputs(seed=13)
+        dense = _make_defa(INT12_CONFIG, "dense", seed=7)
+        sparse = _make_defa(INT12_CONFIG, "sparse", seed=7)
+        fmap_mask = dense.forward_detailed(query, reference, features, SHAPES).fmap_mask_next
+        out_dense = dense.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        out_sparse = sparse.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        np.testing.assert_allclose(out_sparse.output, out_dense.output, atol=QUANT_TOL)
+
+    def test_invalid_sparse_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _make_defa(FP32_CONFIG, "fast")
+
+
+class TestQuantizedRows:
+    def test_forward_rows_matches_forward(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(16, 12, rng=1)
+        qlinear = quantize_linear(linear, 12)
+        x = rng.standard_normal((50, 16)).astype(np.float32)
+        rows = np.array([0, 3, 17, 49])
+        np.testing.assert_allclose(
+            qlinear.forward_rows(x, rows), qlinear.forward(x)[rows], atol=1e-6
+        )
+
+    def test_forward_rows_batched_matches_forward_batched(self):
+        rng = np.random.default_rng(1)
+        linear = Linear(16, 12, rng=2)
+        qlinear = quantize_linear(linear, 12)
+        x = rng.standard_normal((3, 40, 16)).astype(np.float32)
+        flat_rows = np.array([0, 39, 40, 85, 119])  # rows from every image
+        expected = qlinear.forward_batched(x).reshape(120, 12)[flat_rows]
+        np.testing.assert_allclose(qlinear.forward_rows_batched(x, flat_rows), expected, atol=1e-6)
+
+
+class TestSparseEncoderRunner:
+    def test_runner_sparse_matches_dense(self):
+        encoder = DeformableEncoder(
+            num_layers=2,
+            d_model=N_H * D_H,
+            num_heads=N_H,
+            num_levels=N_L,
+            num_points=N_P,
+            ffn_dim=48,
+            rng=0,
+        )
+        features, _, reference = _defa_inputs(seed=14)
+        pos = sine_positional_encoding(SHAPES, N_H * D_H)
+        dense_runner = DEFAEncoderRunner(encoder, FP32_CONFIG, sparse_mode="dense")
+        sparse_runner = DEFAEncoderRunner(encoder, FP32_CONFIG, sparse_mode="sparse")
+        out_dense = dense_runner.forward(features, pos, reference, SHAPES)
+        out_sparse = sparse_runner.forward(features, pos, reference, SHAPES)
+        np.testing.assert_allclose(out_sparse.memory, out_dense.memory, atol=TOL)
+        # First-block convention: no incoming mask => the first block never
+        # runs the compacted projection even in forced sparse mode...
+        assert not out_sparse.layer_stats[0].sparse_projection
+        # ...but the second block receives the generated mask and does.
+        assert out_sparse.layer_stats[1].sparse_projection
+        assert not any(s.sparse_projection for s in out_dense.layer_stats)
+
+    def test_sparse_mode_setter_propagates(self):
+        encoder = DeformableEncoder(
+            num_layers=2,
+            d_model=N_H * D_H,
+            num_heads=N_H,
+            num_levels=N_L,
+            num_points=N_P,
+            ffn_dim=48,
+            rng=0,
+        )
+        runner = DEFAEncoderRunner(encoder, FP32_CONFIG)
+        assert runner.sparse_mode == "auto"
+        runner.sparse_mode = "sparse"
+        assert all(layer.sparse_mode == "sparse" for layer in runner.defa_layers)
+        with pytest.raises(ValueError):
+            runner.sparse_mode = "bogus"
+        assert "auto" in SPARSE_MODES
+
+
+class TestKernelTimings:
+    def test_nested_collectors_record_independently(self):
+        from repro.utils.timing import collect_kernel_timings, kernel_section
+
+        with collect_kernel_timings() as outer:
+            with collect_kernel_timings() as inner:
+                with kernel_section("a"):
+                    pass
+            with kernel_section("b"):
+                pass
+        assert set(inner.seconds) == {"a"}
+        assert set(outer.seconds) == {"a", "b"}
+        assert outer.calls == {"a": 1, "b": 1}
+
+
+class TestSparseModeAuto:
+    def test_auto_is_dense_on_tiny_inputs(self):
+        """Below the auto thresholds, tiny inputs keep the dense kernels."""
+        features, query, reference = _defa_inputs(seed=15)
+        auto = _make_defa(FP32_CONFIG, "auto", seed=8)
+        mask = np.zeros(N_IN, dtype=bool)
+        mask[: N_IN // 2] = True
+        out = auto.forward_detailed(query, reference, features, SHAPES, fmap_mask=mask)
+        assert not out.stats.sparse_projection  # N_IN < SPARSE_AUTO_MIN_TOKENS
+        assert not out.stats.sparse_gather  # slots < SPARSE_AUTO_MIN_SLOTS
