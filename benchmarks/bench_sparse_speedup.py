@@ -1,12 +1,18 @@
-"""Benchmark of the sparsity-aware execution path (compacted gather/scatter).
+"""Benchmark of the sparsity-aware execution path (sparse execution v2).
 
 Sweeps FWP/PAP operating points on the paper-scale Deformable DETR workload
 and times one DEFA attention block in ``dense`` mode (pruning simulated by
-zeroing) against ``sparse`` mode (compacted kernels).  The measured speedup
-must grow with the reduction ratio and reach the PR target of >= 1.5x at the
-~50 % pixel-reduction operating point.  The sweep is written to
-``BENCH_sparse.json`` at the repo root so the perf trajectory is tracked
-PR-over-PR (``benchmarks/run_all.py`` regenerates the same record).
+zeroing) against ``sparse`` mode (compacted kernels, compacted trace
+construction and row-compacted query-side projections — query pruning is
+enabled in both paths, so the comparison times two implementations of the
+same semantics).  The measured speedup must grow with the reduction ratio
+and reach the PR target of >= 1.8x at the ~50 % pixel-reduction operating
+point, and the ``neighbors`` kernel section of the sparse path must scale
+down with the point-keep ratio (the compacted trace only computes neighbour
+math for surviving points).  The sweep is written to ``BENCH_sparse.json``
+at the repo root so the perf trajectory is tracked PR-over-PR
+(``benchmarks/run_all.py`` regenerates the same record and
+``benchmarks/compare_bench.py`` gates it in CI).
 
 Run directly (``python benchmarks/bench_sparse_speedup.py``) or through
 pytest-benchmark like the other figure benchmarks.
@@ -27,16 +33,31 @@ BENCH_JSON = REPO_ROOT / "BENCH_sparse.json"
 #: factor before the benchmark fails.
 MONOTONIC_SLACK = 0.93
 
-TARGET_SPEEDUP_AT_HALF_PIXELS = 1.5
+TARGET_SPEEDUP_AT_HALF_PIXELS = 1.8
+"""PR acceptance floor at the operating point closest to 50 % pixel
+reduction (raised from 1.5x by sparse execution v2; the reference machine
+measures ~4x there)."""
+
+#: The sparse `neighbors` section must cost at most ``keep_ratio *
+#: NEIGHBORS_SCALING_SLACK`` of the dense one (checked where the point
+#: reduction is large enough for the ratio to rise above timer noise).
+NEIGHBORS_SCALING_SLACK = 2.5
+NEIGHBORS_SCALING_MIN_REDUCTION = 0.3
 
 
 def run_sweep(scale: str = "paper", repeats: int = 3) -> list[SparseSpeedupReport]:
-    """Run the default FWP/PAP sweep on the paper-scale spec."""
+    """Run the default FWP/PAP sweep (query pruning on) on the paper scale."""
     return sweep_sparse_speedup(scale=scale, repeats=repeats, rng_seed=0)
 
 
-def sweep_record(reports: list[SparseSpeedupReport], repeats: int) -> dict:
-    """The machine-readable benchmark record written to ``BENCH_sparse.json``."""
+def sweep_record(
+    reports: list[SparseSpeedupReport], repeats: int, query_pruning: bool = True
+) -> dict:
+    """The machine-readable benchmark record written to ``BENCH_sparse.json``.
+
+    ``query_pruning`` must reflect the flag the sweep actually ran with so
+    the record describes its own operating mode faithfully.
+    """
     half = min(reports, key=lambda r: abs(r.pixel_reduction - 0.5))
     return {
         "name": "sparse_speedup",
@@ -44,6 +65,7 @@ def sweep_record(reports: list[SparseSpeedupReport], repeats: int) -> dict:
         "config": {
             "workload": reports[0].workload if reports else None,
             "repeats": repeats,
+            "query_pruning": query_pruning,
             "target_speedup_at_half_pixel_reduction": TARGET_SPEEDUP_AT_HALF_PIXELS,
         },
         "results": [r.as_dict() for r in reports],
@@ -82,12 +104,30 @@ def check_sweep(reports: list[SparseSpeedupReport]) -> None:
             f"(pix={prev.pixel_reduction:.2f}, pt={prev.point_reduction:.2f}) -> "
             f"{curr.speedup:.2f}x at (pix={curr.pixel_reduction:.2f}, pt={curr.point_reduction:.2f})"
         )
-    # >= 1.5x at the operating point closest to 50% pixel reduction.
+    # >= 1.8x at the operating point closest to 50% pixel reduction.
     half = min(reports, key=lambda r: abs(r.pixel_reduction - 0.5))
     assert half.speedup >= TARGET_SPEEDUP_AT_HALF_PIXELS, (
         f"{half.speedup:.2f}x at {half.pixel_reduction:.0%} pixel reduction "
         f"(target {TARGET_SPEEDUP_AT_HALF_PIXELS}x)"
     )
+    # The compacted trace construction must make the sparse `neighbors`
+    # section track the point-keep ratio (checked where reduction is large
+    # enough that the ratio is well above timer noise).
+    for r in reports:
+        if r.point_reduction < NEIGHBORS_SCALING_MIN_REDUCTION:
+            continue
+        dense_nb = r.dense_kernels.get("neighbors", 0.0)
+        sparse_nb = r.sparse_kernels.get("neighbors", 0.0)
+        if dense_nb <= 0:
+            continue
+        keep_ratio = 1.0 - r.point_reduction
+        bound = keep_ratio * NEIGHBORS_SCALING_SLACK
+        assert sparse_nb / dense_nb <= bound, (
+            f"sparse neighbors section not scaling with keep ratio: "
+            f"{1e3 * sparse_nb:.1f}ms vs dense {1e3 * dense_nb:.1f}ms "
+            f"(ratio {sparse_nb / dense_nb:.2f} > bound {bound:.2f} at "
+            f"point keep {keep_ratio:.2f})"
+        )
     # The sparse path stays numerically equivalent to the dense-masked path.
     # INT12 configs may amplify float32 kernel rounding into a quantization
     # step in the output projection, hence the step-scale tolerance here; the

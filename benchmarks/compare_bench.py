@@ -1,0 +1,198 @@
+"""Compare two benchmark records and fail on speedup regressions or drift.
+
+The repo-standard harness (``benchmarks/run_all.py``) and the sparse-speedup
+benchmark both emit machine-readable ``BENCH_*.json`` records.  This tool
+diffs a *current* record against a *baseline* record (the previous
+main-branch artifact, or the committed reference under
+``benchmarks/baselines/``) and exits non-zero when
+
+* any tracked **speedup metric** regresses by more than ``--tolerance``
+  (relative; default 20 % — wall-clock ratios are hardware-dependent and
+  jitter between runners, so the gate guards the trajectory, not the exact
+  number),
+* any **equivalence probe** of the current record drifts beyond its own
+  recorded tolerance (numerics are machine-independent, so this is exact), or
+* a metric tracked by the baseline disappears from the current record
+  (``--allow-missing`` downgrades this to a warning, for comparing records
+  produced by older harness versions).
+
+Usage::
+
+    python benchmarks/compare_bench.py --baseline BENCH_old.json \
+        --current BENCH_new.json --tolerance 0.2
+
+Both the aggregate ``run_all`` record shape (``{"benchmarks": [...]}``) and
+the single-benchmark shape of ``bench_sparse_speedup.py`` are understood.
+CI wires this as the ``bench-regression`` job: it downloads the previous
+main-branch ``bench-smoke`` artifact when one is reachable and falls back to
+the committed baseline otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default relative speedup-regression tolerance (20 %).
+DEFAULT_TOLERANCE = 0.2
+
+
+def _benchmarks(record: dict) -> list[dict]:
+    """The benchmark entries of a record, whatever its shape.
+
+    ``run_all`` records carry a ``benchmarks`` list; single-benchmark records
+    (e.g. ``BENCH_sparse.json``) *are* the entry.
+    """
+    if "benchmarks" in record:
+        return list(record["benchmarks"])
+    return [record]
+
+
+def extract_speedups(record: dict) -> dict[str, float]:
+    """Flatten the tracked speedup metrics of a record into ``{name: value}``.
+
+    Per-benchmark: the scalar ``speedup`` when present, plus the sweep
+    summary aggregates (``max_speedup`` and the speedup at the ~50 %
+    pixel-reduction operating point).  Individual sweep operating points are
+    deliberately not gated — single wall-clock points are too noisy for a
+    20 % fence; the aggregates are what the PR acceptance criteria track.
+    """
+    speedups: dict[str, float] = {}
+    for bench in _benchmarks(record):
+        name = bench.get("name", "benchmark")
+        if isinstance(bench.get("speedup"), (int, float)):
+            speedups[f"{name}.speedup"] = float(bench["speedup"])
+        summary = bench.get("summary", {})
+        for key in ("max_speedup", "speedup_at_half_pixel_reduction"):
+            if isinstance(summary.get(key), (int, float)):
+                speedups[f"{name}.{key}"] = float(summary[key])
+    return speedups
+
+
+def extract_equivalence_probes(record: dict) -> list[dict]:
+    """Every equivalence probe of a record: name, measured drift, tolerance.
+
+    This is the canonical probe-flattening used by both this tool and
+    ``run_all.py --check``, so probe names stay identical across the two
+    reports.  Sweep operating points are qualified by every knob present
+    (``fwp_k`` and ``pap_threshold``) so points differing in either are
+    distinguishable.
+    """
+    probes = []
+    for bench in _benchmarks(record):
+        tol = bench.get("equivalence_tol")
+        if tol is None:
+            continue
+        if "max_abs_diff" in bench:
+            probes.append(
+                {"probe": bench["name"], "max_abs_diff": bench["max_abs_diff"], "tolerance": tol}
+            )
+        for result in bench.get("results", []):
+            label = f"{bench['name']}[fwp_k={result['fwp_k']}"
+            if "pap_threshold" in result:
+                label += f", pap={result['pap_threshold']}"
+            label += "]"
+            probes.append(
+                {"probe": label, "max_abs_diff": result["max_abs_diff"], "tolerance": tol}
+            )
+    return probes
+
+
+def compare_records(
+    baseline: dict,
+    current: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    allow_missing: bool = False,
+) -> tuple[list[str], list[str]]:
+    """Diff two benchmark records.
+
+    Returns ``(failures, report_lines)``: human-readable failure messages
+    (empty when the current record passes the gate) and a per-metric report
+    table for the job log.
+    """
+    failures: list[str] = []
+    lines: list[str] = []
+
+    base_speedups = extract_speedups(baseline)
+    curr_speedups = extract_speedups(current)
+    lines.append(f"{'metric':<48} {'baseline':>9} {'current':>9} {'change':>8}  status")
+    for name in sorted(base_speedups):
+        base = base_speedups[name]
+        if name not in curr_speedups:
+            status = "MISSING" if not allow_missing else "missing (allowed)"
+            lines.append(f"{name:<48} {base:>8.2f}x {'-':>9} {'-':>8}  {status}")
+            if not allow_missing:
+                failures.append(f"{name}: tracked by the baseline but absent from the current record")
+            continue
+        curr = curr_speedups[name]
+        change = (curr - base) / base if base > 0 else 0.0
+        regressed = curr < base * (1.0 - tolerance)
+        status = "REGRESSION" if regressed else "ok"
+        lines.append(f"{name:<48} {base:>8.2f}x {curr:>8.2f}x {change:>+7.1%}  {status}")
+        if regressed:
+            failures.append(
+                f"{name}: speedup regressed {base:.2f}x -> {curr:.2f}x "
+                f"({change:+.1%}, tolerance -{tolerance:.0%})"
+            )
+    for name in sorted(set(curr_speedups) - set(base_speedups)):
+        lines.append(f"{name:<48} {'-':>9} {curr_speedups[name]:>8.2f}x {'-':>8}  new")
+
+    for probe in extract_equivalence_probes(current):
+        ok = probe["max_abs_diff"] <= probe["tolerance"]
+        status = "ok" if ok else "DRIFT"
+        lines.append(
+            f"{probe['probe']:<48} {'tol':>9} {probe['max_abs_diff']:>9.1e} "
+            f"{probe['tolerance']:>8.0e}  {status}"
+        )
+        if not ok:
+            failures.append(
+                f"{probe['probe']}: equivalence drift {probe['max_abs_diff']:.2e} "
+                f"exceeds tolerance {probe['tolerance']:.0e}"
+            )
+    return failures, lines
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"benchmark record not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"benchmark record {path} is not valid JSON: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="baseline BENCH_*.json (previous main artifact or committed reference)")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="freshly generated BENCH_*.json to gate")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative speedup-regression tolerance (default 0.2 = 20%%)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baseline metric is absent from the current record")
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    failures, lines = compare_records(
+        baseline, current, tolerance=args.tolerance, allow_missing=args.allow_missing
+    )
+    print(f"baseline: {args.baseline}")
+    print(f"current:  {args.current}")
+    for line in lines:
+        print(f"  {line}")
+    if failures:
+        for failure in failures:
+            print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

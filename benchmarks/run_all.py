@@ -95,13 +95,24 @@ def run_sparse_benchmark(sparse_scale: str, repeats: int) -> dict:
 
 
 def run_sparse_fp32_equivalence(sparse_scale: str, repeats: int) -> dict:
-    """One unquantized operating point, held to the strict 1e-5 equivalence."""
+    """One unquantized operating point, held to the strict 1e-5 equivalence.
+
+    Query pruning is enabled so the probe covers the full sparse-v2 surface:
+    compacted trace construction, row-compacted query/offset/output
+    projections and the compacted gather, all against the equivalent
+    masked-dense execution.
+    """
     workload = get_workload("deformable_detr", sparse_scale)
-    config = DEFAConfig(fwp_k=1.0, quant_bits=None)
+    config = DEFAConfig(fwp_k=1.0, quant_bits=None, enable_query_pruning=True)
     report = measure_sparse_speedup(workload, config, repeats=repeats, rng=0)
     return {
         "name": "sparse_equivalence_fp32",
-        "config": {"workload": workload.name, "fwp_k": 1.0, "quant_bits": None},
+        "config": {
+            "workload": workload.name,
+            "fwp_k": 1.0,
+            "quant_bits": None,
+            "enable_query_pruning": True,
+        },
         "speedup": report.speedup,
         "timings_ms": {"dense": 1e3 * report.dense_s, "sparse": 1e3 * report.sparse_s},
         "max_abs_diff": report.max_abs_diff,
@@ -109,34 +120,53 @@ def run_sparse_fp32_equivalence(sparse_scale: str, repeats: int) -> dict:
     }
 
 
-def check_equivalence(record: dict) -> list[str]:
-    """Collect equivalence-drift failures across all benchmark entries."""
-    failures = []
-    for bench in record["benchmarks"]:
-        tol = bench["equivalence_tol"]
-        diffs = []
-        if "max_abs_diff" in bench:
-            diffs.append(("", bench["max_abs_diff"]))
-        for result in bench.get("results", []):
-            diffs.append((f" (fwp_k={result['fwp_k']})", result["max_abs_diff"]))
-        for label, diff in diffs:
-            if diff > tol:
-                failures.append(
-                    f"{bench['name']}{label}: max |diff| {diff:.2e} exceeds tolerance {tol:.0e}"
-                )
-    return failures
+def equivalence_probes(record: dict) -> list[dict]:
+    """Flatten every equivalence probe of a harness record.
+
+    Returns one entry per probe — a top-level ``max_abs_diff`` or a sweep
+    operating point — with its qualified name, measured drift, tolerance and
+    pass/fail status, so ``--check`` can say exactly *which* probe drifted.
+    The flattening (and the probe naming) is shared with
+    ``benchmarks/compare_bench.py``, which gates the same record in CI.
+    """
+    from compare_bench import extract_equivalence_probes
+
+    return [
+        {**probe, "ok": probe["max_abs_diff"] <= probe["tolerance"]}
+        for probe in extract_equivalence_probes(record)
+    ]
+
+
+def _scale_arg(value: str) -> str:
+    if value not in SCALE_PRESETS:
+        raise argparse.ArgumentTypeError(
+            f"unknown scale {value!r}; known scales: {', '.join(sorted(SCALE_PRESETS))}"
+        )
+    return value
+
+
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"repeats must be a positive integer, got {parsed}")
+    return parsed
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--json", type=Path, default=Path("BENCH_all.json"),
                         help="output path of the machine-readable record")
-    parser.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="compact",
+    parser.add_argument("--scale", type=_scale_arg, default="compact",
+                        metavar="{" + ",".join(sorted(SCALE_PRESETS)) + "}",
                         help="iteration budget: compact (CI smoke) ... paper (full numbers)")
-    parser.add_argument("--repeats", type=int, default=None,
+    parser.add_argument("--repeats", type=_positive_int, default=None,
                         help="override best-of-N repeats of every benchmark")
     parser.add_argument("--check", action="store_true",
-                        help="exit non-zero if sparse/dense or batched/serial equivalence drifts")
+                        help="exit non-zero if sparse/dense or batched/serial equivalence "
+                             "drifts, with a per-probe summary")
     args = parser.parse_args(argv)
 
     preset = SCALE_PRESETS[args.scale]
@@ -160,10 +190,24 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.json}")
 
     if args.check:
-        failures = check_equivalence(record)
+        probes = equivalence_probes(record)
+        print(f"equivalence check ({len(probes)} probes):")
+        for probe in probes:
+            status = "ok  " if probe["ok"] else "DRIFT"
+            print(
+                f"  [{status}] {probe['probe']}: max |diff| "
+                f"{probe['max_abs_diff']:.2e} (tol {probe['tolerance']:.0e})"
+            )
+        failures = [p for p in probes if not p["ok"]]
         if failures:
-            for failure in failures:
-                print(f"EQUIVALENCE DRIFT: {failure}", file=sys.stderr)
+            for probe in failures:
+                print(
+                    f"EQUIVALENCE DRIFT: {probe['probe']}: max |diff| "
+                    f"{probe['max_abs_diff']:.2e} exceeds tolerance "
+                    f"{probe['tolerance']:.0e}",
+                    file=sys.stderr,
+                )
+            print(f"{len(failures)} of {len(probes)} probes drifted", file=sys.stderr)
             return 1
         print("equivalence check passed")
     return 0

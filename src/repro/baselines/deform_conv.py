@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.utils.shapes import LevelShape, make_level_shapes
+from repro.utils.shapes import make_level_shapes
 from repro.workloads.specs import WorkloadSpec
 
 

@@ -65,6 +65,17 @@ class DEFAConfig:
         Bit width of the fake quantization applied to the MSDeformAttn
         weights/activations (12 in the paper, 8 for the rejected ablation,
         ``None`` disables quantization).
+    enable_query_pruning:
+        Extend the FWP mask to the *query* side of the next block: when the
+        query set is the pixel set (encoder self-attention, ``N_q == N_in``),
+        pruned pixels stop acting as queries — their sampling points are
+        pruned wholesale, they contribute nothing to frequency counting, and
+        their block output is the output-projection bias (their features
+        still propagate through the residual path).  Off by default: the
+        Fig. 6 experiments reproduce the paper's FWP-on-values-only
+        operating point.  Both execution paths implement the same semantics
+        (the dense path zeroes, the sparse path skips the rows), so
+        dense/sparse equivalence is unchanged.
     """
 
     enable_fwp: bool = True
@@ -77,6 +88,7 @@ class DEFAConfig:
     level_ranges: tuple[float, ...] = field(default=DEFAULT_LEVEL_RANGES)
     unified_range: bool = False
     quant_bits: int | None = 12
+    enable_query_pruning: bool = False
 
     def __post_init__(self) -> None:
         if self.fwp_k < 0:

@@ -24,11 +24,19 @@ Pruning executes through one of two equivalence-tested paths, selected by the
 dense software cost) or the compacted gather/scatter kernels (pruned pixels
 and points skipped before any memory traffic — the paper's compute savings
 realised as wall-clock speedup; see ``benchmarks/bench_sparse_speedup.py``).
+
+Sparse execution v2 extends the compaction to the remaining dense stages: the
+sparse path builds a *compacted sampling trace* (bilinear neighbour math for
+kept points only, so the ``neighbors`` cost scales with the keep ratio) and,
+under :attr:`DEFAConfig.enable_query_pruning`, FWP-pruned pixels stop acting
+as queries — their offset/attention-head and output projections are skipped
+via row-compacted projections while the dense path zeroes the same rows, so
+the two paths remain equivalent to 1e-5 in fp32.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -42,16 +50,23 @@ from repro.core.fwp import (
 )
 from repro.core.pap import PAPResult, compute_point_mask
 from repro.core.range_narrowing import RangeNarrowing
-from repro.core.sampling_stats import sampled_frequency, sampled_frequency_batched
+from repro.core.sampling_stats import (
+    sampled_frequency,
+    sampled_frequency_batched,
+    sampled_frequency_compact,
+    sampled_frequency_compact_batched,
+)
 from repro.nn.grid_sample import (
     SPARSE_MODES,
+    CompactSamplingTrace,
     SamplingTrace,
+    ms_deform_attn_from_compact_trace,
     ms_deform_attn_from_trace,
     ms_deform_attn_from_trace_batched,
-    ms_deform_attn_sparse_from_trace,
-    ms_deform_attn_sparse_from_trace_batched,
     multi_scale_neighbors,
     multi_scale_neighbors_batched,
+    multi_scale_neighbors_sparse,
+    multi_scale_neighbors_sparse_batched,
     use_sparse_gather,
 )
 from repro.nn.modules import Linear
@@ -68,6 +83,15 @@ fmap pixels survives the incoming FWP mask."""
 SPARSE_AUTO_MIN_TOKENS = 512
 """``auto``: minimum ``N_in`` (per image) before the compacted value
 projection can pay for its gather/scatter overhead."""
+
+SPARSE_AUTO_QUERY_KEEP_MAX = 0.85
+"""``auto``: use the row-compacted query-side projections (attention /
+offset / output heads) when at most this fraction of queries survives the
+incoming FWP mask under query pruning."""
+
+SPARSE_AUTO_MIN_QUERIES = 512
+"""``auto``: minimum ``N_q`` (per image) before the row-compacted query-side
+projections can pay for their gather/scatter overhead."""
 
 
 @dataclass
@@ -113,6 +137,19 @@ class DEFALayerStats:
     sparse_gather: bool = False
     """Whether MSGS + aggregation ran the compacted (kept-point) kernel."""
 
+    sparse_neighbors: bool = False
+    """Whether trace construction ran compacted (neighbour indices/weights
+    computed for kept points only, :func:`~repro.nn.grid_sample.
+    multi_scale_neighbors_sparse`); cost scales with the point keep ratio.
+    The pipeline dispatches trace compaction and the compacted gather with
+    one decision, so today this always equals :attr:`sparse_gather`; it is
+    reported separately because consumers care about the *neighbors* stage
+    (the PR 2 sparse path gathered sparsely from a dense trace)."""
+
+    sparse_query: bool = False
+    """Whether the query-side projections (attention / offset / output heads)
+    ran row-compacted over the queries kept by query pruning."""
+
     @property
     def point_reduction(self) -> float:
         """Fraction of sampling points removed by PAP."""
@@ -156,11 +193,40 @@ class DEFAAttentionOutput:
     sampling_locations: np.ndarray
     """Normalized sampling locations after range narrowing."""
 
-    trace: SamplingTrace
-    """Integer sampling trace (consumed by the hardware simulator)."""
+    trace_executed: SamplingTrace | CompactSamplingTrace
+    """The trace the kernels actually consumed: a full :class:`SamplingTrace`
+    on the dense path, a :class:`CompactSamplingTrace` (kept points only) on
+    the sparse path."""
 
     fwp: FWPResult
     pap: PAPResult
+
+    _materialized_trace: SamplingTrace | None = field(default=None, repr=False)
+    """Cache of the on-demand full trace (sparse-path outputs only)."""
+
+    @property
+    def trace(self) -> SamplingTrace:
+        """Full integer sampling trace (consumed by the hardware simulator).
+
+        Dense-path outputs return the executed trace directly.  Sparse-path
+        outputs executed on a compacted trace, so the full trace is
+        materialized from the recorded sampling locations on first access
+        (and cached).  Either way the rows of pruned points are valid
+        neighbour data for their (possibly zero-offset) locations; consumers
+        must pair them with :attr:`point_mask`, exactly as before.
+        """
+        if isinstance(self.trace_executed, SamplingTrace):
+            return self.trace_executed
+        if self._materialized_trace is None:
+            self._materialized_trace = multi_scale_neighbors(
+                self.trace_executed.spatial_shapes, self.sampling_locations
+            )
+        return self._materialized_trace
+
+    def dense_trace(self) -> SamplingTrace:
+        """Explicit alias of :attr:`trace` for call sites that must stress
+        they replay the *full* point stream (bank-conflict simulation)."""
+        return self.trace
 
 
 @dataclass
@@ -248,30 +314,123 @@ class DEFAAttention:
 
     # ------------------------------------------------------------ sparse path
 
-    def _use_sparse_projection(
-        self, fmap_mask: np.ndarray | None, tokens_per_image: int, batched: bool = False
+    def _use_sparse_rows(
+        self,
+        mask: np.ndarray | None,
+        rows_per_image: int,
+        keep_max: float,
+        min_rows: int,
+        batched: bool = False,
     ) -> bool:
-        """Decide whether the value projection runs on compacted rows.
+        """Shared dispatch rule of the row-compacted projections.
 
-        No incoming mask ⇒ dense by convention (the first block of an encoder
-        never receives one).  ``auto`` additionally requires the image to be
-        large enough and the mask to actually prune; a batch uses the
-        *maximum* per-image keep fraction (sparse only when every image alone
-        would go sparse) so batched and single-image runs make the same
-        decision wherever possible.
+        No mask ⇒ dense by convention (the first block of an encoder never
+        receives one).  ``auto`` additionally requires the image to be large
+        enough and the mask to actually prune; a batch uses the *maximum*
+        per-image keep fraction (sparse only when every image alone would go
+        sparse) so batched and single-image runs make the same decision
+        wherever possible.
         """
-        if fmap_mask is None or self.sparse_mode == "dense":
+        if mask is None or self.sparse_mode == "dense":
             return False
         if self.sparse_mode == "sparse":
             return True
-        if tokens_per_image < SPARSE_AUTO_MIN_TOKENS:
+        if rows_per_image < min_rows:
             return False
         if batched:
-            per_image = np.count_nonzero(fmap_mask, axis=1)
-            keep_fraction = float(per_image.max()) / max(tokens_per_image, 1)
+            per_image = np.count_nonzero(mask, axis=1)
+            keep_fraction = float(per_image.max()) / max(rows_per_image, 1)
         else:
-            keep_fraction = np.count_nonzero(fmap_mask) / max(fmap_mask.size, 1)
-        return keep_fraction <= SPARSE_AUTO_PIXEL_KEEP_MAX
+            keep_fraction = np.count_nonzero(mask) / max(mask.size, 1)
+        return keep_fraction <= keep_max
+
+    def _use_sparse_projection(
+        self, fmap_mask: np.ndarray | None, tokens_per_image: int, batched: bool = False
+    ) -> bool:
+        """Whether the value projection runs on compacted (kept-pixel) rows."""
+        return self._use_sparse_rows(
+            fmap_mask,
+            tokens_per_image,
+            SPARSE_AUTO_PIXEL_KEEP_MAX,
+            SPARSE_AUTO_MIN_TOKENS,
+            batched=batched,
+        )
+
+    def _use_sparse_query(
+        self, query_keep: np.ndarray | None, queries_per_image: int, batched: bool = False
+    ) -> bool:
+        """Whether the query-side projections run on compacted (kept-query) rows."""
+        return self._use_sparse_rows(
+            query_keep,
+            queries_per_image,
+            SPARSE_AUTO_QUERY_KEEP_MAX,
+            SPARSE_AUTO_MIN_QUERIES,
+            batched=batched,
+        )
+
+    @staticmethod
+    def _project_rows(
+        proj: Linear | QuantizedLinear, x: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Project only ``x[rows]``; quantized projections keep the full-array
+        dynamic activation scale so the result matches the dense rows exactly."""
+        if isinstance(proj, QuantizedLinear):
+            return proj.forward_rows(x, rows)
+        return proj(x[rows])
+
+    @staticmethod
+    def _project_rows_batched(
+        proj: Linear | QuantizedLinear, x: np.ndarray, flat_rows: np.ndarray
+    ) -> np.ndarray:
+        """Project selected rows of a ``(B, N, D)`` batch; quantized
+        projections keep the per-image dynamic scales of the full batch."""
+        if isinstance(proj, QuantizedLinear):
+            return proj.forward_rows_batched(x, flat_rows)
+        return proj(x.reshape(-1, x.shape[-1])[flat_rows])
+
+    @staticmethod
+    def _projection_bias(proj: Linear | QuantizedLinear) -> np.ndarray | None:
+        """The additive bias of a (possibly quantized) projection.
+
+        Skipped rows of a row-compacted projection receive exactly this value:
+        a zero input row projects to the bias on both paths (zero quantizes to
+        zero under symmetric fake quantization).
+        """
+        return proj.inner.bias if isinstance(proj, QuantizedLinear) else proj.bias
+
+    @staticmethod
+    def _fold_query_mask(
+        row_pap: PAPResult,
+        points_shape: tuple[int, ...],
+        query_keep: np.ndarray | None,
+        kept_q: np.ndarray | None,
+    ) -> PAPResult:
+        """Combine a PAP result with the query keep-mask of query pruning.
+
+        Returns a :class:`PAPResult` over the full ``points_shape`` grid with
+        pruned queries' points masked out and their attention weights zeroed.
+        ``kept_q`` non-``None`` means *row_pap* was computed on the compacted
+        kept rows (sparse query path) and is scattered back; otherwise it
+        covers the full grid (dense path) and the pruned rows are zeroed.
+        Either way the resulting masks, weights and counts are identical, so
+        the two paths stay equivalent.
+        """
+        if query_keep is None:
+            return row_pap
+        if kept_q is not None:
+            point_mask = np.zeros(points_shape, dtype=bool)
+            point_mask[kept_q] = row_pap.point_mask
+            weights = np.zeros(points_shape, dtype=FLOAT_DTYPE)
+            weights[kept_q] = row_pap.attention_weights
+        else:
+            keep_rows = query_keep.reshape(query_keep.size, 1, 1, 1)
+            point_mask = row_pap.point_mask & keep_rows
+            weights = (row_pap.attention_weights * keep_rows).astype(FLOAT_DTYPE)
+        return PAPResult(
+            point_mask=point_mask,
+            attention_weights=weights,
+            threshold=row_pap.threshold,
+        )
 
     def _project_values(
         self, value_input: np.ndarray, fmap_mask: np.ndarray | None
@@ -381,38 +540,68 @@ class DEFAAttention:
             if fmap_mask.shape[0] != n_in:
                 raise ValueError("fmap_mask length must equal the number of tokens")
 
-        # Step 1: attention probabilities + PAP point mask.
+        # Query pruning (sparse execution v2): when enabled and the query set
+        # is the pixel set (encoder self-attention), pixels pruned by the
+        # incoming FWP mask stop acting as queries — every point of a pruned
+        # query is pruned and its block output is the output-projection bias.
+        # Both paths implement the same semantics: the dense path computes
+        # the projections for every query and zeroes the pruned rows, the
+        # sparse path skips them via row-compacted projections.
+        prune_queries = (
+            self.config.enable_query_pruning and fmap_mask is not None and n_q == n_in
+        )
+        query_keep = fmap_mask if prune_queries else None
+        sparse_query = prune_queries and self._use_sparse_query(query_keep, n_q)
+        kept_q = np.flatnonzero(query_keep) if sparse_query else None
+
+        # Step 1: attention probabilities + PAP point mask (row-compacted to
+        # the kept queries when the sparse query path is active; PAP is
+        # per-(query, head) local, so compact-row PAP equals full-grid PAP
+        # restricted to the kept rows).
+        points_shape = (n_q, attn.num_heads, attn.num_levels, attn.num_points)
         with kernel_section("query_proj"):
-            logits = self._attention_weights(query).reshape(
-                n_q, attn.num_heads, attn.num_levels * attn.num_points
-            )
+            if sparse_query:
+                logits = self._project_rows(self._attention_weights, query, kept_q)
+            else:
+                logits = self._attention_weights(query)
+            logits = logits.reshape(-1, attn.num_heads, attn.num_levels * attn.num_points)
         shifted = logits - logits.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)
         probs = (exp / exp.sum(axis=-1, keepdims=True)).reshape(
-            n_q, attn.num_heads, attn.num_levels, attn.num_points
+            logits.shape[0], attn.num_heads, attn.num_levels, attn.num_points
         )
         if self.config.enable_pap:
-            pap = compute_point_mask(
+            row_pap = compute_point_mask(
                 probs,
                 threshold=self.config.pap_threshold,
                 keep_top1=self.config.pap_keep_top1,
                 renormalize=self.config.renormalize_after_pap,
             )
         else:
-            pap = PAPResult(
+            row_pap = PAPResult(
                 point_mask=np.ones_like(probs, dtype=bool),
                 attention_weights=probs,
                 threshold=0.0,
             )
+        pap = self._fold_query_mask(row_pap, points_shape, query_keep, kept_q)
 
         # Step 2: sampling offsets of the surviving points + range narrowing.
         with kernel_section("query_proj"):
-            offsets = self._sampling_offsets(query).reshape(
-                n_q, attn.num_heads, attn.num_levels, attn.num_points, 2
-            )
+            if sparse_query:
+                offsets = np.zeros(points_shape + (2,), dtype=FLOAT_DTYPE)
+                offsets[kept_q] = self._project_rows(
+                    self._sampling_offsets, query, kept_q
+                ).reshape((kept_q.size,) + points_shape[1:] + (2,))
+            else:
+                offsets = self._sampling_offsets(query).reshape(points_shape + (2,))
+                if query_keep is not None:
+                    # Dense path under query pruning: zero the pruned rows so
+                    # both paths record identical offsets and locations.
+                    offsets = offsets * query_keep[:, None, None, None, None]
         clipping_fraction = 0.0
         if self.range_narrowing is not None:
-            clipping_fraction = self.range_narrowing.clipping_fraction(offsets)
+            measured = offsets if query_keep is None else offsets[query_keep]
+            clipping_fraction = self.range_narrowing.clipping_fraction(measured)
             offsets = self.range_narrowing.clamp_offsets(offsets)
         locations = attn.compute_sampling_locations(reference_points, offsets, spatial_shapes)
 
@@ -422,24 +611,37 @@ class DEFAAttention:
             value, sparse_projection = self._project_values(value_input, fmap_mask)
 
         # Step 4: fused MSGS + aggregation, with frequency counting for FWP.
-        with kernel_section("neighbors"):
-            trace = multi_scale_neighbors(spatial_shapes, locations)
-        sparse_gather = use_sparse_gather(
-            pap.point_mask if self.config.enable_pap else None,
-            pap.point_mask.size * 4,
-            self.sparse_mode,
+        # The sparse path builds the compacted trace — neighbour indices,
+        # weights and level offsets for kept points only — and feeds both the
+        # kernel and the frequency counter from it, so the `neighbors` cost
+        # scales with the keep ratio instead of the grid size.
+        effective_mask = (
+            pap.point_mask if (self.config.enable_pap or prune_queries) else None
         )
+        sparse_gather = use_sparse_gather(
+            effective_mask, pap.point_mask.size * 4, self.sparse_mode
+        )
+        trace: SamplingTrace | CompactSamplingTrace
         if sparse_gather:
-            head_outputs = ms_deform_attn_sparse_from_trace(
-                value, trace, pap.attention_weights, point_mask=pap.point_mask
+            with kernel_section("neighbors"):
+                trace = multi_scale_neighbors_sparse(
+                    spatial_shapes, locations, point_mask=effective_mask
+                )
+            head_outputs = ms_deform_attn_from_compact_trace(
+                value, trace, pap.attention_weights
             )
         else:
+            with kernel_section("neighbors"):
+                trace = multi_scale_neighbors(spatial_shapes, locations)
             head_outputs = ms_deform_attn_from_trace(
                 value, trace, pap.attention_weights, point_mask=pap.point_mask
             )
         with kernel_section("fwp"):
             if self.config.enable_fwp:
-                frequency = sampled_frequency(trace, point_mask=pap.point_mask)
+                if sparse_gather:
+                    frequency = sampled_frequency_compact(trace)
+                else:
+                    frequency = sampled_frequency(trace, point_mask=pap.point_mask)
                 fwp = compute_fmap_mask(frequency, spatial_shapes, self.config.fwp_k)
             else:
                 fwp = FWPResult(
@@ -448,9 +650,22 @@ class DEFAAttention:
                     level_keep_fractions=np.ones(len(spatial_shapes)),
                 )
 
-        # Step 5: output projection.
+        # Step 5: output projection (row-compacted under query pruning: the
+        # head outputs of pruned queries are exactly zero, so their output
+        # rows equal the projection bias on both paths).
         with kernel_section("output_proj"):
-            output = self._output_proj(head_outputs).astype(FLOAT_DTYPE)
+            if sparse_query:
+                output = np.zeros((n_q, attn.d_model), dtype=FLOAT_DTYPE)
+                bias = self._projection_bias(self._output_proj)
+                if bias is not None:
+                    output += bias
+                if kept_q.size:
+                    output[kept_q] = self._project_rows(
+                        self._output_proj, head_outputs, kept_q
+                    )
+                output = output.astype(FLOAT_DTYPE)
+            else:
+                output = self._output_proj(head_outputs).astype(FLOAT_DTYPE)
 
         # First-block convention: with no incoming mask every pixel is kept,
         # so pixels_kept == n_in even when enable_fwp=True (the mask this
@@ -478,6 +693,8 @@ class DEFAAttention:
             mask_applied=fmap_mask is not None,
             sparse_projection=sparse_projection,
             sparse_gather=sparse_gather,
+            sparse_neighbors=sparse_gather,
+            sparse_query=sparse_query,
         )
         return DEFAAttentionOutput(
             output=output,
@@ -486,7 +703,7 @@ class DEFAAttention:
             point_mask=pap.point_mask,
             attention_weights=pap.attention_weights,
             sampling_locations=locations,
-            trace=trace,
+            trace_executed=trace,
             fwp=fwp,
             pap=pap,
         )
@@ -512,49 +729,88 @@ class DEFAAttention:
             if fmap_mask.shape != (batch, n_in):
                 raise ValueError("batched fmap_mask must have shape (B, N_in)")
 
+        # Query pruning (sparse execution v2), batched: per-image query
+        # keep-masks, one row-compacted projection across the whole batch
+        # (per-image dynamic quantization scales preserved by
+        # QuantizedLinear.forward_rows_batched).
+        prune_queries = (
+            self.config.enable_query_pruning and fmap_mask is not None and n_q == n_in
+        )
+        query_keep = fmap_mask if prune_queries else None  # (B, N_q)
+        sparse_query = prune_queries and self._use_sparse_query(
+            query_keep, n_q, batched=True
+        )
+        kept_q = np.flatnonzero(query_keep.reshape(-1)) if sparse_query else None
+
         # Step 1: attention probabilities (batched) + PAP masks.  PAP is a
         # per-(query, head) operation, so folding the batch axis into the
-        # query axis gives per-image-identical masks from one vectorized call.
+        # query axis gives per-image-identical masks from one vectorized call
+        # (the row-compacted path folds the kept rows of every image the
+        # same way).
+        grid_shape = (batch * n_q, attn.num_heads, attn.num_levels, attn.num_points)
         with kernel_section("query_proj"):
-            logits = self._project_batched(self._attention_weights, query).reshape(
-                batch, n_q, attn.num_heads, attn.num_levels * attn.num_points
-            )
+            if sparse_query:
+                logits = self._project_rows_batched(self._attention_weights, query, kept_q)
+            else:
+                logits = self._project_batched(self._attention_weights, query)
+            logits = logits.reshape(-1, attn.num_heads, attn.num_levels * attn.num_points)
         probs = softmax(logits, axis=-1).reshape(
-            batch, n_q, attn.num_heads, attn.num_levels, attn.num_points
+            logits.shape[0], attn.num_heads, attn.num_levels, attn.num_points
         )
         if self.config.enable_pap:
-            pap_all = compute_point_mask(
-                probs.reshape(batch * n_q, attn.num_heads, attn.num_levels, attn.num_points),
+            row_pap = compute_point_mask(
+                probs,
                 threshold=self.config.pap_threshold,
                 keep_top1=self.config.pap_keep_top1,
                 renormalize=self.config.renormalize_after_pap,
             )
-            point_masks = pap_all.point_mask.reshape(probs.shape)
-            attn_weights = pap_all.attention_weights.reshape(probs.shape)
-            pap_threshold = pap_all.threshold
         else:
-            point_masks = np.ones_like(probs, dtype=bool)
-            attn_weights = probs
-            pap_threshold = 0.0
+            row_pap = PAPResult(
+                point_mask=np.ones_like(probs, dtype=bool),
+                attention_weights=probs,
+                threshold=0.0,
+            )
+        pap_all = self._fold_query_mask(
+            row_pap,
+            grid_shape,
+            None if query_keep is None else query_keep.reshape(-1),
+            kept_q,
+        )
+        point_masks = pap_all.point_mask.reshape((batch, n_q) + grid_shape[1:])
+        attn_weights = pap_all.attention_weights.reshape(point_masks.shape)
         paps = [
             PAPResult(
                 point_mask=point_masks[b],
                 attention_weights=attn_weights[b],
-                threshold=pap_threshold,
+                threshold=pap_all.threshold,
             )
             for b in range(batch)
         ]
 
         # Step 2: sampling offsets + range narrowing (batched clamp,
-        # per-image clipping fractions).
+        # per-image clipping fractions over the kept queries).
         with kernel_section("query_proj"):
-            offsets = self._project_batched(self._sampling_offsets, query).reshape(
-                batch, n_q, attn.num_heads, attn.num_levels, attn.num_points, 2
-            )
+            if sparse_query:
+                offsets_flat = np.zeros(grid_shape + (2,), dtype=FLOAT_DTYPE)
+                offsets_flat[kept_q] = self._project_rows_batched(
+                    self._sampling_offsets, query, kept_q
+                ).reshape((kept_q.size,) + grid_shape[1:] + (2,))
+                offsets = offsets_flat.reshape((batch, n_q) + grid_shape[1:] + (2,))
+            else:
+                offsets = self._project_batched(self._sampling_offsets, query).reshape(
+                    (batch, n_q) + grid_shape[1:] + (2,)
+                )
+                if query_keep is not None:
+                    # Dense path under query pruning: zero the pruned rows so
+                    # both paths record identical offsets and locations.
+                    offsets = offsets * query_keep[:, :, None, None, None, None]
         clipping_fractions = [0.0] * batch
         if self.range_narrowing is not None:
             clipping_fractions = [
-                self.range_narrowing.clipping_fraction(offsets[b]) for b in range(batch)
+                self.range_narrowing.clipping_fraction(
+                    offsets[b] if query_keep is None else offsets[b][query_keep[b]]
+                )
+                for b in range(batch)
             ]
             offsets = self.range_narrowing.clamp_offsets(offsets)
         locations = attn.compute_sampling_locations(reference_points, offsets, spatial_shapes)
@@ -566,26 +822,37 @@ class DEFAAttention:
 
         # Step 4: fused MSGS + aggregation over the whole batch, then
         # vectorized frequency counting and per-image FWP mask generation.
-        with kernel_section("neighbors"):
-            trace = multi_scale_neighbors_batched(spatial_shapes, locations)
+        # The sparse path builds the compacted trace (neighbour math for the
+        # kept points of all images in one pass) and feeds both the kernel
+        # and the frequency counter from it.
+        effective_masks = (
+            point_masks if (self.config.enable_pap or prune_queries) else None
+        )
         sparse_gather = use_sparse_gather(
-            point_masks if self.config.enable_pap else None,
+            effective_masks,
             point_masks[0].size * 4,  # per-image slots: keep batched == single
             self.sparse_mode,
             batched=True,
         )
         if sparse_gather:
-            head_outputs = ms_deform_attn_sparse_from_trace_batched(
-                value, trace, attn_weights, point_mask=point_masks
-            )
+            with kernel_section("neighbors"):
+                trace = multi_scale_neighbors_sparse_batched(
+                    spatial_shapes, locations, point_mask=effective_masks
+                )
+            head_outputs = ms_deform_attn_from_compact_trace(value, trace, attn_weights)
         else:
+            with kernel_section("neighbors"):
+                trace = multi_scale_neighbors_batched(spatial_shapes, locations)
             head_outputs = ms_deform_attn_from_trace_batched(
                 value, trace, attn_weights, point_mask=point_masks
             )
         image_traces = trace.images()
         with kernel_section("fwp"):
             if self.config.enable_fwp:
-                frequency = sampled_frequency_batched(trace, point_mask=point_masks)
+                if sparse_gather:
+                    frequency = sampled_frequency_compact_batched(trace)
+                else:
+                    frequency = sampled_frequency_batched(trace, point_mask=point_masks)
                 fwps = compute_fmap_mask_batched(frequency, spatial_shapes, self.config.fwp_k)
             else:
                 fwps = [
@@ -597,9 +864,23 @@ class DEFAAttention:
                     for _ in range(batch)
                 ]
 
-        # Step 5: output projection (batched).
+        # Step 5: output projection (batched; row-compacted under query
+        # pruning — pruned queries' rows equal the projection bias).
         with kernel_section("output_proj"):
-            output = self._project_batched(self._output_proj, head_outputs).astype(FLOAT_DTYPE)
+            if sparse_query:
+                out_flat = np.zeros((batch * n_q, attn.d_model), dtype=FLOAT_DTYPE)
+                bias = self._projection_bias(self._output_proj)
+                if bias is not None:
+                    out_flat += bias
+                if kept_q.size:
+                    out_flat[kept_q] = self._project_rows_batched(
+                        self._output_proj, head_outputs, kept_q
+                    )
+                output = out_flat.reshape(batch, n_q, attn.d_model).astype(FLOAT_DTYPE)
+            else:
+                output = self._project_batched(self._output_proj, head_outputs).astype(
+                    FLOAT_DTYPE
+                )
 
         images: list[DEFAAttentionOutput] = []
         for b in range(batch):
@@ -627,6 +908,8 @@ class DEFAAttention:
                 mask_applied=mask_b is not None,
                 sparse_projection=sparse_projection,
                 sparse_gather=sparse_gather,
+                sparse_neighbors=sparse_gather,
+                sparse_query=sparse_query,
             )
             images.append(
                 DEFAAttentionOutput(
@@ -636,7 +919,7 @@ class DEFAAttention:
                     point_mask=paps[b].point_mask,
                     attention_weights=paps[b].attention_weights,
                     sampling_locations=locations[b],
-                    trace=image_traces[b],
+                    trace_executed=image_traces[b],
                     fwp=fwps[b],
                     pap=paps[b],
                 )

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.grid_sample import BatchedSamplingTrace, SamplingTrace
+from repro.nn.grid_sample import BatchedSamplingTrace, CompactSamplingTrace, SamplingTrace
 from repro.utils.shapes import LevelShape, level_start_indices, total_pixels
 
 
@@ -73,6 +73,37 @@ def sampled_frequency_batched(
         (batch,) + (1,) * (trace.flat_indices.ndim - 1)
     )
     indices = (trace.flat_indices + offsets)[valid]
+    counts = np.bincount(indices, minlength=batch * n_in)
+    return counts.reshape(batch, n_in).astype(np.int64)
+
+
+def sampled_frequency_compact(trace: CompactSamplingTrace) -> np.ndarray:
+    """Per-pixel sampled frequency from a single-image compacted trace.
+
+    The PAP/query mask is already folded into the trace (only kept points
+    carry rows), so there is no ``point_mask`` argument.  The counts equal
+    :func:`sampled_frequency` on the dense trace with the same mask exactly
+    (both count the in-bounds neighbours of the kept points).
+    """
+    if trace.batch_size != 1:
+        raise ValueError("use sampled_frequency_compact_batched for batched traces")
+    n_in = total_pixels(trace.spatial_shapes)
+    indices = trace.flat_indices[trace.valid]
+    return np.bincount(indices, minlength=n_in).astype(np.int64)
+
+
+def sampled_frequency_compact_batched(trace: CompactSamplingTrace) -> np.ndarray:
+    """Per-image sampled frequencies from a batched compacted trace, ``(B, N_in)``.
+
+    Exactly equal to :func:`sampled_frequency_compact` on every
+    ``trace.image(b)``; computed with one ``np.bincount`` over batch-offset
+    token indices.
+    """
+    n_in = total_pixels(trace.spatial_shapes)
+    batch = trace.batch_size
+    image = trace.kept // trace.points_per_image  # (K,) image id of each kept point
+    offsets = np.broadcast_to((image * n_in)[:, None], trace.valid.shape)
+    indices = (trace.flat_indices + offsets)[trace.valid]
     counts = np.bincount(indices, minlength=batch * n_in)
     return counts.reshape(batch, n_in).astype(np.int64)
 

@@ -257,12 +257,19 @@ def sweep_sparse_speedup(
     repeats: int = 3,
     rng_seed: int = 0,
     quant_bits: int | None = 12,
+    query_pruning: bool = True,
 ) -> list[SparseSpeedupReport]:
     """Dense-vs-sparse speedup sweep over FWP/PAP operating points.
 
     Every operating point re-seeds the generator with *rng_seed*, so all
     points see identical synthetic weights and features and the measured
     reduction ratios are directly comparable.
+
+    ``query_pruning`` (default on — sparse execution v2) extends the FWP mask
+    to the query side in *both* timed paths: pruned pixels stop acting as
+    queries, the dense path zeroes their rows, the sparse path skips their
+    projections and sampling points entirely.  The reported
+    ``point_reduction`` therefore includes the points of pruned queries.
     """
     workload = get_workload(model_name, scale)
     points = operating_points if operating_points is not None else SPARSE_SWEEP_OPERATING_POINTS
@@ -274,6 +281,7 @@ def sweep_sparse_speedup(
             enable_pap=pap_threshold > 0,
             pap_threshold=pap_threshold,
             quant_bits=quant_bits,
+            enable_query_pruning=query_pruning,
         )
         reports.append(
             measure_sparse_speedup(workload, config, repeats=repeats, rng=rng_seed)
@@ -320,7 +328,9 @@ def measure_sparse_speedup(
     ``sparse_mode="dense"`` (pruning simulated by zeroing) and once with
     ``sparse_mode="sparse"`` (compacted gather/scatter kernels).  Both runs
     see identical inputs and masks, so ``max_abs_diff`` measures the numeric
-    equivalence of the two paths directly.
+    equivalence of the two paths directly.  All config switches — including
+    ``enable_query_pruning`` (sparse execution v2) — apply to both paths, so
+    the comparison always times two implementations of the same semantics.
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")

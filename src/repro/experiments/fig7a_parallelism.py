@@ -43,14 +43,16 @@ def run(
         boosts, intra_cpg, inter_cpg, conflict = [], [], [], []
         for layer_out in result.layer_outputs:
             # The Fig. 7(a) micro-benchmark measures the raw MSGS engine
-            # throughput, so the full (unpruned) sampling stream is replayed.
+            # throughput, so the full (unpruned) sampling stream is replayed;
+            # dense_trace() materializes it when the block ran compacted.
+            trace = layer_out.dense_trace()
             intra = simulate_bank_conflicts(
-                layer_out.trace,
+                trace,
                 BankingScheme.INTRA_LEVEL,
                 num_banks=num_banks,
             )
             inter = simulate_bank_conflicts(
-                layer_out.trace,
+                trace,
                 BankingScheme.INTER_LEVEL,
                 num_banks=num_banks,
             )

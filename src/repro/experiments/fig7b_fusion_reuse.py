@@ -14,8 +14,6 @@ off and on, using the measured sampling statistics of the benchmark workloads.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.config import DEFAConfig
 from repro.experiments.common import ExperimentResult, register_experiment
 from repro.experiments.workload_runs import prepare_run, run_defa_cached

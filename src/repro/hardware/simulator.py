@@ -132,7 +132,9 @@ class DEFASimulator:
         replaying the block's actual sampling trace.
         """
         stats = output.stats
-        trace = output.trace
+        # Sparse-path outputs carry a compacted trace; the simulator replays
+        # every point, so materialize the full trace on demand.
+        trace = output.dense_trace()
         n_q, n_h, n_l, n_p = output.point_mask.shape
         active = trace.valid & output.point_mask[..., None]
         neighbor_accesses = int(np.count_nonzero(active))

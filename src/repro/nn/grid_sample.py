@@ -18,7 +18,15 @@ Three code paths are provided:
   accumulated back into the per-(query, head) outputs with a segment sum.
   This is the software analogue of the accelerator skipping pruned points
   entirely — it turns the pruning ratio into wall-clock speedup instead of
-  multiplying gathered values by zero.
+  multiplying gathered values by zero, and
+* a *compacted trace* (:class:`CompactSamplingTrace`, built by
+  :func:`multi_scale_neighbors_sparse` / :func:`
+  multi_scale_neighbors_sparse_batched` and consumed by
+  :func:`ms_deform_attn_from_compact_trace`): the index-level trace of only
+  the mask-surviving points.  Unlike the sparse kernels above, which compact
+  an already-built dense trace, the compacted trace never computes bilinear
+  neighbours, weights or level offsets for pruned points, so trace
+  construction itself scales with the keep ratio (sparse execution v2).
 
 Coordinate convention: sampling locations are normalized to ``[0, 1]`` in
 ``(x, y)`` order (as in Deformable DETR).  They are mapped to pixel
@@ -707,6 +715,217 @@ def use_sparse_gather(
     return keep_fraction <= SPARSE_AUTO_POINT_KEEP_MAX
 
 
+@dataclass
+class CompactSamplingTrace:
+    """Sampling trace restricted to the points kept by a PAP/query mask.
+
+    Where :class:`SamplingTrace` stores neighbour data for *every* point of
+    the ``(N_q, N_h, N_l, N_p)`` grid, this record stores one row per
+    surviving point, identified by its flat index on the
+    ``(B * N_q * N_h * N_l * N_p)`` point axis (``B = 1`` for single images).
+    Rows appear in ascending ``kept`` order, i.e. per-image, per-query,
+    per-head contiguous — the order the segment-sum kernels rely on.
+
+    The per-point data matches the dense trace bit for bit (same bilinear
+    formulas via :func:`_neighbor_grid`), which the property tests assert:
+    ``flat_indices[i] == dense.flat_indices.reshape(-1, 4)[kept[i]]`` and
+    likewise for ``weights``/``valid``/``levels``.
+
+    Attributes
+    ----------
+    kept:
+        ``(K,)`` sorted ``int64`` flat point indices of the survivors.
+    levels:
+        ``(K,)`` pyramid level of each kept point.
+    flat_indices:
+        ``(K, 4)`` neighbour indices on the flattened multi-scale token axis
+        (per image); out-of-bounds neighbours are ``-1``.
+    weights:
+        ``(K, 4)`` bilinear weights (out-of-bounds neighbours not zeroed —
+        pair with ``valid``, as in the dense trace).
+    valid:
+        ``(K, 4)`` in-bounds flags.
+    spatial_shapes:
+        Pyramid level shapes the trace was generated for.
+    batch_size, num_queries, num_heads, num_levels, num_points:
+        Geometry of the (uncompacted) point grid; ``batch_size`` is 1 for
+        traces built from single-image sampling locations.
+    """
+
+    kept: np.ndarray
+    levels: np.ndarray
+    flat_indices: np.ndarray
+    weights: np.ndarray
+    valid: np.ndarray
+    spatial_shapes: list[LevelShape]
+    batch_size: int
+    num_queries: int
+    num_heads: int
+    num_levels: int
+    num_points: int
+
+    @property
+    def num_kept(self) -> int:
+        """Number of surviving sampling points."""
+        return int(self.kept.size)
+
+    @property
+    def points_per_image(self) -> int:
+        return self.num_queries * self.num_heads * self.num_levels * self.num_points
+
+    @property
+    def total_points(self) -> int:
+        """Grid size before compaction (``B * N_q * N_h * N_l * N_p``)."""
+        return self.batch_size * self.points_per_image
+
+    @property
+    def keep_fraction(self) -> float:
+        total = self.total_points
+        return self.num_kept / total if total else 1.0
+
+    def segments(self) -> np.ndarray:
+        """``(K,)`` output-slot id ``(image * N_q + query) * N_h + head`` of
+        every kept point (non-decreasing, since ``kept`` is sorted)."""
+        return self.kept // (self.num_levels * self.num_points)
+
+    def image(self, b: int) -> "CompactSamplingTrace":
+        """Zero-copy single-image view of batch element *b*.
+
+        ``kept`` is sorted, so the rows of image *b* form one contiguous
+        slice located with two binary searches.
+        """
+        ppi = self.points_per_image
+        lo = int(np.searchsorted(self.kept, b * ppi))
+        hi = int(np.searchsorted(self.kept, (b + 1) * ppi))
+        return CompactSamplingTrace(
+            kept=self.kept[lo:hi] - b * ppi,
+            levels=self.levels[lo:hi],
+            flat_indices=self.flat_indices[lo:hi],
+            weights=self.weights[lo:hi],
+            valid=self.valid[lo:hi],
+            spatial_shapes=self.spatial_shapes,
+            batch_size=1,
+            num_queries=self.num_queries,
+            num_heads=self.num_heads,
+            num_levels=self.num_levels,
+            num_points=self.num_points,
+        )
+
+    def images(self) -> list["CompactSamplingTrace"]:
+        """Per-image views for the whole batch."""
+        return [self.image(b) for b in range(self.batch_size)]
+
+
+def _compact_trace_impl(
+    spatial_shapes: list[LevelShape],
+    sampling_locations: np.ndarray,
+    point_mask: np.ndarray | None,
+) -> CompactSamplingTrace:
+    """Shared body of the compacted-trace constructors.
+
+    ``sampling_locations`` carries a leading batch axis
+    (``(B, N_q, N_h, N_l, N_p, 2)``, ``B = 1`` for single images); the
+    bilinear neighbour/weight/index math runs on the mask survivors only, so
+    the cost is proportional to the keep ratio rather than the grid size.
+    """
+    batch, n_q, n_h, n_l, n_p, _ = sampling_locations.shape
+    total_points = batch * n_q * n_h * n_l * n_p
+    if point_mask is None:
+        kept = np.arange(total_points, dtype=np.int64)
+    else:
+        kept = np.flatnonzero(np.asarray(point_mask, dtype=bool).reshape(-1))
+
+    widths = np.array([s.width for s in spatial_shapes], dtype=FLOAT_DTYPE)
+    heights = np.array([s.height for s in spatial_shapes], dtype=FLOAT_DTYPE)
+    hi = np.array([s.height for s in spatial_shapes], dtype=np.int64)
+    wi = np.array([s.width for s in spatial_shapes], dtype=np.int64)
+    starts = np.array(level_start_indices(spatial_shapes), dtype=np.int64)
+
+    lvl = (kept // n_p) % n_l
+    loc = np.ascontiguousarray(sampling_locations).reshape(total_points, 2)[kept]
+    # Identical float32 expressions as the dense trace path (via
+    # _neighbor_grid), so per-point results are bit-identical to the dense
+    # trace restricted to the kept points.
+    x = loc[:, 0] * widths[lvl] - 0.5
+    y = loc[:, 1] * heights[lvl] - 0.5
+    _, _, weights, valid, safe_flat = _neighbor_grid(
+        x, y, hi[lvl][:, None], wi[lvl][:, None], starts[lvl][:, None]
+    )
+    safe_flat[~valid] = -1  # freshly allocated: in-place scatter, no copy
+    return CompactSamplingTrace(
+        kept=kept,
+        levels=lvl,
+        flat_indices=safe_flat,
+        weights=weights,
+        valid=valid,
+        spatial_shapes=list(spatial_shapes),
+        batch_size=batch,
+        num_queries=n_q,
+        num_heads=n_h,
+        num_levels=n_l,
+        num_points=n_p,
+    )
+
+
+def multi_scale_neighbors_sparse(
+    spatial_shapes: list[LevelShape],
+    sampling_locations: np.ndarray,
+    point_mask: np.ndarray | None = None,
+) -> CompactSamplingTrace:
+    """Compacted-trace variant of :func:`multi_scale_neighbors`.
+
+    Computes sampling pixel coordinates, bilinear neighbour indices/weights
+    and level offsets **only for the points kept** by ``point_mask`` (shape
+    ``(N_q, N_h, N_l, N_p)``; ``None`` keeps every point).  The per-point
+    results are bit-identical to the dense trace restricted to the kept
+    points; construction cost scales with the keep ratio.
+    """
+    sampling_locations = np.asarray(sampling_locations, dtype=FLOAT_DTYPE)
+    if sampling_locations.ndim != 5 or sampling_locations.shape[-1] != 2:
+        raise ValueError("sampling_locations must have shape (N_q, N_h, N_l, N_p, 2)")
+    if sampling_locations.shape[2] != len(spatial_shapes):
+        raise ValueError(
+            f"sampling_locations has {sampling_locations.shape[2]} levels "
+            f"but {len(spatial_shapes)} shapes given"
+        )
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != sampling_locations.shape[:-1]:
+            raise ValueError("point_mask shape must match sampling_locations[:-1]")
+    return _compact_trace_impl(
+        spatial_shapes,
+        sampling_locations[None],
+        None if point_mask is None else point_mask[None],
+    )
+
+
+def multi_scale_neighbors_sparse_batched(
+    spatial_shapes: list[LevelShape],
+    sampling_locations: np.ndarray,
+    point_mask: np.ndarray | None = None,
+) -> CompactSamplingTrace:
+    """Batched variant of :func:`multi_scale_neighbors_sparse`.
+
+    ``sampling_locations`` has shape ``(B, N_q, N_h, N_l, N_p, 2)`` and
+    ``point_mask`` (if given) ``(B, N_q, N_h, N_l, N_p)``.  The batch folds
+    into the compacted point axis, so one pass serves every image;
+    :meth:`CompactSamplingTrace.image` recovers zero-copy per-image views.
+    """
+    sampling_locations = np.asarray(sampling_locations, dtype=FLOAT_DTYPE)
+    if sampling_locations.ndim != 6 or sampling_locations.shape[-1] != 2:
+        raise ValueError("sampling_locations must have shape (B, N_q, N_h, N_l, N_p, 2)")
+    if sampling_locations.shape[3] != len(spatial_shapes):
+        raise ValueError(
+            f"sampling_locations has {sampling_locations.shape[3]} levels "
+            f"but {len(spatial_shapes)} shapes given"
+        )
+    if point_mask is not None:
+        point_mask = np.asarray(point_mask, dtype=bool)
+        if point_mask.shape != sampling_locations.shape[:-1]:
+            raise ValueError("point_mask shape must match sampling_locations[:-1]")
+    return _compact_trace_impl(spatial_shapes, sampling_locations, point_mask)
+
+
 def _segment_sum_into(out: np.ndarray, contrib: np.ndarray, seg: np.ndarray) -> None:
     """Accumulate ``contrib`` rows into ``out[seg]`` for *sorted* segment ids.
 
@@ -809,6 +1028,90 @@ def _sparse_gather_aggregate(
     return output
 
 
+def _compact_gather_aggregate(
+    value_flat: np.ndarray,
+    trace: CompactSamplingTrace,
+    attn_flat: np.ndarray,
+    n_in: int,
+) -> np.ndarray:
+    """Gather + segment-sum aggregation over an already-compacted trace.
+
+    ``value_flat`` is the ``(B * N_in * N_h, D_h)`` value-row matrix,
+    ``attn_flat`` the ``(K,)`` attention probabilities of the kept points (in
+    ``trace.kept`` order).  Returns the ``(B * N_q * N_h, D_h)`` head
+    outputs.  Unlike :func:`_sparse_gather_aggregate`, there is no mask
+    compaction and no neighbour lookup left to do — the trace already holds
+    exactly the surviving rows — so the kernel is a chunked gather, one
+    einsum over the four neighbours and a segment sum.
+    """
+    d_h = value_flat.shape[1]
+    n_h = trace.num_heads
+    n_q, batch = trace.num_queries, trace.batch_size
+    seg_all = trace.segments()
+    output = np.zeros((batch * n_q * n_h, d_h), dtype=FLOAT_DTYPE)
+    chunk = max(1, _SPARSE_CONTRIB_BUDGET_BYTES // (4 * 4 * max(d_h, 1)))
+    for lo in range(0, trace.num_kept, chunk):
+        sl = slice(lo, lo + chunk)
+        with kernel_section("gather"):
+            seg = seg_all[sl]
+            head = seg % n_h
+            token = np.maximum(trace.flat_indices[sl], 0)  # clamp -1 (weight is 0)
+            if batch > 1:
+                image = seg // (n_q * n_h)
+                gather_idx = ((image[:, None] * n_in) + token) * n_h + head[:, None]
+            else:
+                gather_idx = token * n_h + head[:, None]
+            gathered = value_flat[gather_idx]  # (K_chunk, 4, D_h)
+        with kernel_section("aggregate"):
+            w4 = trace.weights[sl] * trace.valid[sl] * attn_flat[sl][:, None]
+            contrib = np.einsum("kfc,kf->kc", gathered, w4)
+            _segment_sum_into(output, contrib, seg)
+    return output
+
+
+def ms_deform_attn_from_compact_trace(
+    value: np.ndarray,
+    trace: CompactSamplingTrace,
+    attention_weights: np.ndarray,
+) -> np.ndarray:
+    """MSGS + aggregation from a precomputed :class:`CompactSamplingTrace`.
+
+    The pruning mask is already folded into the trace (only kept points have
+    rows), so no ``point_mask`` argument exists: pruned points contribute
+    exact zeros, as in the masked-dense kernels.  ``value`` has shape
+    ``(N_in, N_h, D_h)`` for a ``batch_size == 1`` trace or
+    ``(B, N_in, N_h, D_h)`` for a batched one; ``attention_weights`` is the
+    full ``([B,] N_q, N_h, N_l, N_p)`` array (only kept entries are read).
+    Matches the dense from-trace kernel to float32 rounding.
+    """
+    value = np.asarray(value, dtype=FLOAT_DTYPE)
+    batched = trace.batch_size > 1 or value.ndim == 4
+    if batched:
+        if value.ndim != 4:
+            raise ValueError("value must have shape (B, N_in, N_h, D_h) for a batched trace")
+        if value.shape[0] != trace.batch_size:
+            raise ValueError("value batch axis must match the trace batch size")
+        batch, n_in, n_h, d_h = value.shape
+    else:
+        if value.ndim != 3:
+            raise ValueError("value must have shape (N_in, N_h, D_h)")
+        batch, (n_in, n_h, d_h) = 1, value.shape
+    if n_h != trace.num_heads:
+        raise ValueError("value head axis must match the trace")
+    expected = sum(s.num_pixels for s in trace.spatial_shapes)
+    if n_in != expected:
+        raise ValueError(f"value has {n_in} tokens but spatial shapes sum to {expected}")
+    attn_flat = (
+        np.ascontiguousarray(np.asarray(attention_weights, dtype=FLOAT_DTYPE))
+        .reshape(-1)[trace.kept]
+    )
+    value_flat = np.ascontiguousarray(value).reshape(batch * n_in * n_h, d_h)
+    output = _compact_gather_aggregate(value_flat, trace, attn_flat, n_in)
+    if batched:
+        return output.reshape(batch, trace.num_queries, n_h * d_h)
+    return output.reshape(trace.num_queries, n_h * d_h)
+
+
 def ms_deform_attn_sparse_from_trace(
     value: np.ndarray,
     trace: SamplingTrace,
@@ -893,61 +1196,20 @@ def _core_sparse_impl(
     sampling_locations: np.ndarray,
     attention_weights: np.ndarray,
     point_mask: np.ndarray | None,
-    batch: int,
 ) -> np.ndarray:
     """Compact-before-neighbours sparse core shared by single/batched entry points.
 
-    All arrays carry a leading batch axis (``batch == 1`` for single images).
+    All arrays carry a leading batch axis (size 1 for single images).
     Unlike the from-trace sparse kernels, pruned points here skip even the
     bilinear *neighbour computation*: sampling locations are compacted first,
     neighbour/weight math runs on the ``(N_kept, ...)`` survivors only.
     """
     b, n_in, n_h, d_h = value.shape
-    _, n_q, _, n_l, n_p, _ = sampling_locations.shape
-    points_per_qh = n_l * n_p
-    total_points = batch * n_q * n_h * points_per_qh
-
-    if point_mask is None:
-        kept = np.arange(total_points, dtype=np.int64)
-    else:
-        kept = np.flatnonzero(np.asarray(point_mask, dtype=bool).reshape(-1))
-
-    widths = np.array([s.width for s in spatial_shapes], dtype=FLOAT_DTYPE)
-    heights = np.array([s.height for s in spatial_shapes], dtype=FLOAT_DTYPE)
-    hi = np.array([s.height for s in spatial_shapes], dtype=np.int64)
-    wi = np.array([s.width for s in spatial_shapes], dtype=np.int64)
-    starts = np.array(level_start_indices(spatial_shapes), dtype=np.int64)
-
-    loc_flat = np.ascontiguousarray(sampling_locations).reshape(total_points, 2)
-    attn_flat = np.ascontiguousarray(attention_weights).reshape(total_points)
+    with kernel_section("neighbors"):
+        trace = _compact_trace_impl(spatial_shapes, sampling_locations, point_mask)
+    attn_flat = np.ascontiguousarray(attention_weights).reshape(-1)[trace.kept]
     value_flat = np.ascontiguousarray(value).reshape(b * n_in * n_h, d_h)
-
-    output = np.zeros((batch * n_q * n_h, d_h), dtype=FLOAT_DTYPE)
-    chunk = max(1, _SPARSE_CONTRIB_BUDGET_BYTES // (4 * 4 * max(d_h, 1)))
-    for lo in range(0, kept.size, chunk):
-        idx = kept[lo : lo + chunk]
-        with kernel_section("gather"):
-            lvl = (idx // n_p) % n_l
-            loc = loc_flat[idx]
-            # Same bilinear math as the dense trace path, on survivors only.
-            x = loc[:, 0] * widths[lvl] - 0.5
-            y = loc[:, 1] * heights[lvl] - 0.5
-            _, _, weights, valid, flat = _neighbor_grid(
-                x, y, hi[lvl][:, None], wi[lvl][:, None], starts[lvl][:, None]
-            )  # (K, 4) each
-            seg = idx // points_per_qh  # global (image * N_q + query) * N_h + head
-            head = seg % n_h
-            if batch > 1:
-                image = seg // (n_q * n_h)
-                gather_idx = ((image[:, None] * n_in) + flat) * n_h + head[:, None]
-            else:
-                gather_idx = flat * n_h + head[:, None]
-            gathered = value_flat[gather_idx]  # (K, 4, D_h)
-        with kernel_section("aggregate"):
-            w4 = weights * valid.astype(FLOAT_DTYPE) * attn_flat[idx][:, None]
-            contrib = np.einsum("kfc,kf->kc", gathered, w4)
-            _segment_sum_into(output, contrib, seg)
-    return output
+    return _compact_gather_aggregate(value_flat, trace, attn_flat, n_in)
 
 
 def ms_deform_attn_core_sparse(
@@ -988,7 +1250,6 @@ def ms_deform_attn_core_sparse(
         sampling_locations[None],
         attention_weights[None],
         None if point_mask is None else point_mask[None],
-        batch=1,
     )
     return output.reshape(n_q, n_h * value.shape[2])
 
@@ -1027,6 +1288,6 @@ def ms_deform_attn_core_sparse_batched(
         raise ValueError("sampling_locations batch axis must match value")
     n_q, n_h = sampling_locations.shape[1], sampling_locations.shape[2]
     output = _core_sparse_impl(
-        value, spatial_shapes, sampling_locations, attention_weights, point_mask, batch=batch
+        value, spatial_shapes, sampling_locations, attention_weights, point_mask
     )
     return output.reshape(batch, n_q, n_h * value.shape[3])

@@ -223,6 +223,7 @@ class MSDeformAttn(Module):
         spatial_shapes: list[LevelShape],
         with_trace: bool = False,
         point_mask: np.ndarray | None = None,
+        query_mask: np.ndarray | None = None,
         sparse_mode: str = "auto",
     ) -> MSDeformAttnOutput:
         """Full forward pass returning intermediates.
@@ -246,6 +247,16 @@ class MSDeformAttn(Module):
             Optional boolean keep-mask of shape ``(N_q, N_h, N_l, N_p)``
             (batched: with a leading ``B``); ``False`` points contribute
             nothing, as under PAP pruning.
+        query_mask:
+            Optional boolean keep-mask of shape ``(N_q,)`` (batched:
+            ``(B, N_q)``) over whole queries, as under FWP query pruning:
+            every point of a masked-out query is pruned and its output row is
+            the output-projection bias.  On the sparse path the offset and
+            attention-head projections run row-compacted over the kept
+            queries only, and the recorded ``attention_weights`` /
+            ``sampling_offsets`` rows of pruned queries are zero-filled (the
+            dense path records their true projections; outputs agree either
+            way since every pruned point contributes nothing).
         sparse_mode:
             ``"auto"`` (default), ``"dense"`` or ``"sparse"`` — whether a
             supplied ``point_mask`` executes through the compacted
@@ -275,16 +286,46 @@ class MSDeformAttn(Module):
         value = self.value_proj(value_input).reshape(
             value_input.shape[:-1] + (self.num_heads, self.d_head)
         )
-        attention = self.attention_probabilities(query)
-        offsets = self.project_sampling_offsets(query)
-        locations = self.compute_sampling_locations(reference_points, offsets, spatial_shapes)
 
+        points_shape = query.shape[:-1] + (self.num_heads, self.num_levels, self.num_points)
         if point_mask is not None:
             point_mask = np.asarray(point_mask, dtype=bool)
-            if point_mask.shape != attention.shape:
+            if point_mask.shape != points_shape:
                 raise ValueError("point_mask shape must match the attention weights")
-        slots_per_image = (attention[0].size if batched else attention.size) * 4
-        sparse = use_sparse_gather(point_mask, slots_per_image, sparse_mode, batched=batched)
+        effective_mask = point_mask
+        if query_mask is not None:
+            query_mask = np.asarray(query_mask, dtype=bool)
+            if query_mask.shape != query.shape[:-1]:
+                raise ValueError("query_mask must have shape (N_q,) (batched: (B, N_q))")
+            keep_rows = query_mask[..., None, None, None]
+            if point_mask is None:
+                effective_mask = np.broadcast_to(keep_rows, points_shape)
+            else:
+                effective_mask = point_mask & keep_rows
+        per_image_points = int(np.prod(points_shape[1:] if batched else points_shape))
+        sparse = use_sparse_gather(
+            effective_mask, per_image_points * 4, sparse_mode, batched=batched
+        )
+
+        if sparse and query_mask is not None:
+            # Row-compacted query-side projections: pruned queries never
+            # reach the offset / attention heads (their records stay zero).
+            kept = np.flatnonzero(query_mask.reshape(-1))
+            q_rows = query.reshape(-1, query.shape[-1])[kept]
+            attention = np.zeros(points_shape, dtype=FLOAT_DTYPE)
+            offsets = np.zeros(points_shape + (2,), dtype=FLOAT_DTYPE)
+            if kept.size:
+                attention.reshape((-1,) + points_shape[-3:])[kept] = (
+                    self.attention_probabilities(q_rows)
+                )
+                offsets.reshape((-1,) + points_shape[-3:] + (2,))[kept] = (
+                    self.project_sampling_offsets(q_rows)
+                )
+        else:
+            attention = self.attention_probabilities(query)
+            offsets = self.project_sampling_offsets(query)
+        locations = self.compute_sampling_locations(reference_points, offsets, spatial_shapes)
+        point_mask = effective_mask
 
         trace = None
         if batched:

@@ -1,0 +1,216 @@
+"""Property tests for the compacted sampling trace (sparse execution v2).
+
+The compacted trace (:func:`multi_scale_neighbors_sparse` and its batched
+variant) must be *exactly* the dense trace restricted to the kept points —
+same neighbour indices, bilinear weights, validity flags and level ids, bit
+for bit — for any pyramid geometry, any sampling locations (in or out of
+bounds, float32 or float64 input) and any point mask, including the
+degenerate all-pruned and single-survivor masks.  Hypothesis drives the
+geometry/mask space; a few deterministic tests pin the named edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling_stats import (
+    sampled_frequency,
+    sampled_frequency_batched,
+    sampled_frequency_compact,
+    sampled_frequency_compact_batched,
+)
+from repro.nn.grid_sample import (
+    ms_deform_attn_from_compact_trace,
+    ms_deform_attn_from_trace,
+    ms_deform_attn_from_trace_batched,
+    multi_scale_neighbors,
+    multi_scale_neighbors_batched,
+    multi_scale_neighbors_sparse,
+    multi_scale_neighbors_sparse_batched,
+)
+from repro.utils.shapes import LevelShape
+
+
+@st.composite
+def trace_cases(draw, batched: bool = False):
+    """A random (spatial_shapes, sampling_locations, point_mask) triple.
+
+    Locations may fall outside ``[0, 1]`` so out-of-bounds neighbours are
+    exercised; the mask density spans all-pruned (0.0) through all-kept
+    (1.0); the location dtype alternates between float32 and float64 (the
+    constructors cast to the kernel dtype either way).
+    """
+    n_l = draw(st.integers(1, 4))
+    shapes = [
+        LevelShape(draw(st.integers(1, 6)), draw(st.integers(1, 6))) for _ in range(n_l)
+    ]
+    n_q = draw(st.integers(1, 8))
+    n_h = draw(st.integers(1, 4))
+    n_p = draw(st.integers(1, 4))
+    batch = draw(st.integers(1, 3)) if batched else None
+    lead = (batch,) if batched else ()
+    seed = draw(st.integers(0, 2**32 - 1))
+    density = draw(st.sampled_from([0.0, 0.15, 0.5, 0.85, 1.0]))
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    rng = np.random.default_rng(seed)
+    locations = rng.uniform(-0.3, 1.3, lead + (n_q, n_h, n_l, n_p, 2)).astype(dtype)
+    mask = rng.uniform(0.0, 1.0, lead + (n_q, n_h, n_l, n_p)) < density
+    return shapes, locations, mask
+
+
+def _assert_matches_dense(compact, dense_trace, mask):
+    """The compact trace equals the dense trace restricted to the kept points."""
+    kept = np.flatnonzero(mask.reshape(-1))
+    np.testing.assert_array_equal(compact.kept, kept)
+    assert compact.num_kept == kept.size
+    np.testing.assert_array_equal(
+        compact.flat_indices, dense_trace.flat_indices.reshape(-1, 4)[kept]
+    )
+    np.testing.assert_array_equal(
+        compact.weights, dense_trace.weights.reshape(-1, 4)[kept]
+    )
+    np.testing.assert_array_equal(compact.valid, dense_trace.valid.reshape(-1, 4)[kept])
+    np.testing.assert_array_equal(compact.levels, dense_trace.levels.reshape(-1)[kept])
+    seg = compact.segments()
+    assert np.all(np.diff(seg) >= 0), "segments must be non-decreasing"
+
+
+class TestCompactTraceProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(trace_cases())
+    def test_matches_dense_trace_restricted_to_kept_points(self, case):
+        shapes, locations, mask = case
+        dense = multi_scale_neighbors(shapes, locations)
+        compact = multi_scale_neighbors_sparse(shapes, locations, point_mask=mask)
+        _assert_matches_dense(compact, dense, mask)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace_cases(batched=True))
+    def test_batched_matches_dense_and_image_views(self, case):
+        shapes, locations, mask = case
+        dense = multi_scale_neighbors_batched(shapes, locations)
+        compact = multi_scale_neighbors_sparse_batched(shapes, locations, point_mask=mask)
+        _assert_matches_dense(compact, dense, mask)
+        # Per-image views equal single-image construction on that image.
+        for b in range(locations.shape[0]):
+            view = compact.image(b)
+            single = multi_scale_neighbors_sparse(shapes, locations[b], point_mask=mask[b])
+            np.testing.assert_array_equal(view.kept, single.kept)
+            np.testing.assert_array_equal(view.flat_indices, single.flat_indices)
+            np.testing.assert_array_equal(view.weights, single.weights)
+            np.testing.assert_array_equal(view.valid, single.valid)
+            np.testing.assert_array_equal(view.levels, single.levels)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace_cases())
+    def test_no_mask_keeps_every_point(self, case):
+        shapes, locations, _ = case
+        dense = multi_scale_neighbors(shapes, locations)
+        compact = multi_scale_neighbors_sparse(shapes, locations, point_mask=None)
+        _assert_matches_dense(compact, dense, np.ones(dense.valid.shape[:-1], dtype=bool))
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace_cases(), st.integers(0, 2**32 - 1))
+    def test_frequency_and_kernel_match_dense_path(self, case, seed):
+        """The compact trace drives FWP counting and the gather kernel to the
+        same results as the dense trace + mask."""
+        shapes, locations, mask = case
+        n_in = sum(s.num_pixels for s in shapes)
+        n_q, n_h = locations.shape[0], locations.shape[1]
+        rng = np.random.default_rng(seed)
+        d_h = 4
+        value = rng.standard_normal((n_in, n_h, d_h)).astype(np.float32)
+        attn = rng.uniform(0.0, 1.0, mask.shape).astype(np.float32)
+
+        dense = multi_scale_neighbors(shapes, locations)
+        compact = multi_scale_neighbors_sparse(shapes, locations, point_mask=mask)
+        np.testing.assert_array_equal(
+            sampled_frequency_compact(compact),
+            sampled_frequency(dense, point_mask=mask),
+        )
+        out_dense = ms_deform_attn_from_trace(value, dense, attn, point_mask=mask)
+        out_compact = ms_deform_attn_from_compact_trace(value, compact, attn)
+        np.testing.assert_allclose(out_compact, out_dense, atol=1e-5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace_cases(batched=True), st.integers(0, 2**32 - 1))
+    def test_batched_frequency_and_kernel_match_dense_path(self, case, seed):
+        shapes, locations, mask = case
+        n_in = sum(s.num_pixels for s in shapes)
+        batch, n_q, n_h = locations.shape[0], locations.shape[1], locations.shape[2]
+        rng = np.random.default_rng(seed)
+        d_h = 4
+        value = rng.standard_normal((batch, n_in, n_h, d_h)).astype(np.float32)
+        attn = rng.uniform(0.0, 1.0, mask.shape).astype(np.float32)
+
+        dense = multi_scale_neighbors_batched(shapes, locations)
+        compact = multi_scale_neighbors_sparse_batched(shapes, locations, point_mask=mask)
+        np.testing.assert_array_equal(
+            sampled_frequency_compact_batched(compact),
+            sampled_frequency_batched(dense, point_mask=mask),
+        )
+        out_dense = ms_deform_attn_from_trace_batched(value, dense, attn, point_mask=mask)
+        out_compact = ms_deform_attn_from_compact_trace(value, compact, attn)
+        np.testing.assert_allclose(out_compact, out_dense, atol=1e-5)
+
+
+class TestCompactTraceEdgeCases:
+    SHAPES = [LevelShape(5, 7), LevelShape(3, 4), LevelShape(2, 2)]
+
+    def _locations(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(-0.2, 1.2, (6, 3, 3, 2, 2)).astype(np.float32)
+
+    def test_all_pruned_mask(self):
+        locations = self._locations()
+        mask = np.zeros(locations.shape[:-1], dtype=bool)
+        compact = multi_scale_neighbors_sparse(self.SHAPES, locations, point_mask=mask)
+        assert compact.num_kept == 0
+        assert compact.flat_indices.shape == (0, 4)
+        assert compact.keep_fraction == 0.0
+        n_in = sum(s.num_pixels for s in self.SHAPES)
+        np.testing.assert_array_equal(
+            sampled_frequency_compact(compact), np.zeros(n_in, dtype=np.int64)
+        )
+        value = np.ones((n_in, 3, 4), dtype=np.float32)
+        attn = np.ones(mask.shape, dtype=np.float32)
+        out = ms_deform_attn_from_compact_trace(value, compact, attn)
+        assert out.shape == (6, 12) and np.all(out == 0)
+
+    def test_single_survivor_mask(self):
+        locations = self._locations(seed=1)
+        mask = np.zeros(locations.shape[:-1], dtype=bool)
+        mask[3, 1, 2, 0] = True
+        dense = multi_scale_neighbors(self.SHAPES, locations)
+        compact = multi_scale_neighbors_sparse(self.SHAPES, locations, point_mask=mask)
+        _assert_matches_dense(compact, dense, mask)
+        assert compact.num_kept == 1
+        assert compact.levels[0] == 2
+        # Only the (query 3, head 1) output slot may be non-zero.
+        n_in = sum(s.num_pixels for s in self.SHAPES)
+        rng = np.random.default_rng(2)
+        value = rng.standard_normal((n_in, 3, 4)).astype(np.float32)
+        attn = np.ones(mask.shape, dtype=np.float32)
+        out = ms_deform_attn_from_compact_trace(value, compact, attn).reshape(6, 3, 4)
+        zeroed = out.copy()
+        zeroed[3, 1] = 0
+        assert np.all(zeroed == 0)
+
+    def test_int_mask_is_coerced(self):
+        locations = self._locations(seed=3)
+        int_mask = (np.arange(np.prod(locations.shape[:-1])) % 3 == 0).astype(np.int32)
+        int_mask = int_mask.reshape(locations.shape[:-1])
+        compact = multi_scale_neighbors_sparse(self.SHAPES, locations, point_mask=int_mask)
+        dense = multi_scale_neighbors(self.SHAPES, locations)
+        _assert_matches_dense(compact, dense, int_mask.astype(bool))
+
+    def test_mask_shape_mismatch_rejected(self):
+        import pytest
+
+        locations = self._locations(seed=4)
+        with pytest.raises(ValueError):
+            multi_scale_neighbors_sparse(
+                self.SHAPES, locations, point_mask=np.ones((2, 2), dtype=bool)
+            )

@@ -1,6 +1,5 @@
 """Integration tests: the experiment harness end to end at the tiny scale."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import DEFAConfig

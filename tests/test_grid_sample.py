@@ -14,7 +14,6 @@ from repro.nn.grid_sample import (
     ms_deform_attn_from_trace,
     multi_scale_neighbors,
 )
-from repro.utils.shapes import LevelShape
 
 
 class TestBilinearNeighbors:

@@ -6,7 +6,7 @@ import pytest
 from repro.nn.encoder import DeformableEncoder, DeformableEncoderLayer
 from repro.nn.msdeform_attn import MSDeformAttn
 from repro.nn.positional import make_reference_points, sine_positional_encoding
-from repro.utils.shapes import LevelShape, total_pixels
+from repro.utils.shapes import total_pixels
 
 
 class TestPositional:

@@ -386,3 +386,154 @@ class TestSparseModeAuto:
         out = auto.forward_detailed(query, reference, features, SHAPES, fmap_mask=mask)
         assert not out.stats.sparse_projection  # N_IN < SPARSE_AUTO_MIN_TOKENS
         assert not out.stats.sparse_gather  # slots < SPARSE_AUTO_MIN_SLOTS
+        assert not out.stats.sparse_neighbors
+        assert not out.stats.sparse_query  # N_q < SPARSE_AUTO_MIN_QUERIES
+
+
+QP_FP32 = DEFAConfig(quant_bits=None, enable_query_pruning=True)
+QP_INT12 = DEFAConfig(enable_query_pruning=True)
+
+
+class TestQueryPruning:
+    """Sparse execution v2: FWP-pruned pixels stop acting as queries.
+
+    The dense path zeroes the pruned queries' rows, the sparse path skips
+    their offset/attention/output projections via row compaction — both
+    implement the same semantics and must agree to 1e-5 in fp32 (a few INT12
+    steps when quantized), with identical masks and stats.
+    """
+
+    @pytest.mark.parametrize("mask_kind", ["generated", "all_pruned", "single_survivor"])
+    def test_single_image_paths_agree(self, mask_kind):
+        features, query, reference = _defa_inputs(seed=20)
+        dense = _make_defa(QP_FP32, "dense", seed=9)
+        sparse = _make_defa(QP_FP32, "sparse", seed=9)
+        if mask_kind == "generated":
+            fmap_mask = dense.forward_detailed(query, reference, features, SHAPES).fmap_mask_next
+        elif mask_kind == "all_pruned":
+            fmap_mask = np.zeros(N_IN, dtype=bool)
+        else:
+            fmap_mask = np.zeros(N_IN, dtype=bool)
+            fmap_mask[N_IN // 3] = True
+        out_dense = dense.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        out_sparse = sparse.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        np.testing.assert_allclose(out_sparse.output, out_dense.output, atol=TOL)
+        np.testing.assert_array_equal(out_sparse.point_mask, out_dense.point_mask)
+        np.testing.assert_allclose(
+            out_sparse.attention_weights, out_dense.attention_weights, atol=TOL
+        )
+        np.testing.assert_allclose(
+            out_sparse.sampling_locations, out_dense.sampling_locations, atol=TOL
+        )
+        np.testing.assert_array_equal(out_sparse.fmap_mask_next, out_dense.fmap_mask_next)
+        assert out_sparse.stats.sparse_query and out_sparse.stats.sparse_neighbors
+        assert not out_dense.stats.sparse_query
+        assert (
+            out_sparse.stats.offset_clipping_fraction
+            == out_dense.stats.offset_clipping_fraction
+        )
+        assert out_sparse.stats.points_kept == out_dense.stats.points_kept
+
+    def test_pruned_query_rows_are_the_output_bias(self):
+        """A pruned pixel's block output row is exactly the output-proj bias."""
+        from repro.nn.msdeform_attn import MSDeformAttn
+        from repro.core.pipeline import DEFAAttention
+
+        attn = MSDeformAttn(
+            d_model=N_H * D_H, num_heads=N_H, num_levels=N_L, num_points=N_P, rng=10
+        )
+        # A non-zero bias makes the check non-trivial (Linear inits bias to 0).
+        attn.output_proj.bias = (
+            np.random.default_rng(0).standard_normal(N_H * D_H).astype(np.float32)
+        )
+        defa = DEFAAttention(attn, QP_FP32, sparse_mode="sparse")
+        features, query, reference = _defa_inputs(seed=21)
+        fmap_mask = np.zeros(N_IN, dtype=bool)
+        fmap_mask[::2] = True
+        out = defa.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        bias = attn.output_proj.bias
+        expected = np.broadcast_to(bias, out.output[~fmap_mask].shape)
+        np.testing.assert_allclose(out.output[~fmap_mask], expected, atol=1e-6)
+        # The dense path produces the same rows (zero head outputs + bias).
+        dense = DEFAAttention(attn, QP_FP32, sparse_mode="dense")
+        out_dense = dense.forward_detailed(
+            query, reference, features, SHAPES, fmap_mask=fmap_mask
+        )
+        np.testing.assert_allclose(out_dense.output[~fmap_mask], expected, atol=1e-6)
+        # Pruned queries contribute no points and no sampled frequency.
+        assert not out.point_mask[~fmap_mask].any()
+
+    def test_points_of_pruned_queries_are_pruned(self):
+        """points_kept counts only the points of surviving queries."""
+        features, query, reference = _defa_inputs(seed=22)
+        defa = _make_defa(QP_FP32, "dense", seed=11)
+        no_qp = _make_defa(FP32_CONFIG, "dense", seed=11)
+        fmap_mask = np.zeros(N_IN, dtype=bool)
+        fmap_mask[: N_IN // 2] = True
+        with_qp = defa.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        without = no_qp.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        assert with_qp.stats.points_kept < without.stats.points_kept
+        np.testing.assert_array_equal(
+            with_qp.point_mask[fmap_mask], without.point_mask[fmap_mask]
+        )
+
+    @pytest.mark.parametrize("config, tol", [(QP_FP32, TOL), (QP_INT12, QUANT_TOL)])
+    def test_batched_paths_agree_and_match_single(self, config, tol):
+        batch = 3
+        features, query, reference = _defa_inputs(seed=23, batch=batch)
+        dense = _make_defa(config, "dense", seed=12)
+        sparse = _make_defa(config, "sparse", seed=12)
+        fmap_mask = dense.forward_detailed(query, reference, features, SHAPES).fmap_mask_next
+        out_dense = dense.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        out_sparse = sparse.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        np.testing.assert_allclose(out_sparse.output, out_dense.output, atol=tol)
+        for b in range(batch):
+            img_s = out_sparse.images[b]
+            assert img_s.stats.sparse_query
+            single = sparse.forward_detailed(
+                query[b], reference, features[b], SHAPES, fmap_mask=fmap_mask[b]
+            )
+            np.testing.assert_allclose(out_sparse.output[b], single.output, atol=tol)
+            np.testing.assert_array_equal(img_s.point_mask, single.point_mask)
+            np.testing.assert_array_equal(img_s.fmap_mask_next, single.fmap_mask_next)
+
+    def test_default_config_leaves_queries_alone(self):
+        """enable_query_pruning defaults off: masked blocks keep every query."""
+        features, query, reference = _defa_inputs(seed=24)
+        defa = _make_defa(FP32_CONFIG, "sparse", seed=13)
+        fmap_mask = np.zeros(N_IN, dtype=bool)
+        fmap_mask[: N_IN // 2] = True
+        out = defa.forward_detailed(query, reference, features, SHAPES, fmap_mask=fmap_mask)
+        assert not out.stats.sparse_query
+        # Pruned pixels still act as queries: their points survive PAP.
+        assert out.point_mask[~fmap_mask].any()
+
+
+class TestCompactTraceInPipeline:
+    def test_sparse_output_records_compact_trace_and_materializes(self):
+        from repro.nn.grid_sample import CompactSamplingTrace, SamplingTrace
+
+        features, query, reference = _defa_inputs(seed=25)
+        sparse = _make_defa(FP32_CONFIG, "sparse", seed=14)
+        dense = _make_defa(FP32_CONFIG, "dense", seed=14)
+        out_s = sparse.forward_detailed(query, reference, features, SHAPES)
+        out_d = dense.forward_detailed(query, reference, features, SHAPES)
+        assert isinstance(out_s.trace_executed, CompactSamplingTrace)
+        assert out_s.stats.sparse_neighbors
+        assert isinstance(out_d.trace_executed, SamplingTrace)
+        # The .trace property materializes the full trace on demand and it
+        # matches the dense path's trace exactly (same locations).
+        materialized = out_s.trace
+        assert isinstance(materialized, SamplingTrace)
+        np.testing.assert_array_equal(materialized.flat_indices, out_d.trace.flat_indices)
+        np.testing.assert_array_equal(materialized.weights, out_d.trace.weights)
+        assert out_s.dense_trace() is materialized  # cached
+
+    def test_compact_trace_matches_executed_mask(self):
+        features, query, reference = _defa_inputs(seed=26)
+        sparse = _make_defa(FP32_CONFIG, "sparse", seed=15)
+        out = sparse.forward_detailed(query, reference, features, SHAPES)
+        executed = out.trace_executed
+        np.testing.assert_array_equal(
+            executed.kept, np.flatnonzero(out.point_mask.reshape(-1))
+        )
