@@ -9,7 +9,11 @@ same semantics).  The measured speedup must grow with the reduction ratio
 and reach the PR target of >= 1.8x at the ~50 % pixel-reduction operating
 point, and the ``neighbors`` kernel section of the sparse path must scale
 down with the point-keep ratio (the compacted trace only computes neighbour
-math for surviving points).  The sweep is written to ``BENCH_sparse.json``
+math for surviving points).  The block-sparse encoder (PR 4) adds an
+end-to-end encoder measurement at the ~48 % pixel-reduction operating point:
+the row-compacted FFN/LayerNorm stage must beat the PR 3 cost profile
+(sparse attention, dense inter-block work) by >= 1.2x under identical
+frozen-row semantics.  The sweep is written to ``BENCH_sparse.json``
 at the repo root so the perf trajectory is tracked PR-over-PR
 (``benchmarks/run_all.py`` regenerates the same record and
 ``benchmarks/compare_bench.py`` gates it in CI).
@@ -23,7 +27,15 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.eval.profiler import SparseSpeedupReport, sweep_sparse_speedup
+from repro.core.config import DEFAConfig
+from repro.eval.profiler import (
+    EncoderSparseSpeedupReport,
+    SparseSpeedupReport,
+    measure_encoder_blockwise_equivalence,
+    measure_encoder_sparse_speedup,
+    sweep_sparse_speedup,
+)
+from repro.workloads.specs import get_workload
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_sparse.json"
@@ -44,22 +56,104 @@ measures ~4x there)."""
 NEIGHBORS_SCALING_SLACK = 2.5
 NEIGHBORS_SCALING_MIN_REDUCTION = 0.3
 
+ENCODER_FFN_TARGET = 1.2
+"""PR 4 acceptance floor: the block-sparse encoder (row-compacted
+FFN/LayerNorm stage) must beat the PR 3 cost profile (sparse attention,
+dense inter-block stage) by at least this factor end-to-end at the ~48 %
+pixel-reduction operating point."""
+
+ENCODER_NUM_LAYERS = 6
+"""Encoder depth of the end-to-end measurement — the paper's encoder depth.
+The first block never receives a mask (it always runs dense), so 5 of the 6
+blocks execute masked; the measured ``ffn_speedup`` is still *diluted* by
+the unmasked first block, so the asymptotic per-masked-block win is larger
+than the reported number."""
+
+ENCODER_EQUIV_NUM_LAYERS = 3
+"""Depth of the lockstep block-wise equivalence probe (see
+:func:`repro.eval.profiler.measure_encoder_blockwise_equivalence`): two
+masked blocks exercise mask evolution without paying for the full depth."""
+
+ENCODER_INT12_TOL = 2e-2
+"""Block-wise dense/sparse drift bound for INT12 encoder runs: each block
+may differ by a few quantization steps (the single-block 5e-3 bound) and the
+LayerNorm/FFN stage inside the block propagates them, so the bound is a few
+steps wider.  This gates the *lockstep* probe and, when the end-to-end runs
+kept identical mask trajectories, the end-to-end record too; a diverged
+trajectory makes the end-to-end diff meaningless (whole rows legitimately
+differ once a threshold decision flips) and is reported, not gated."""
+
 
 def run_sweep(scale: str = "paper", repeats: int = 3) -> list[SparseSpeedupReport]:
     """Run the default FWP/PAP sweep (query pruning on) on the paper scale."""
     return sweep_sparse_speedup(scale=scale, repeats=repeats, rng_seed=0)
 
 
+def run_encoder_benchmark(
+    scale: str = "paper", repeats: int = 5
+) -> EncoderSparseSpeedupReport:
+    """End-to-end block-sparse encoder measurement at the ~48 % operating point.
+
+    ``fwp_k = 1.0`` lands the FWP mask at roughly half pixel reduction on the
+    paper-scale workload, which is the operating point the PR acceptance
+    criterion names.  The default best-of-5 is deliberately higher than the
+    sweep's best-of-3: the :data:`ENCODER_FFN_TARGET` gate carries only a few
+    percent of headroom over the reference measurement (1.25x vs 1.2), so the
+    min-of-N ratio needs the extra samples to keep scheduler noise out of it.
+    """
+    return measure_encoder_sparse_speedup(
+        get_workload("deformable_detr", scale),
+        num_layers=ENCODER_NUM_LAYERS,
+        repeats=repeats,
+        rng=0,
+    )
+
+
+def run_encoder_blockwise_probe(scale: str = "paper") -> dict:
+    """The machine-independent encoder equivalence probes (fp32 + INT12).
+
+    Lockstep block-wise comparison: both paths see identical block inputs
+    and incoming masks at every block, so threshold decisions cannot flip
+    and the measured drift is pure execution-path drift.
+    """
+    workload = get_workload("deformable_detr", scale)
+    fp32 = measure_encoder_blockwise_equivalence(
+        workload,
+        config=DEFAConfig(fwp_k=1.0, quant_bits=None, enable_query_pruning=True),
+        num_layers=ENCODER_EQUIV_NUM_LAYERS,
+        rng=0,
+    )
+    int12 = measure_encoder_blockwise_equivalence(
+        workload, num_layers=ENCODER_EQUIV_NUM_LAYERS, rng=0
+    )
+    return {
+        "num_layers": ENCODER_EQUIV_NUM_LAYERS,
+        "fp32": {"max_abs_diff": fp32, "equivalence_tol": 1e-5},
+        "int12": {"max_abs_diff": int12, "equivalence_tol": ENCODER_INT12_TOL},
+    }
+
+
 def sweep_record(
-    reports: list[SparseSpeedupReport], repeats: int, query_pruning: bool = True
+    reports: list[SparseSpeedupReport],
+    repeats: int,
+    query_pruning: bool = True,
+    encoder_report: EncoderSparseSpeedupReport | None = None,
+    blockwise: dict | None = None,
 ) -> dict:
     """The machine-readable benchmark record written to ``BENCH_sparse.json``.
 
     ``query_pruning`` must reflect the flag the sweep actually ran with so
-    the record describes its own operating mode faithfully.
+    the record describes its own operating mode faithfully.  When the
+    end-to-end encoder measurement ran, its record is embedded under
+    ``"encoder"`` and its two speedups join the tracked summary aggregates;
+    the record only carries an ``equivalence_tol`` (i.e. only becomes a
+    gated probe) when both runs kept the same mask trajectory — a diverged
+    trajectory makes the end-to-end diff meaningless.  The lockstep
+    block-wise probes (``blockwise``, machine-independent) are embedded
+    under ``"encoder_blockwise"`` and always gated.
     """
     half = min(reports, key=lambda r: abs(r.pixel_reduction - 0.5))
-    return {
+    record = {
         "name": "sparse_speedup",
         "generated_by": "benchmarks/bench_sparse_speedup.py",
         "config": {
@@ -67,6 +161,7 @@ def sweep_record(
             "repeats": repeats,
             "query_pruning": query_pruning,
             "target_speedup_at_half_pixel_reduction": TARGET_SPEEDUP_AT_HALF_PIXELS,
+            "encoder_ffn_target": ENCODER_FFN_TARGET,
         },
         "results": [r.as_dict() for r in reports],
         "summary": {
@@ -75,15 +170,35 @@ def sweep_record(
             "pixel_reduction_at_half_point": half.pixel_reduction,
         },
     }
+    if encoder_report is not None:
+        record["encoder"] = encoder_report.as_dict()
+        if encoder_report.mask_trajectory_matched:
+            record["encoder"]["equivalence_tol"] = ENCODER_INT12_TOL
+        record["summary"]["encoder_speedup"] = encoder_report.speedup
+        record["summary"]["encoder_ffn_speedup"] = encoder_report.ffn_speedup
+    if blockwise is not None:
+        record["encoder_blockwise"] = blockwise
+    return record
 
 
-def write_bench_json(reports: list[SparseSpeedupReport], repeats: int, path: Path = BENCH_JSON) -> dict:
-    record = sweep_record(reports, repeats)
+def write_bench_json(
+    reports: list[SparseSpeedupReport],
+    repeats: int,
+    path: Path = BENCH_JSON,
+    encoder_report: EncoderSparseSpeedupReport | None = None,
+    blockwise: dict | None = None,
+) -> dict:
+    record = sweep_record(
+        reports, repeats, encoder_report=encoder_report, blockwise=blockwise
+    )
     path.write_text(json.dumps(record, indent=2) + "\n")
     return record
 
 
-def _print_sweep(reports: list[SparseSpeedupReport]) -> None:
+def _print_sweep(
+    reports: list[SparseSpeedupReport],
+    encoder_report: EncoderSparseSpeedupReport | None = None,
+) -> None:
     print()
     print(f"{'fwp_k':>6} {'pap_thr':>8} {'pix_red':>8} {'pt_red':>7} {'dense_ms':>9} {'sparse_ms':>10} {'speedup':>8} {'|diff|':>9}")
     for r in reports:
@@ -92,6 +207,42 @@ def _print_sweep(reports: list[SparseSpeedupReport]) -> None:
             f"{r.point_reduction:>7.3f} {1e3 * r.dense_s:>9.1f} {1e3 * r.sparse_s:>10.1f} "
             f"{r.speedup:>8.2f} {r.max_abs_diff:>9.1e}"
         )
+    if encoder_report is not None:
+        e = encoder_report
+        print(
+            f"\nencoder ({e.num_layers} layers, pix_red {e.pixel_reduction:.3f}): "
+            f"dense {1e3 * e.dense_s:.1f}ms, sparse+dense-ffn "
+            f"{1e3 * e.sparse_dense_ffn_s:.1f}ms, block-sparse {1e3 * e.sparse_s:.1f}ms "
+            f"=> {e.speedup:.2f}x total, {e.ffn_speedup:.2f}x over the PR 3 profile"
+        )
+
+
+def check_encoder_report(
+    encoder_report: EncoderSparseSpeedupReport, blockwise: dict | None = None
+) -> None:
+    """Assert the PR 4 acceptance criteria on the end-to-end encoder record."""
+    assert encoder_report.ffn_speedup >= ENCODER_FFN_TARGET, (
+        f"block-sparse encoder only {encoder_report.ffn_speedup:.2f}x over the "
+        f"PR 3 profile at {encoder_report.pixel_reduction:.0%} pixel reduction "
+        f"(target {ENCODER_FFN_TARGET}x)"
+    )
+    assert encoder_report.speedup >= encoder_report.ffn_speedup, (
+        "the full dense path cannot be faster than the PR 3 sparse profile"
+    )
+    # The end-to-end diff is only a path-drift measure while both runs prune
+    # the same pixels; once a threshold decision flips the trajectories are
+    # different algorithmic runs and only the lockstep probe gates drift.
+    if encoder_report.mask_trajectory_matched:
+        assert encoder_report.max_abs_diff <= ENCODER_INT12_TOL, (
+            f"encoder dense/sparse drift {encoder_report.max_abs_diff:.1e}"
+        )
+    if blockwise is not None:
+        for key in ("fp32", "int12"):
+            probe = blockwise[key]
+            assert probe["max_abs_diff"] <= probe["equivalence_tol"], (
+                f"encoder blockwise {key} drift {probe['max_abs_diff']:.2e} "
+                f"exceeds {probe['equivalence_tol']:.0e}"
+            )
 
 
 def check_sweep(reports: list[SparseSpeedupReport]) -> None:
@@ -140,20 +291,26 @@ def check_sweep(reports: list[SparseSpeedupReport]) -> None:
 def _paper_scale_sweep():
     repeats = 3
     reports = run_sweep(scale="paper", repeats=repeats)
-    write_bench_json(reports, repeats)
-    return reports
+    encoder_report = run_encoder_benchmark(scale="paper")
+    blockwise = run_encoder_blockwise_probe(scale="paper")
+    write_bench_json(
+        reports, repeats, encoder_report=encoder_report, blockwise=blockwise
+    )
+    return reports, encoder_report, blockwise
 
 
 def test_sparse_speedup(benchmark):
     from conftest import run_once
 
-    reports = run_once(benchmark, _paper_scale_sweep)
-    _print_sweep(reports)
+    reports, encoder_report, blockwise = run_once(benchmark, _paper_scale_sweep)
+    _print_sweep(reports, encoder_report)
     check_sweep(reports)
+    check_encoder_report(encoder_report, blockwise)
 
 
 if __name__ == "__main__":
-    reports = _paper_scale_sweep()
-    _print_sweep(reports)
+    reports, encoder_report, blockwise = _paper_scale_sweep()
+    _print_sweep(reports, encoder_report)
     check_sweep(reports)
+    check_encoder_report(encoder_report, blockwise)
     print(f"\nwrote {BENCH_JSON}")

@@ -62,10 +62,16 @@ def extract_speedups(record: dict) -> dict[str, float]:
     speedups: dict[str, float] = {}
     for bench in _benchmarks(record):
         name = bench.get("name", "benchmark")
-        if isinstance(bench.get("speedup"), (int, float)):
-            speedups[f"{name}.speedup"] = float(bench["speedup"])
+        for key in ("speedup", "ffn_speedup"):
+            if isinstance(bench.get(key), (int, float)):
+                speedups[f"{name}.{key}"] = float(bench[key])
         summary = bench.get("summary", {})
-        for key in ("max_speedup", "speedup_at_half_pixel_reduction"):
+        for key in (
+            "max_speedup",
+            "speedup_at_half_pixel_reduction",
+            "encoder_speedup",
+            "encoder_ffn_speedup",
+        ):
             if isinstance(summary.get(key), (int, float)):
                 speedups[f"{name}.{key}"] = float(summary[key])
     return speedups
@@ -82,15 +88,41 @@ def extract_equivalence_probes(record: dict) -> list[dict]:
     """
     probes = []
     for bench in _benchmarks(record):
+        name = bench.get("name", "benchmark")
+        # An embedded end-to-end encoder record (sparse_speedup sweeps) only
+        # carries a tolerance when both runs kept the same mask trajectory —
+        # a record without one is diagnostic, not a probe.  The lockstep
+        # block-wise sub-probes under "encoder_blockwise" are always gated
+        # (identical block inputs make them machine-independent).
+        embedded = [(f"{name}.encoder", bench.get("encoder"))]
+        blockwise = bench.get("encoder_blockwise")
+        if isinstance(blockwise, dict):
+            embedded += [
+                (f"{name}.encoder_blockwise.{key}", blockwise.get(key))
+                for key in ("fp32", "int12")
+            ]
+        for probe_name, sub in embedded:
+            if (
+                isinstance(sub, dict)
+                and "max_abs_diff" in sub
+                and sub.get("equivalence_tol") is not None
+            ):
+                probes.append(
+                    {
+                        "probe": probe_name,
+                        "max_abs_diff": sub["max_abs_diff"],
+                        "tolerance": sub["equivalence_tol"],
+                    }
+                )
         tol = bench.get("equivalence_tol")
         if tol is None:
             continue
         if "max_abs_diff" in bench:
             probes.append(
-                {"probe": bench["name"], "max_abs_diff": bench["max_abs_diff"], "tolerance": tol}
+                {"probe": name, "max_abs_diff": bench["max_abs_diff"], "tolerance": tol}
             )
         for result in bench.get("results", []):
-            label = f"{bench['name']}[fwp_k={result['fwp_k']}"
+            label = f"{name}[fwp_k={result['fwp_k']}"
             if "pap_threshold" in result:
                 label += f", pap={result['pap_threshold']}"
             label += "]"

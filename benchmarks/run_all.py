@@ -27,6 +27,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from repro.core.config import DEFAConfig
 from repro.eval.profiler import (
     measure_encoder_batched_speedup,
+    measure_encoder_blockwise_equivalence,
+    measure_encoder_sparse_speedup,
     measure_sparse_speedup,
     sweep_sparse_speedup,
 )
@@ -92,6 +94,95 @@ def run_sparse_benchmark(sparse_scale: str, repeats: int) -> dict:
     record["generated_by"] = "benchmarks/run_all.py"
     record["equivalence_tol"] = SPARSE_INT12_EQUIVALENCE_TOL
     return record
+
+
+def run_encoder_sparse_benchmark(sparse_scale: str, repeats: int) -> dict:
+    """End-to-end block-sparse encoder vs the PR 3 cost profile (INT12).
+
+    Times the full :class:`DEFAEncoderRunner` (query pruning on, frozen-row
+    semantics) in three profiles — all-dense, sparse attention with a dense
+    inter-block stage (the PR 3 path), and fully block-sparse — so
+    ``ffn_speedup`` isolates the additional win of the row-compacted
+    FFN/LayerNorm stage.  The end-to-end diff only carries a tolerance (and
+    becomes a gated probe) when both runs kept the same mask trajectory;
+    pure execution-path drift is gated by the lockstep probes
+    (``encoder_equivalence_fp32`` / ``encoder_equivalence_int12``).
+    """
+    from bench_sparse_speedup import ENCODER_INT12_TOL, ENCODER_NUM_LAYERS
+
+    workload = get_workload("deformable_detr", sparse_scale)
+    report = measure_encoder_sparse_speedup(
+        workload, num_layers=ENCODER_NUM_LAYERS, repeats=repeats, rng=0
+    )
+    record = {
+        "name": "encoder_sparse",
+        "config": {
+            "workload": workload.name,
+            "num_layers": report.num_layers,
+            "fwp_k": report.fwp_k,
+            "quant_bits": 12,
+            "enable_query_pruning": True,
+        },
+        "speedup": report.speedup,
+        "ffn_speedup": report.ffn_speedup,
+        "pixel_reduction": report.pixel_reduction,
+        "timings_ms": {
+            "dense": 1e3 * report.dense_s,
+            "sparse_dense_ffn": 1e3 * report.sparse_dense_ffn_s,
+            "sparse": 1e3 * report.sparse_s,
+        },
+        "max_abs_diff": report.max_abs_diff,
+        "mask_trajectory_matched": report.mask_trajectory_matched,
+    }
+    if report.mask_trajectory_matched:
+        record["equivalence_tol"] = ENCODER_INT12_TOL
+    return record
+
+
+def _encoder_blockwise_probe(
+    sparse_scale: str, quant_bits: int | None, tolerance: float, name: str
+) -> dict:
+    """One lockstep block-wise encoder equivalence probe (see
+    :func:`repro.eval.profiler.measure_encoder_blockwise_equivalence`): both
+    paths get identical block inputs and incoming masks at every block, so
+    threshold decisions cannot flip and the drift bound is machine-
+    independent — strict 1e-5 for fp32, a few quantization steps for INT12.
+    """
+    from bench_sparse_speedup import ENCODER_EQUIV_NUM_LAYERS
+
+    workload = get_workload("deformable_detr", sparse_scale)
+    config = DEFAConfig(fwp_k=1.0, quant_bits=quant_bits, enable_query_pruning=True)
+    drift = measure_encoder_blockwise_equivalence(
+        workload, config=config, num_layers=ENCODER_EQUIV_NUM_LAYERS, rng=0
+    )
+    return {
+        "name": name,
+        "config": {
+            "workload": workload.name,
+            "num_layers": ENCODER_EQUIV_NUM_LAYERS,
+            "fwp_k": 1.0,
+            "quant_bits": quant_bits,
+            "enable_query_pruning": True,
+        },
+        "max_abs_diff": drift,
+        "equivalence_tol": tolerance,
+    }
+
+
+def run_encoder_fp32_equivalence(sparse_scale: str, repeats: int) -> dict:
+    """The block-sparse encoder held to the strict 1e-5 fp32 equivalence."""
+    return _encoder_blockwise_probe(
+        sparse_scale, None, SPARSE_FP32_EQUIVALENCE_TOL, "encoder_equivalence_fp32"
+    )
+
+
+def run_encoder_int12_equivalence(sparse_scale: str, repeats: int) -> dict:
+    """The INT12 block-sparse encoder within its quantization-step bound."""
+    from bench_sparse_speedup import ENCODER_INT12_TOL
+
+    return _encoder_blockwise_probe(
+        sparse_scale, 12, ENCODER_INT12_TOL, "encoder_equivalence_int12"
+    )
 
 
 def run_sparse_fp32_equivalence(sparse_scale: str, repeats: int) -> dict:
@@ -179,14 +270,20 @@ def main(argv: list[str] | None = None) -> int:
         "benchmarks": [
             run_engine_benchmark(repeats),
             run_sparse_benchmark(preset["sparse_scale"], repeats),
+            run_encoder_sparse_benchmark(preset["sparse_scale"], repeats),
             run_sparse_fp32_equivalence(preset["sparse_scale"], repeats),
+            run_encoder_fp32_equivalence(preset["sparse_scale"], repeats),
+            run_encoder_int12_equivalence(preset["sparse_scale"], repeats),
         ],
     }
 
     args.json.write_text(json.dumps(record, indent=2) + "\n")
     for bench in record["benchmarks"]:
         speedup = bench.get("speedup") or bench.get("summary", {}).get("max_speedup")
-        print(f"  {bench['name']}: speedup {speedup:.2f}x")
+        if speedup is not None:
+            print(f"  {bench['name']}: speedup {speedup:.2f}x")
+        else:  # pure equivalence probes carry a drift, not a speedup
+            print(f"  {bench['name']}: max |diff| {bench['max_abs_diff']:.2e}")
     print(f"wrote {args.json}")
 
     if args.check:

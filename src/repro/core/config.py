@@ -70,12 +70,17 @@ class DEFAConfig:
         query set is the pixel set (encoder self-attention, ``N_q == N_in``),
         pruned pixels stop acting as queries — their sampling points are
         pruned wholesale, they contribute nothing to frequency counting, and
-        their block output is the output-projection bias (their features
-        still propagate through the residual path).  Off by default: the
-        Fig. 6 experiments reproduce the paper's FWP-on-values-only
-        operating point.  Both execution paths implement the same semantics
-        (the dense path zeroes, the sparse path skips the rows), so
-        dense/sparse equivalence is unchanged.
+        their attention-block output is the output-projection bias.  Inside a
+        :class:`~repro.core.encoder_runner.DEFAEncoderRunner` the pruning
+        carries through the whole encoder block (block-sparse encoder):
+        pruned pixels also skip the residual adds, ``norm1``, the FFN and
+        ``norm2``, leaving the block *frozen at the block input* (the
+        frozen-value convention), so the next block's FWP mask sees their
+        unmodified features.  Off by default: the Fig. 6 experiments
+        reproduce the paper's FWP-on-values-only operating point.  Both
+        execution paths implement the same semantics (the dense path
+        computes and masks, the sparse path skips the rows), so dense/sparse
+        equivalence is unchanged.
     """
 
     enable_fwp: bool = True

@@ -3,8 +3,19 @@
 FWP operates *across* MSDeformAttn blocks: the fmap mask generated while
 sampling in block *i* prunes the value projection and memory accesses of
 block *i+1*.  :class:`DEFAEncoderRunner` wires that propagation through a
-:class:`~repro.nn.encoder.DeformableEncoder`, reusing each layer's LayerNorms
-and FFN unchanged (DEFA only touches the attention block).
+:class:`~repro.nn.encoder.DeformableEncoder`.
+
+With :attr:`DEFAConfig.enable_query_pruning` off (the paper's values-only FWP
+semantics), each layer's LayerNorms and FFN run dense and unchanged — DEFA
+only touches the attention block.  With query pruning on, the runner extends
+the pruning to the whole encoder block (block-sparse encoder, PR 4): a pixel
+pruned by the incoming FWP mask skips the residual adds, ``norm1``, the FFN
+and ``norm2`` as well, and its row leaves the block *frozen at the block
+input* (the frozen-value convention — see
+:meth:`~repro.nn.encoder.DeformableEncoderLayer.forward_ffn_stage`).  The
+stage executes row-compacted when the ``sparse_mode``/auto-threshold dispatch
+selects it (wall-clock savings tracking the pixel keep ratio) and
+masked-dense otherwise, with identical semantics either way.
 """
 
 from __future__ import annotations
@@ -16,11 +27,14 @@ import numpy as np
 from repro.core.config import DEFAConfig
 from repro.core.flops import FlopsBreakdown
 from repro.core.pipeline import (
+    SPARSE_AUTO_FFN_KEEP_MAX,
+    SPARSE_AUTO_FFN_MIN_TOKENS,
     SPARSE_MODES,
     DEFAAttention,
     DEFAAttentionBatchOutput,
     DEFAAttentionOutput,
     DEFALayerStats,
+    use_sparse_rows,
 )
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.tensor_utils import FLOAT_DTYPE
@@ -39,6 +53,13 @@ class DEFAEncoderResult:
 
     layer_outputs: list[DEFAAttentionOutput] = field(default_factory=list)
     """Full per-layer attention outputs (present when ``collect_details=True``)."""
+
+    fmap_masks: list[np.ndarray] = field(default_factory=list)
+    """FWP keep-mask *generated* by each block (block *i*'s entry is the mask
+    applied to block *i+1*).  Always collected — masks are ``N_in`` bools per
+    block, cheap next to the tensors — so callers can compare the prune
+    trajectories of two runs exactly without paying for
+    ``collect_details=True``."""
 
     @property
     def mean_point_reduction(self) -> float:
@@ -100,13 +121,27 @@ class DEFAEncoderRunner:
         :data:`repro.core.pipeline.SPARSE_MODES`): ``"auto"`` (default) runs
         the compacted gather/scatter kernels whenever the FWP/PAP reduction
         ratio makes them profitable, ``"dense"``/``"sparse"`` force one path.
+        The same switch governs the inter-block FFN/LayerNorm stage under
+        query pruning (thresholds :data:`~repro.core.pipeline.
+        SPARSE_AUTO_FFN_KEEP_MAX` / :data:`~repro.core.pipeline.
+        SPARSE_AUTO_FFN_MIN_TOKENS` in ``"auto"``).
+    enable_sparse_ffn:
+        Escape hatch for benchmarking: ``False`` pins the FFN stage to the
+        masked-dense execution even in ``"sparse"`` mode, which reproduces
+        the PR 3 cost profile (sparse attention, dense inter-block work)
+        under the *same* frozen-row semantics.  Numerics are unaffected.
     """
 
     def __init__(
-        self, encoder: DeformableEncoder, config: DEFAConfig, sparse_mode: str = "auto"
+        self,
+        encoder: DeformableEncoder,
+        config: DEFAConfig,
+        sparse_mode: str = "auto",
+        enable_sparse_ffn: bool = True,
     ) -> None:
         self.encoder = encoder
         self.config = config
+        self.enable_sparse_ffn = enable_sparse_ffn
         self.defa_layers = [
             DEFAAttention(layer.self_attn, config, sparse_mode=sparse_mode)
             for layer in encoder.layers
@@ -122,6 +157,31 @@ class DEFAEncoderRunner:
             raise ValueError(f"sparse_mode must be one of {SPARSE_MODES}, got {mode!r}")
         for layer in self.defa_layers:
             layer.sparse_mode = mode
+
+    def ffn_stage_plan(
+        self, fmap_mask: np.ndarray | None, tokens_per_image: int, batched: bool = False
+    ) -> tuple[np.ndarray | None, bool]:
+        """``(keep_mask, compact)`` for the inter-block FFN/LayerNorm stage.
+
+        Row pruning of the stage follows the same gate as query pruning in
+        the attention block (the encoder is self-attention, so the query set
+        *is* the pixel set): it requires ``enable_query_pruning`` and an
+        incoming mask — the first block therefore always runs dense.  The
+        compact/masked-dense execution choice then follows the shared
+        :func:`~repro.core.pipeline.use_sparse_rows` rule under this runner's
+        ``sparse_mode``, unless :attr:`enable_sparse_ffn` pins it dense.
+        """
+        if not self.config.enable_query_pruning or fmap_mask is None:
+            return None, False
+        compact = self.enable_sparse_ffn and use_sparse_rows(
+            fmap_mask,
+            tokens_per_image,
+            SPARSE_AUTO_FFN_KEEP_MAX,
+            SPARSE_AUTO_FFN_MIN_TOKENS,
+            self.sparse_mode,
+            batched=batched,
+        )
+        return fmap_mask, compact
 
     def forward(
         self,
@@ -146,6 +206,7 @@ class DEFAEncoderRunner:
         fmap_mask: np.ndarray | None = None
         layer_stats: list[DEFALayerStats] = []
         layer_outputs: list[DEFAAttentionOutput] = []
+        fmap_masks: list[np.ndarray] = []
 
         for layer, defa_attn in zip(self.encoder.layers, self.defa_layers):
             query = x + pos
@@ -155,11 +216,23 @@ class DEFAEncoderRunner:
             layer_stats.append(attn_out.stats)
             if collect_details:
                 layer_outputs.append(attn_out)
+            # The inter-block stage prunes on the mask applied to *this*
+            # block (the rows that did not act as queries), so it must run
+            # before the mask is advanced to the one this block generated.
+            keep_mask, compact = self.ffn_stage_plan(fmap_mask, x.shape[0])
+            x = layer.forward_ffn_stage(
+                x, attn_out.output, keep_mask=keep_mask, compact=compact
+            )
+            attn_out.stats.sparse_ffn = compact
             fmap_mask = attn_out.fmap_mask_next
-            x = layer.norm1(x + attn_out.output)
-            x = layer.norm2(x + layer.ffn(x))
+            fmap_masks.append(fmap_mask)
 
-        return DEFAEncoderResult(memory=x, layer_stats=layer_stats, layer_outputs=layer_outputs)
+        return DEFAEncoderResult(
+            memory=x,
+            layer_stats=layer_stats,
+            layer_outputs=layer_outputs,
+            fmap_masks=fmap_masks,
+        )
 
     def forward_batched(
         self,
@@ -184,25 +257,33 @@ class DEFAEncoderRunner:
         fmap_mask: np.ndarray | None = None
         per_image_stats: list[list[DEFALayerStats]] = [[] for _ in range(batch)]
         per_image_outputs: list[list[DEFAAttentionOutput]] = [[] for _ in range(batch)]
+        per_image_masks: list[list[np.ndarray]] = [[] for _ in range(batch)]
 
         for layer, defa_attn in zip(self.encoder.layers, self.defa_layers):
             query = x + pos
             attn_out: DEFAAttentionBatchOutput = defa_attn.forward_detailed(
                 query, reference_points, x, spatial_shapes, fmap_mask=fmap_mask
             )
+            # Inter-block stage on the incoming (per-image) masks — before
+            # the masks advance to the ones this block generated.
+            keep_mask, compact = self.ffn_stage_plan(fmap_mask, x.shape[1], batched=True)
+            x = layer.forward_ffn_stage(
+                x, attn_out.output, keep_mask=keep_mask, compact=compact
+            )
             for b, image in enumerate(attn_out.images):
+                image.stats.sparse_ffn = compact
                 per_image_stats[b].append(image.stats)
+                per_image_masks[b].append(image.fmap_mask_next)
                 if collect_details:
                     per_image_outputs[b].append(image)
             fmap_mask = attn_out.fmap_mask_next
-            x = layer.norm1(x + attn_out.output)
-            x = layer.norm2(x + layer.ffn(x))
 
         images = [
             DEFAEncoderResult(
                 memory=x[b],
                 layer_stats=per_image_stats[b],
                 layer_outputs=per_image_outputs[b],
+                fmap_masks=per_image_masks[b],
             )
             for b in range(batch)
         ]

@@ -32,6 +32,14 @@ under :attr:`DEFAConfig.enable_query_pruning`, FWP-pruned pixels stop acting
 as queries — their offset/attention-head and output projections are skipped
 via row-compacted projections while the dense path zeroes the same rows, so
 the two paths remain equivalent to 1e-5 in fp32.
+
+The block-sparse encoder (PR 4) carries the same mask through the
+*inter-block* stages: under query pruning the residual adds, ``norm1``, FFN
+and ``norm2`` of a pruned pixel are skipped as well — its row is frozen at
+the block input — with the row-compacted execution living in
+:meth:`repro.nn.encoder.DeformableEncoderLayer.forward_ffn_stage` and the
+dispatch thresholds (:data:`SPARSE_AUTO_FFN_KEEP_MAX` /
+:data:`SPARSE_AUTO_FFN_MIN_TOKENS`) defined here next to the others.
 """
 
 from __future__ import annotations
@@ -93,6 +101,47 @@ SPARSE_AUTO_MIN_QUERIES = 512
 """``auto``: minimum ``N_q`` (per image) before the row-compacted query-side
 projections can pay for their gather/scatter overhead."""
 
+SPARSE_AUTO_FFN_KEEP_MAX = 0.85
+"""``auto``: run the inter-block FFN/LayerNorm stage row-compacted when at
+most this fraction of pixels survives the incoming FWP mask under query
+pruning (see :meth:`repro.nn.encoder.DeformableEncoderLayer.
+forward_ffn_stage`)."""
+
+SPARSE_AUTO_FFN_MIN_TOKENS = 512
+"""``auto``: minimum ``N_in`` (per image) before the row-compacted FFN stage
+can pay for its gather/scatter overhead."""
+
+
+def use_sparse_rows(
+    mask: np.ndarray | None,
+    rows_per_image: int,
+    keep_max: float,
+    min_rows: int,
+    sparse_mode: str,
+    batched: bool = False,
+) -> bool:
+    """Shared dispatch rule of every row-compacted stage.
+
+    No mask ⇒ dense by convention (the first block of an encoder never
+    receives one).  ``"dense"``/``"sparse"`` force one path; ``"auto"``
+    additionally requires the image to be large enough and the mask to
+    actually prune.  A batch uses the *maximum* per-image keep fraction
+    (compact only when every image alone would go compact) so batched and
+    single-image runs make the same decision wherever possible.
+    """
+    if mask is None or sparse_mode == "dense":
+        return False
+    if sparse_mode == "sparse":
+        return True
+    if rows_per_image < min_rows:
+        return False
+    if batched:
+        per_image = np.count_nonzero(mask, axis=1)
+        keep_fraction = float(per_image.max()) / max(rows_per_image, 1)
+    else:
+        keep_fraction = np.count_nonzero(mask) / max(mask.size, 1)
+    return keep_fraction <= keep_max
+
 
 @dataclass
 class DEFALayerStats:
@@ -149,6 +198,16 @@ class DEFALayerStats:
     sparse_query: bool = False
     """Whether the query-side projections (attention / offset / output heads)
     ran row-compacted over the queries kept by query pruning."""
+
+    sparse_ffn: bool = False
+    """Whether the *inter-block* FFN/LayerNorm stage that consumed this
+    block's output ran row-compacted over the FWP-kept pixels (block-sparse
+    encoder, PR 4).  The attention block itself does not run that stage, so
+    this flag is recorded by :class:`~repro.core.encoder_runner.
+    DEFAEncoderRunner` after it executes the stage; it stays ``False`` for
+    operator-level :class:`DEFAAttention` calls, for the first encoder block
+    (no incoming mask), and whenever query pruning is off or the stage ran
+    masked-dense."""
 
     @property
     def point_reduction(self) -> float:
@@ -322,27 +381,10 @@ class DEFAAttention:
         min_rows: int,
         batched: bool = False,
     ) -> bool:
-        """Shared dispatch rule of the row-compacted projections.
-
-        No mask ⇒ dense by convention (the first block of an encoder never
-        receives one).  ``auto`` additionally requires the image to be large
-        enough and the mask to actually prune; a batch uses the *maximum*
-        per-image keep fraction (sparse only when every image alone would go
-        sparse) so batched and single-image runs make the same decision
-        wherever possible.
-        """
-        if mask is None or self.sparse_mode == "dense":
-            return False
-        if self.sparse_mode == "sparse":
-            return True
-        if rows_per_image < min_rows:
-            return False
-        if batched:
-            per_image = np.count_nonzero(mask, axis=1)
-            keep_fraction = float(per_image.max()) / max(rows_per_image, 1)
-        else:
-            keep_fraction = np.count_nonzero(mask) / max(mask.size, 1)
-        return keep_fraction <= keep_max
+        """The shared :func:`use_sparse_rows` rule under this block's mode."""
+        return use_sparse_rows(
+            mask, rows_per_image, keep_max, min_rows, self.sparse_mode, batched=batched
+        )
 
     def _use_sparse_projection(
         self, fmap_mask: np.ndarray | None, tokens_per_image: int, batched: bool = False

@@ -46,8 +46,10 @@ class TraceCache:
     ----------
     max_entries:
         Optional bound on the number of cached trace lists; when exceeded the
-        least-recently-inserted entry is evicted (traces are large, so
-        unbounded growth across many workloads would exhaust memory).
+        least-recently-*used* entry is evicted (a hit refreshes an entry's
+        recency, so a hot workload is never pushed out by a stream of one-off
+        ones; traces are large, so unbounded growth across many workloads
+        would exhaust memory).
     """
 
     def __init__(self, max_entries: int | None = None) -> None:
@@ -86,7 +88,12 @@ class TraceCache:
         key = trace_cache_key(spec, seed=seed, num_layers=num_layers, fit_heads=fit_heads)
         if key in self._entries:
             self._hits += 1
-            return list(self._entries[key])
+            # LRU refresh: dicts iterate in insertion order and eviction takes
+            # the first key, so re-inserting a hit entry moves it to the
+            # most-recently-used position.
+            traces = self._entries.pop(key)
+            self._entries[key] = traces
+            return list(traces)
         self._misses += 1
         traces = generate_layer_traces(
             spec, num_layers=num_layers, fit_heads=fit_heads, rng=seed

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.baselines.gpu import GPUCostModel, GPUSpec, RTX_3090TI
 from repro.core.config import DEFAConfig
+from repro.core.encoder_runner import DEFAEncoderRunner
 from repro.core.pipeline import DEFAAttention
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.msdeform_attn import MSDeformAttn
@@ -407,3 +408,266 @@ def measure_sparse_speedup(
         dense_kernels=dict(dense_kernels.seconds),
         sparse_kernels=dict(sparse_kernels.seconds),
     )
+
+
+# --------------------------------------------------------------------------
+# Block-sparse encoder profiling (PR 4)
+
+
+@dataclass(frozen=True)
+class EncoderSparseSpeedupReport:
+    """End-to-end encoder wall clock of the three execution profiles.
+
+    All three runs execute the *same* block-sparse-encoder semantics (query
+    pruning on, pruned rows frozen at the block input); they differ only in
+    which stages run compacted:
+
+    * ``dense_s`` — everything masked-dense (pruning changes numerics only);
+    * ``sparse_dense_ffn_s`` — sparse attention blocks, masked-dense
+      inter-block FFN/LayerNorm stage: the PR 3 cost profile;
+    * ``sparse_s`` — the full block-sparse encoder (row-compacted FFN stage).
+    """
+
+    workload: str
+    fwp_k: float
+    pap_threshold: float
+    num_layers: int
+    num_tokens: int
+    pixel_reduction: float
+    """Mean FWP pixel reduction over the masked blocks (2..L)."""
+
+    dense_s: float
+    sparse_dense_ffn_s: float
+    sparse_s: float
+    max_abs_diff: float
+    """Max elementwise deviation of the sparse memory from the dense memory.
+
+    End-to-end across many blocks this is *not* bounded by kernel rounding
+    alone: FWP/PAP are threshold decisions, so a ~1e-7 kernel difference in
+    one block can flip a mask bit downstream, after which the two runs
+    legitimately execute different prune trajectories and whole rows differ
+    by O(feature magnitude).  Check :attr:`mask_trajectory_matched` before
+    reading this as an execution-path drift; the machine-independent
+    equivalence gate is :func:`measure_encoder_blockwise_equivalence`.
+    """
+
+    dense_pixels_kept: tuple[int, ...]
+    """Per-block incoming-mask keep counts of the dense run (first block:
+    ``num_tokens`` by the no-mask convention)."""
+
+    sparse_pixels_kept: tuple[int, ...]
+    """Per-block incoming-mask keep counts of the block-sparse run."""
+
+    mask_trajectory_matched: bool
+    """Whether both runs generated bit-identical FWP masks in every block
+    (exact mask comparison, not just keep counts — a count-preserving flip
+    would still diverge the trajectories)."""
+
+    dense_kernels: dict[str, float]
+    """Per-section seconds of one masked-dense encoder forward (now including
+    the ``ffn`` / ``norm`` sections of the inter-block stage)."""
+
+    sparse_kernels: dict[str, float]
+    """Per-section seconds of one block-sparse encoder forward."""
+
+    @property
+    def speedup(self) -> float:
+        """Dense-over-block-sparse encoder wall-clock ratio."""
+        return self.dense_s / self.sparse_s if self.sparse_s > 0 else float("inf")
+
+    @property
+    def ffn_speedup(self) -> float:
+        """Additional end-to-end win of the compacted FFN stage over the PR 3
+        profile (sparse attention + dense inter-block work)."""
+        return self.sparse_dense_ffn_s / self.sparse_s if self.sparse_s > 0 else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "workload": self.workload,
+            "fwp_k": self.fwp_k,
+            "pap_threshold": self.pap_threshold,
+            "num_layers": self.num_layers,
+            "num_tokens": self.num_tokens,
+            "pixel_reduction": self.pixel_reduction,
+            "dense_ms": 1e3 * self.dense_s,
+            "sparse_dense_ffn_ms": 1e3 * self.sparse_dense_ffn_s,
+            "sparse_ms": 1e3 * self.sparse_s,
+            "speedup": self.speedup,
+            "ffn_speedup": self.ffn_speedup,
+            "max_abs_diff": self.max_abs_diff,
+            "dense_pixels_kept": list(self.dense_pixels_kept),
+            "sparse_pixels_kept": list(self.sparse_pixels_kept),
+            "mask_trajectory_matched": self.mask_trajectory_matched,
+            "dense_kernels_ms": {k: 1e3 * v for k, v in self.dense_kernels.items()},
+            "sparse_kernels_ms": {k: 1e3 * v for k, v in self.sparse_kernels.items()},
+        }
+
+
+def measure_encoder_sparse_speedup(
+    workload: WorkloadSpec,
+    config: DEFAConfig | None = None,
+    num_layers: int = 3,
+    repeats: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> EncoderSparseSpeedupReport:
+    """Time a full DEFA encoder in the three block-sparse execution profiles.
+
+    Builds a :class:`DeformableEncoder` at the workload's model geometry
+    (*num_layers* blocks; the first block never receives a mask, so at least
+    two layers are required for any pruning to execute) and one
+    :class:`DEFAEncoderRunner` with query pruning semantics, then times
+
+    1. ``sparse_mode="dense"`` — the all-masked-dense reference,
+    2. ``sparse_mode="sparse"`` with ``enable_sparse_ffn=False`` — the PR 3
+       cost profile (compacted attention, dense inter-block stage), and
+    3. ``sparse_mode="sparse"`` — the full block-sparse encoder,
+
+    interleaved best-of-*repeats*.  All three see identical inputs and
+    produce the same memory (``max_abs_diff`` reports dense vs. full-sparse),
+    so :attr:`EncoderSparseSpeedupReport.ffn_speedup` isolates the win of
+    carrying FWP pruning through the FFN/LayerNorm stage.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    if num_layers < 2:
+        raise ValueError("num_layers must be >= 2 (the first block is never masked)")
+    config = config or DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+    rng = as_rng(rng)
+    shapes = workload.spatial_shapes
+    model = workload.model
+    n_in = workload.num_tokens
+    encoder = DeformableEncoder(
+        num_layers=num_layers,
+        d_model=model.d_model,
+        num_heads=model.num_heads,
+        num_levels=model.num_levels,
+        num_points=model.num_points,
+        ffn_dim=model.ffn_dim,
+        activation=model.activation,
+        rng=rng,
+    )
+    features = rng.standard_normal((n_in, model.d_model)).astype(FLOAT_DTYPE)
+    pos = sine_positional_encoding(shapes, model.d_model)
+    reference_points = make_reference_points(shapes)
+
+    runner = DEFAEncoderRunner(encoder, config, sparse_mode="dense")
+
+    def run(mode: str, sparse_ffn: bool):
+        runner.sparse_mode = mode
+        runner.enable_sparse_ffn = sparse_ffn
+        return runner.forward(features, pos, reference_points, shapes)
+
+    dense_res = run("dense", False)  # warm-up + reference
+    sparse_res = run("sparse", True)
+    max_abs_diff = float(np.max(np.abs(dense_res.memory - sparse_res.memory)))
+    pixel_reduction = sparse_res.mean_pixel_reduction
+    dense_pixels_kept = tuple(s.pixels_kept for s in dense_res.layer_stats)
+    sparse_pixels_kept = tuple(s.pixels_kept for s in sparse_res.layer_stats)
+    # Exact per-block mask comparison (keep counts alone would miss a
+    # count-preserving flip, which still diverges the trajectories).
+    mask_trajectory_matched = all(
+        np.array_equal(a, b)
+        for a, b in zip(dense_res.fmap_masks, sparse_res.fmap_masks)
+    )
+    del dense_res, sparse_res
+
+    dense_times: list[float] = []
+    pr3_times: list[float] = []
+    sparse_times: list[float] = []
+    for _ in range(repeats):
+        dense_times.append(_timed(lambda: run("dense", False)))
+        pr3_times.append(_timed(lambda: run("sparse", False)))
+        sparse_times.append(_timed(lambda: run("sparse", True)))
+
+    with collect_kernel_timings() as dense_kernels:
+        run("dense", False)
+    with collect_kernel_timings() as sparse_kernels:
+        run("sparse", True)
+
+    return EncoderSparseSpeedupReport(
+        workload=workload.name,
+        fwp_k=config.fwp_k if config.enable_fwp else 0.0,
+        pap_threshold=config.pap_threshold if config.enable_pap else 0.0,
+        num_layers=num_layers,
+        num_tokens=n_in,
+        pixel_reduction=pixel_reduction,
+        dense_s=min(dense_times),
+        sparse_dense_ffn_s=min(pr3_times),
+        sparse_s=min(sparse_times),
+        max_abs_diff=max_abs_diff,
+        dense_pixels_kept=dense_pixels_kept,
+        sparse_pixels_kept=sparse_pixels_kept,
+        mask_trajectory_matched=mask_trajectory_matched,
+        dense_kernels=dict(dense_kernels.seconds),
+        sparse_kernels=dict(sparse_kernels.seconds),
+    )
+
+
+def measure_encoder_blockwise_equivalence(
+    workload: WorkloadSpec,
+    config: DEFAConfig | None = None,
+    num_layers: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Max dense/sparse output drift over a *lockstep* multi-block run.
+
+    The end-to-end encoder comparison is trajectory-sensitive: FWP/PAP are
+    threshold decisions, so kernel-rounding differences can flip a mask bit
+    downstream and the two runs then prune different pixels (a property of
+    the algorithm, not of the execution paths).  This probe removes that
+    sensitivity: at every block, *both* paths receive the dense trajectory's
+    block input and incoming FWP mask, their attention + inter-block-stage
+    outputs are compared, and the dense output is carried forward.  Identical
+    inputs mean identical threshold decisions, so the returned maximum is a
+    machine-independent measure of pure execution-path drift — 1e-5 for fp32
+    configs, a few quantization steps for INT12 — while still exercising
+    masks that evolve block to block.
+    """
+    if num_layers < 2:
+        raise ValueError("num_layers must be >= 2 (the first block is never masked)")
+    config = config or DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+    rng = as_rng(rng)
+    shapes = workload.spatial_shapes
+    model = workload.model
+    n_in = workload.num_tokens
+    encoder = DeformableEncoder(
+        num_layers=num_layers,
+        d_model=model.d_model,
+        num_heads=model.num_heads,
+        num_levels=model.num_levels,
+        num_points=model.num_points,
+        ffn_dim=model.ffn_dim,
+        activation=model.activation,
+        rng=rng,
+    )
+    features = rng.standard_normal((n_in, model.d_model)).astype(FLOAT_DTYPE)
+    pos = sine_positional_encoding(shapes, model.d_model)
+    reference_points = make_reference_points(shapes)
+    dense = DEFAEncoderRunner(encoder, config, sparse_mode="dense")
+    sparse = DEFAEncoderRunner(encoder, config, sparse_mode="sparse")
+
+    def step(runner: DEFAEncoderRunner, index: int, x: np.ndarray, fmap_mask):
+        layer = runner.encoder.layers[index]
+        attn_out = runner.defa_layers[index].forward_detailed(
+            x + pos, reference_points, x, shapes, fmap_mask=fmap_mask
+        )
+        keep_mask, compact = runner.ffn_stage_plan(fmap_mask, x.shape[0])
+        out = layer.forward_ffn_stage(
+            x, attn_out.output, keep_mask=keep_mask, compact=compact
+        )
+        return out, attn_out.fmap_mask_next
+
+    x = features
+    fmap_mask = None
+    max_drift = 0.0
+    for index in range(num_layers):
+        out_dense, mask_next = step(dense, index, x, fmap_mask)
+        out_sparse, sparse_mask_next = step(sparse, index, x, fmap_mask)
+        max_drift = max(max_drift, float(np.max(np.abs(out_dense - out_sparse))))
+        # Same inputs => the generated masks must agree exactly (integer
+        # frequency counting); if they ever did not, that would be an
+        # execution-path bug, which the probe should surface loudly.
+        if not np.array_equal(mask_next, sparse_mask_next):
+            return float("inf")
+        x, fmap_mask = out_dense, mask_next
+    return max_drift

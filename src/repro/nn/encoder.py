@@ -23,6 +23,7 @@ from repro.nn.msdeform_attn import MSDeformAttn, MSDeformAttnOutput
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.shapes import LevelShape
+from repro.utils.timing import kernel_section
 
 
 @dataclass
@@ -98,9 +99,75 @@ class DeformableEncoderLayer(Module):
         attn = self.self_attn.forward_detailed(
             query, reference_points, src, spatial_shapes, with_trace=with_trace
         )
-        src2 = self.norm1(src + attn.output)
-        out = self.norm2(src2 + self.ffn(src2))
-        return EncoderLayerOutput(output=out.astype(FLOAT_DTYPE), attention=attn)
+        out = self.forward_ffn_stage(src, attn.output)
+        return EncoderLayerOutput(output=out, attention=attn)
+
+    def forward_ffn_stage(
+        self,
+        src: np.ndarray,
+        attn_output: np.ndarray,
+        keep_mask: np.ndarray | None = None,
+        compact: bool = False,
+    ) -> np.ndarray:
+        """The inter-block stage ``norm2(z + ffn(z))``, ``z = norm1(src + attn)``.
+
+        Parameters
+        ----------
+        src:
+            Block input of shape ``(N, D)`` or ``(B, N, D)``.
+        attn_output:
+            Same-shape output of the attention block.
+        keep_mask:
+            Optional boolean keep-mask over the rows (``(N,)``, or ``(B, N)``
+            when batched).  Pruned rows skip the residual adds, ``norm1``, the
+            FFN and ``norm2`` entirely and *carry the block input unchanged*
+            (the frozen-value convention of the block-sparse encoder: a pixel
+            the FWP mask pruned from the query side contributes nothing to
+            this block, so its residual stream is frozen at the block input).
+            ``None`` runs the ordinary dense stage.
+        compact:
+            With a mask: ``True`` gathers the kept rows and runs the stage
+            row-compacted (the wall-clock savings; the residual adds run on
+            the gathered rows, then :class:`LayerNorm`/:class:`FeedForward`
+            row-local forwards — the hoisted-gather form of their
+            ``forward_rows`` entry points); ``False`` computes the stage
+            densely and masks, which implements identical semantics (kept
+            rows agree to float32 matmul precision, frozen rows exactly).
+
+        Returns the stage output in the shape of ``src``.
+        """
+        src = np.asarray(src, dtype=FLOAT_DTYPE)
+        attn_output = np.asarray(attn_output, dtype=FLOAT_DTYPE)
+        if keep_mask is None:
+            with kernel_section("norm"):
+                src2 = self.norm1(src + attn_output)
+            with kernel_section("ffn"):
+                ffn_out = self.ffn(src2)
+            with kernel_section("norm"):
+                out = self.norm2(src2 + ffn_out)
+            return out.astype(FLOAT_DTYPE)
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != src.shape[:-1]:
+            raise ValueError("keep_mask must match the row shape of src")
+        if not compact:
+            dense = self.forward_ffn_stage(src, attn_output)
+            out = src.copy()
+            out[keep_mask] = dense[keep_mask]
+            return out
+        d_model = src.shape[-1]
+        flat_src = src.reshape(-1, d_model)
+        flat_attn = attn_output.reshape(-1, d_model)
+        kept = np.flatnonzero(keep_mask.reshape(-1))
+        out = src.copy()
+        if kept.size:
+            with kernel_section("norm"):
+                src2 = self.norm1(flat_src[kept] + flat_attn[kept])
+            with kernel_section("ffn"):
+                ffn_out = self.ffn(src2)
+            with kernel_section("norm"):
+                rows = self.norm2(src2 + ffn_out)
+            out.reshape(-1, d_model)[kept] = rows
+        return out
 
     def forward(
         self,

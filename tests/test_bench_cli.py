@@ -1,0 +1,332 @@
+"""CLI tests for the benchmark harness and the regression gate.
+
+``benchmarks/run_all.py`` and ``benchmarks/compare_bench.py`` are the CI
+perf contract — drift detection (``--check``), the speedup-regression fence
+and the friendly argument validation were previously untested.  These tests
+drive both ``main()`` entry points against tmp-path JSON fixtures (and
+monkeypatched benchmark runners, so nothing slow executes) and pin the exit
+codes CI relies on: 0 = pass, 1 = regression/drift, 2 = argparse error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+
+import compare_bench  # noqa: E402  (path set up above)
+import run_all  # noqa: E402
+
+
+def _record(engine_speedup=4.0, sweep_half=5.0, encoder_drift=1e-3, sweep_drift=1e-4):
+    """A minimal but shape-faithful run_all-style record."""
+    return {
+        "name": "run_all",
+        "config": {"scale": "compact", "repeats": 1},
+        "benchmarks": [
+            {
+                "name": "batched_engine",
+                "speedup": engine_speedup,
+                "max_abs_diff": 1e-6,
+                "equivalence_tol": 1e-5,
+            },
+            {
+                "name": "sparse_speedup",
+                "equivalence_tol": 5e-3,
+                "results": [
+                    {"fwp_k": 1.0, "pap_threshold": 0.035, "max_abs_diff": sweep_drift}
+                ],
+                "summary": {
+                    "max_speedup": 7.0,
+                    "speedup_at_half_pixel_reduction": sweep_half,
+                    "encoder_speedup": 3.0,
+                    "encoder_ffn_speedup": 1.4,
+                },
+                "encoder": {
+                    "max_abs_diff": encoder_drift,
+                    "equivalence_tol": 1e-2,
+                },
+                "encoder_blockwise": {
+                    "fp32": {"max_abs_diff": 2e-6, "equivalence_tol": 1e-5},
+                    "int12": {"max_abs_diff": 3e-3, "equivalence_tol": 2e-2},
+                },
+            },
+        ],
+    }
+
+
+def _write(tmp_path, name, record):
+    path = tmp_path / name
+    path.write_text(json.dumps(record))
+    return path
+
+
+class TestCompareBenchExtraction:
+    def test_extract_speedups_tracks_scalars_and_summary_aggregates(self):
+        speedups = compare_bench.extract_speedups(_record())
+        assert speedups["batched_engine.speedup"] == 4.0
+        assert speedups["sparse_speedup.max_speedup"] == 7.0
+        assert speedups["sparse_speedup.speedup_at_half_pixel_reduction"] == 5.0
+        assert speedups["sparse_speedup.encoder_speedup"] == 3.0
+        assert speedups["sparse_speedup.encoder_ffn_speedup"] == 1.4
+
+    def test_extract_speedups_tracks_ffn_speedup_scalar(self):
+        record = {"name": "encoder_sparse", "speedup": 3.0, "ffn_speedup": 1.3}
+        speedups = compare_bench.extract_speedups(record)
+        assert speedups == {
+            "encoder_sparse.speedup": 3.0,
+            "encoder_sparse.ffn_speedup": 1.3,
+        }
+
+    def test_extract_probes_includes_embedded_encoder_record(self):
+        probes = compare_bench.extract_equivalence_probes(_record())
+        by_name = {p["probe"]: p for p in probes}
+        assert by_name["sparse_speedup.encoder"]["tolerance"] == 1e-2
+        assert by_name["sparse_speedup.encoder_blockwise.fp32"]["tolerance"] == 1e-5
+        assert by_name["sparse_speedup.encoder_blockwise.int12"]["max_abs_diff"] == 3e-3
+        assert by_name["batched_engine"]["max_abs_diff"] == 1e-6
+        assert "sparse_speedup[fwp_k=1.0, pap=0.035]" in by_name
+
+    def test_encoder_record_without_tolerance_is_not_a_probe(self):
+        """A diverged-trajectory encoder record (no equivalence_tol) must be
+        reported as diagnostic only, never gated."""
+        record = _record()
+        del record["benchmarks"][1]["encoder"]["equivalence_tol"]
+        probes = compare_bench.extract_equivalence_probes(record)
+        assert "sparse_speedup.encoder" not in {p["probe"] for p in probes}
+
+    def test_single_benchmark_record_shape(self):
+        record = {
+            "name": "sparse_speedup",
+            "equivalence_tol": 5e-3,
+            "results": [{"fwp_k": 0.5, "max_abs_diff": 2e-4}],
+            "summary": {"max_speedup": 2.0},
+        }
+        assert compare_bench.extract_speedups(record) == {
+            "sparse_speedup.max_speedup": 2.0
+        }
+        (probe,) = compare_bench.extract_equivalence_probes(record)
+        assert probe["probe"] == "sparse_speedup[fwp_k=0.5]"
+
+
+class TestCompareBenchCli:
+    def test_identical_records_pass(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record())
+        curr = _write(tmp_path, "curr.json", _record())
+        rc = compare_bench.main(["--baseline", str(base), "--current", str(curr)])
+        assert rc == 0
+        assert "benchmark comparison passed" in capsys.readouterr().out
+
+    def test_speedup_regression_fails(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record(engine_speedup=4.0))
+        curr = _write(tmp_path, "curr.json", _record(engine_speedup=2.0))
+        rc = compare_bench.main(["--baseline", str(base), "--current", str(curr)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "BENCH REGRESSION" in captured.err
+        assert "batched_engine.speedup" in captured.err
+
+    def test_regression_within_tolerance_passes(self, tmp_path):
+        base = _write(tmp_path, "base.json", _record(engine_speedup=4.0))
+        curr = _write(tmp_path, "curr.json", _record(engine_speedup=3.5))
+        rc = compare_bench.main(
+            ["--baseline", str(base), "--current", str(curr), "--tolerance", "0.2"]
+        )
+        assert rc == 0
+
+    def test_equivalence_drift_fails_even_with_better_speedups(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record())
+        curr = _write(
+            tmp_path, "curr.json", _record(engine_speedup=9.0, encoder_drift=5e-2)
+        )
+        rc = compare_bench.main(["--baseline", str(base), "--current", str(curr)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "sparse_speedup.encoder" in captured.err
+        assert "drift" in captured.err
+
+    def test_missing_metric_fails_unless_allowed(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record())
+        current = _record()
+        del current["benchmarks"][1]["summary"]["encoder_ffn_speedup"]
+        curr = _write(tmp_path, "curr.json", current)
+        rc = compare_bench.main(["--baseline", str(base), "--current", str(curr)])
+        assert rc == 1
+        assert "absent from the current record" in capsys.readouterr().err
+        rc = compare_bench.main(
+            ["--baseline", str(base), "--current", str(curr), "--allow-missing"]
+        )
+        assert rc == 0
+
+    def test_new_metric_in_current_is_reported_not_failed(self, tmp_path, capsys):
+        baseline = _record()
+        del baseline["benchmarks"][1]["summary"]["encoder_speedup"]
+        base = _write(tmp_path, "base.json", baseline)
+        curr = _write(tmp_path, "curr.json", _record())
+        rc = compare_bench.main(["--baseline", str(base), "--current", str(curr)])
+        assert rc == 0
+        assert "new" in capsys.readouterr().out
+
+    def test_invalid_tolerance_is_an_argparse_error(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record())
+        with pytest.raises(SystemExit) as excinfo:
+            compare_bench.main(
+                ["--baseline", str(base), "--current", str(base), "--tolerance", "1.5"]
+            )
+        assert excinfo.value.code == 2
+        assert "--tolerance must be in [0, 1)" in capsys.readouterr().err
+
+    def test_missing_record_file_is_a_friendly_exit(self, tmp_path):
+        base = _write(tmp_path, "base.json", _record())
+        with pytest.raises(SystemExit) as excinfo:
+            compare_bench.main(
+                ["--baseline", str(base), "--current", str(tmp_path / "nope.json")]
+            )
+        assert "not found" in str(excinfo.value)
+
+    def test_invalid_json_is_a_friendly_exit(self, tmp_path):
+        base = _write(tmp_path, "base.json", _record())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            compare_bench.main(["--baseline", str(base), "--current", str(bad)])
+        assert "not valid JSON" in str(excinfo.value)
+
+
+class TestRunAllCli:
+    @pytest.fixture
+    def fast_benchmarks(self, monkeypatch):
+        """Replace the slow benchmark runners with canned records."""
+        record = _record()
+        monkeypatch.setattr(
+            run_all, "run_engine_benchmark", lambda repeats: record["benchmarks"][0]
+        )
+        monkeypatch.setattr(
+            run_all, "run_sparse_benchmark", lambda scale, repeats: record["benchmarks"][1]
+        )
+        canned = {
+            "name": "encoder_sparse",
+            "speedup": 3.0,
+            "ffn_speedup": 1.3,
+            "max_abs_diff": 1e-3,
+            "equivalence_tol": 1e-2,
+        }
+        monkeypatch.setattr(
+            run_all, "run_encoder_sparse_benchmark", lambda scale, repeats: dict(canned)
+        )
+        monkeypatch.setattr(
+            run_all,
+            "run_encoder_fp32_equivalence",
+            lambda scale, repeats: {
+                "name": "encoder_equivalence_fp32",
+                "speedup": 3.0,
+                "max_abs_diff": 2e-6,
+                "equivalence_tol": 1e-5,
+            },
+        )
+        monkeypatch.setattr(
+            run_all,
+            "run_encoder_int12_equivalence",
+            lambda scale, repeats: {
+                "name": "encoder_equivalence_int12",
+                "max_abs_diff": 4e-3,
+                "equivalence_tol": 2e-2,
+            },
+        )
+        monkeypatch.setattr(
+            run_all,
+            "run_sparse_fp32_equivalence",
+            lambda scale, repeats: {
+                "name": "sparse_equivalence_fp32",
+                "speedup": 2.0,
+                "max_abs_diff": 1e-6,
+                "equivalence_tol": 1e-5,
+            },
+        )
+        return record
+
+    def test_writes_json_and_passes_check(self, tmp_path, capsys, fast_benchmarks):
+        out = tmp_path / "BENCH_test.json"
+        rc = run_all.main(["--json", str(out), "--check"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert out.exists()
+        written = json.loads(out.read_text())
+        assert {b["name"] for b in written["benchmarks"]} >= {
+            "batched_engine",
+            "sparse_speedup",
+            "encoder_sparse",
+            "encoder_equivalence_fp32",
+        }
+        assert "equivalence check passed" in captured.out
+
+    def test_check_fails_on_drift_with_per_probe_summary(
+        self, tmp_path, capsys, monkeypatch, fast_benchmarks
+    ):
+        monkeypatch.setattr(
+            run_all,
+            "run_encoder_fp32_equivalence",
+            lambda scale, repeats: {
+                "name": "encoder_equivalence_fp32",
+                "speedup": 3.0,
+                "max_abs_diff": 5e-4,  # way past the fp32 tolerance
+                "equivalence_tol": 1e-5,
+            },
+        )
+        out = tmp_path / "BENCH_drift.json"
+        rc = run_all.main(["--json", str(out), "--check"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "EQUIVALENCE DRIFT" in captured.err
+        assert "encoder_equivalence_fp32" in captured.err
+        assert "[DRIFT]" in captured.out or "DRIFT" in captured.out
+
+    def test_without_check_drift_does_not_fail(
+        self, tmp_path, monkeypatch, fast_benchmarks
+    ):
+        monkeypatch.setattr(
+            run_all,
+            "run_encoder_fp32_equivalence",
+            lambda scale, repeats: {
+                "name": "encoder_equivalence_fp32",
+                "speedup": 3.0,
+                "max_abs_diff": 5e-4,
+                "equivalence_tol": 1e-5,
+            },
+        )
+        rc = run_all.main(["--json", str(tmp_path / "b.json")])
+        assert rc == 0
+
+    def test_unknown_scale_is_a_friendly_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_all.main(["--scale", "galactic"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown scale 'galactic'" in err
+        assert "compact" in err  # the error lists the known scales
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "two"])
+    def test_invalid_repeats_is_a_friendly_argparse_error(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_all.main(["--repeats", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "repeats" in err or "integer" in err
+
+    def test_equivalence_probes_helper_marks_status(self, fast_benchmarks):
+        record = {
+            "name": "run_all",
+            "benchmarks": [
+                {"name": "ok_probe", "max_abs_diff": 1e-7, "equivalence_tol": 1e-5},
+                {"name": "bad_probe", "max_abs_diff": 1e-2, "equivalence_tol": 1e-5},
+            ],
+        }
+        probes = run_all.equivalence_probes(record)
+        status = {p["probe"]: p["ok"] for p in probes}
+        assert status == {"ok_probe": True, "bad_probe": False}

@@ -177,6 +177,28 @@ class TestTraceCache:
         assert trace_cache_key(spec, seed=1, num_layers=1) in cache
         assert trace_cache_key(spec, seed=0, num_layers=1) not in cache
 
+    def test_lru_eviction_hit_refreshes_recency(self):
+        """Eviction at max_entries is least-recently-*used*: a hit on the
+        oldest entry must save it from the next eviction, and the hit/miss
+        accounting must record the whole sequence."""
+        spec = get_workload("deformable_detr", "tiny")
+        cache = TraceCache(max_entries=2)
+        first = cache.get_or_generate(spec, seed=0, num_layers=1)  # miss
+        cache.get_or_generate(spec, seed=1, num_layers=1)  # miss
+        # Touch seed=0: it becomes most-recently-used and must survive the
+        # eviction triggered by inserting seed=2 (seed=1 is now the LRU).
+        again = cache.get_or_generate(spec, seed=0, num_layers=1)  # hit
+        assert again[0] is first[0]
+        cache.get_or_generate(spec, seed=2, num_layers=1)  # miss, evicts seed=1
+        assert len(cache) == 2
+        assert trace_cache_key(spec, seed=0, num_layers=1) in cache
+        assert trace_cache_key(spec, seed=2, num_layers=1) in cache
+        assert trace_cache_key(spec, seed=1, num_layers=1) not in cache
+        # The surviving seed=0 entry still hits (no regeneration).
+        assert cache.get_or_generate(spec, seed=0, num_layers=1)[0] is first[0]
+        stats = cache.stats
+        assert stats.hits == 2 and stats.misses == 3 and stats.entries == 2
+
     def test_caller_mutation_does_not_corrupt_cache(self):
         spec = get_workload("deformable_detr", "tiny")
         cache = TraceCache()
