@@ -13,7 +13,11 @@ math for surviving points).  The block-sparse encoder (PR 4) adds an
 end-to-end encoder measurement at the ~48 % pixel-reduction operating point:
 the row-compacted FFN/LayerNorm stage must beat the PR 3 cost profile
 (sparse attention, dense inter-block work) by >= 1.2x under identical
-frozen-row semantics.  The sweep is written to ``BENCH_sparse.json``
+frozen-row semantics.  The fused-kernel backend (PR 5) adds a *backend*
+dimension to the encoder measurement: the block-sparse encoder is timed on
+the ``"reference"`` backend (the PR 4 execution) and on the ``"fused"``
+backend (single-pass kernels + execution-plan buffer reuse), which must win
+by >= 1.15x with bit-identical outputs.  The sweep is written to ``BENCH_sparse.json``
 at the repo root so the perf trajectory is tracked PR-over-PR
 (``benchmarks/run_all.py`` regenerates the same record and
 ``benchmarks/compare_bench.py`` gates it in CI).
@@ -61,6 +65,12 @@ ENCODER_FFN_TARGET = 1.2
 FFN/LayerNorm stage) must beat the PR 3 cost profile (sparse attention,
 dense inter-block stage) by at least this factor end-to-end at the ~48 %
 pixel-reduction operating point."""
+
+ENCODER_FUSED_TARGET = 1.15
+"""PR 5 acceptance floor: the fused kernel backend + execution-plan arenas
+must beat the PR 4 block-sparse path (reference backend, per-block
+allocation) by at least this factor end-to-end at the same operating point,
+with bit-identical outputs (``fused_max_abs_diff == 0``)."""
 
 ENCODER_NUM_LAYERS = 6
 """Encoder depth of the end-to-end measurement — the paper's encoder depth.
@@ -162,6 +172,7 @@ def sweep_record(
             "query_pruning": query_pruning,
             "target_speedup_at_half_pixel_reduction": TARGET_SPEEDUP_AT_HALF_PIXELS,
             "encoder_ffn_target": ENCODER_FFN_TARGET,
+            "encoder_fused_target": ENCODER_FUSED_TARGET,
         },
         "results": [r.as_dict() for r in reports],
         "summary": {
@@ -176,6 +187,7 @@ def sweep_record(
             record["encoder"]["equivalence_tol"] = ENCODER_INT12_TOL
         record["summary"]["encoder_speedup"] = encoder_report.speedup
         record["summary"]["encoder_ffn_speedup"] = encoder_report.ffn_speedup
+        record["summary"]["encoder_fused_speedup"] = encoder_report.fused_speedup
     if blockwise is not None:
         record["encoder_blockwise"] = blockwise
     return record
@@ -212,8 +224,11 @@ def _print_sweep(
         print(
             f"\nencoder ({e.num_layers} layers, pix_red {e.pixel_reduction:.3f}): "
             f"dense {1e3 * e.dense_s:.1f}ms, sparse+dense-ffn "
-            f"{1e3 * e.sparse_dense_ffn_s:.1f}ms, block-sparse {1e3 * e.sparse_s:.1f}ms "
-            f"=> {e.speedup:.2f}x total, {e.ffn_speedup:.2f}x over the PR 3 profile"
+            f"{1e3 * e.sparse_dense_ffn_s:.1f}ms, block-sparse {1e3 * e.sparse_s:.1f}ms, "
+            f"fused {1e3 * e.sparse_fused_s:.1f}ms "
+            f"=> {e.speedup:.2f}x total, {e.ffn_speedup:.2f}x over the PR 3 profile, "
+            f"{e.fused_speedup:.2f}x over the PR 4 path "
+            f"(fused |diff| {e.fused_max_abs_diff:.1e})"
         )
 
 
@@ -228,6 +243,16 @@ def check_encoder_report(
     )
     assert encoder_report.speedup >= encoder_report.ffn_speedup, (
         "the full dense path cannot be faster than the PR 3 sparse profile"
+    )
+    assert encoder_report.fused_speedup >= ENCODER_FUSED_TARGET, (
+        f"fused backend only {encoder_report.fused_speedup:.2f}x over the PR 4 "
+        f"block-sparse path (target {ENCODER_FUSED_TARGET}x)"
+    )
+    # The fused backend performs the same float operations in the same order
+    # as the reference backend — any deviation at all is an execution bug.
+    assert encoder_report.fused_max_abs_diff == 0.0, (
+        f"fused backend drifted from the reference backend by "
+        f"{encoder_report.fused_max_abs_diff:.1e} (must be bit-identical)"
     )
     # The end-to-end diff is only a path-drift measure while both runs prune
     # the same pixels; once a threshold decision flips the trajectories are

@@ -62,7 +62,7 @@ def extract_speedups(record: dict) -> dict[str, float]:
     speedups: dict[str, float] = {}
     for bench in _benchmarks(record):
         name = bench.get("name", "benchmark")
-        for key in ("speedup", "ffn_speedup"):
+        for key in ("speedup", "ffn_speedup", "fused_speedup"):
             if isinstance(bench.get(key), (int, float)):
                 speedups[f"{name}.{key}"] = float(bench[key])
         summary = bench.get("summary", {})
@@ -71,6 +71,7 @@ def extract_speedups(record: dict) -> dict[str, float]:
             "speedup_at_half_pixel_reduction",
             "encoder_speedup",
             "encoder_ffn_speedup",
+            "encoder_fused_speedup",
         ):
             if isinstance(summary.get(key), (int, float)):
                 speedups[f"{name}.{key}"] = float(summary[key])

@@ -20,15 +20,19 @@ masked-dense otherwise, with identical semantics either way.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import DEFAConfig
 from repro.core.flops import FlopsBreakdown
+from repro.core.fwp import normalize_mask
 from repro.core.pipeline import (
     SPARSE_AUTO_FFN_KEEP_MAX,
     SPARSE_AUTO_FFN_MIN_TOKENS,
+    SPARSE_AUTO_MIN_QUERIES,
+    SPARSE_AUTO_QUERY_KEEP_MAX,
     SPARSE_MODES,
     DEFAAttention,
     DEFAAttentionBatchOutput,
@@ -36,6 +40,7 @@ from repro.core.pipeline import (
     DEFALayerStats,
     use_sparse_rows,
 )
+from repro.kernels import ExecutionPlan, resolve_backend
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.shapes import LevelShape
@@ -130,6 +135,16 @@ class DEFAEncoderRunner:
         masked-dense execution even in ``"sparse"`` mode, which reproduces
         the PR 3 cost profile (sparse attention, dense inter-block work)
         under the *same* frozen-row semantics.  Numerics are unaffected.
+    backend:
+        Kernel-backend specification (name, backend object, or ``None`` to
+        follow ``config.kernel_backend`` and then the process default; the
+        attribute is settable, so a benchmark can flip one runner between
+        backends).  ``"reference"`` reproduces the PR 4 execution exactly —
+        no execution plans, per-block allocation; ``"fused"`` runs the
+        bit-identical fused kernels *and* allocates every per-block
+        intermediate from a per-shape-signature :class:`ExecutionPlan`
+        (see :meth:`execution_plan`), reused across blocks and across
+        :class:`~repro.engine.batching.BatchRunner` work items.
     """
 
     def __init__(
@@ -138,10 +153,13 @@ class DEFAEncoderRunner:
         config: DEFAConfig,
         sparse_mode: str = "auto",
         enable_sparse_ffn: bool = True,
+        backend=None,
     ) -> None:
         self.encoder = encoder
         self.config = config
         self.enable_sparse_ffn = enable_sparse_ffn
+        self.kernel_backend = backend
+        self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
         self.defa_layers = [
             DEFAAttention(layer.self_attn, config, sparse_mode=sparse_mode)
             for layer in encoder.layers
@@ -158,6 +176,113 @@ class DEFAEncoderRunner:
         for layer in self.defa_layers:
             layer.sparse_mode = mode
 
+    def resolved_backend(self):
+        """The kernel backend this runner executes with (runner attribute >
+        ``config.kernel_backend`` > process default, resolved per call so
+        :func:`repro.kernels.set_backend` takes effect immediately)."""
+        return resolve_backend(self.kernel_backend or self.config.kernel_backend)
+
+    MAX_EXECUTION_PLANS = 8
+    """LRU bound on cached per-signature arenas.  Each warm plan holds every
+    large per-block buffer of its workload (tens of MB at paper scale), so a
+    long-lived runner fed heterogeneous image sizes must not accumulate one
+    arena per distinct signature forever — least-recently-used plans are
+    dropped past this bound (mirroring :class:`repro.engine.trace_cache.
+    TraceCache`); a dropped signature simply re-warms on next use."""
+
+    def execution_plan(
+        self, spatial_shapes: list[LevelShape], batch_size: int | None
+    ) -> ExecutionPlan:
+        """The buffer arena for one ``(shape-signature, batch-size)``.
+
+        Plans are created on first use and kept LRU-bounded (at most
+        :data:`MAX_EXECUTION_PLANS`): a signature change means a *new* plan
+        (the invalidation rule), while repeated forwards — across blocks and
+        across BatchRunner work items of the same signature — reuse the warm
+        arena and perform no large allocations.  ``batch_size`` is ``None``
+        for single-image forwards.
+        """
+        key = (tuple(s.as_tuple() for s in spatial_shapes), batch_size)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._plans[key] = ExecutionPlan()
+        else:
+            self._plans.move_to_end(key)  # refresh recency (true LRU)
+        while len(self._plans) > self.MAX_EXECUTION_PLANS:
+            self._plans.popitem(last=False)
+        return plan
+
+    def query_stage_plan(
+        self, fmap_mask: np.ndarray | None, queries_per_image: int, batched: bool = False
+    ) -> tuple[np.ndarray | None, bool]:
+        """``(keep_mask, compact)`` for the pre-attention ``query = x + pos`` add.
+
+        Under query pruning the FWP-pruned pixels of the incoming mask never
+        act as queries, so their positional add is dead work: the compact
+        path computes ``x + pos`` only on the kept rows (zeros elsewhere —
+        exactly what the row-compacted projections read), the masked-dense
+        path computes the full add and zeroes the pruned rows.  Both produce
+        bit-identical query arrays, and zeroed pruned rows are observation-
+        equivalent to the PR 4 full add (every projection of a pruned row is
+        already masked out downstream).  The compact/masked choice follows
+        the same :func:`~repro.core.pipeline.use_sparse_rows` gate as the
+        query-side projections inside the attention block.
+        """
+        if not self.config.enable_query_pruning or fmap_mask is None:
+            return None, False
+        fmap_mask = normalize_mask(fmap_mask)  # boundary: accept int masks
+        compact = use_sparse_rows(
+            fmap_mask,
+            queries_per_image,
+            SPARSE_AUTO_QUERY_KEEP_MAX,
+            SPARSE_AUTO_MIN_QUERIES,
+            self.sparse_mode,
+            batched=batched,
+        )
+        return fmap_mask, compact
+
+    def _build_query(
+        self,
+        x: np.ndarray,
+        pos: np.ndarray,
+        keep_mask: np.ndarray | None,
+        compact: bool,
+        plan: ExecutionPlan | None,
+    ) -> np.ndarray:
+        """``query = x + pos`` under the query-pruning mask (see
+        :meth:`query_stage_plan`).  ``x`` is ``(N, D)`` or ``(B, N, D)`` with
+        ``pos`` shared ``(N, D)``; with a ``plan`` the query lives in a
+        reused arena buffer."""
+        if keep_mask is None:
+            if plan is not None:
+                query = plan.buffer("query", x.shape)
+                np.add(x, pos, out=query)
+                return query
+            return x + pos
+        if not compact:
+            if plan is not None:
+                query = plan.buffer("query", x.shape)
+                np.add(x, pos, out=query)
+            else:
+                query = x + pos
+            query[~keep_mask] = 0
+            return query
+        flat_x = x.reshape(-1, x.shape[-1])
+        kept = np.flatnonzero(keep_mask.reshape(-1))
+        pos_idx = kept if x.ndim == 2 else kept % x.shape[1]
+        if plan is not None:
+            query = plan.zeros("query", x.shape)
+            if kept.size:
+                rows = plan.take("query.x_rows", flat_x, kept)
+                rows_pos = plan.take("query.pos_rows", pos, pos_idx)
+                np.add(rows, rows_pos, out=rows)
+                query.reshape(-1, x.shape[-1])[kept] = rows
+            return query
+        query = np.zeros_like(x)
+        if kept.size:
+            query.reshape(-1, x.shape[-1])[kept] = flat_x[kept] + pos[pos_idx]
+        return query
+
     def ffn_stage_plan(
         self, fmap_mask: np.ndarray | None, tokens_per_image: int, batched: bool = False
     ) -> tuple[np.ndarray | None, bool]:
@@ -173,6 +298,7 @@ class DEFAEncoderRunner:
         """
         if not self.config.enable_query_pruning or fmap_mask is None:
             return None, False
+        fmap_mask = normalize_mask(fmap_mask)  # boundary: accept int masks
         compact = self.enable_sparse_ffn and use_sparse_rows(
             fmap_mask,
             tokens_per_image,
@@ -203,15 +329,34 @@ class DEFAEncoderRunner:
                 x, pos, reference_points, spatial_shapes, collect_details=collect_details
             )
         pos = np.asarray(pos, dtype=FLOAT_DTYPE)
+        backend = self.resolved_backend()
+        # collect_details hands the per-block outputs to the caller, so they
+        # must not live in arena buffers that the next block overwrites.
+        plan = (
+            self.execution_plan(spatial_shapes, None)
+            if backend.fused and not collect_details
+            else None
+        )
         fmap_mask: np.ndarray | None = None
         layer_stats: list[DEFALayerStats] = []
         layer_outputs: list[DEFAAttentionOutput] = []
         fmap_masks: list[np.ndarray] = []
 
-        for layer, defa_attn in zip(self.encoder.layers, self.defa_layers):
-            query = x + pos
+        for index, (layer, defa_attn) in enumerate(
+            zip(self.encoder.layers, self.defa_layers)
+        ):
+            # Pre-attention query add, skipped for FWP-pruned pixels under
+            # query pruning (their rows never act as queries).
+            q_keep, q_compact = self.query_stage_plan(fmap_mask, x.shape[0])
+            query = self._build_query(x, pos, q_keep, q_compact, plan)
             attn_out = defa_attn.forward_detailed(
-                query, reference_points, x, spatial_shapes, fmap_mask=fmap_mask
+                query,
+                reference_points,
+                x,
+                spatial_shapes,
+                fmap_mask=fmap_mask,
+                backend=backend,
+                plan=plan,
             )
             layer_stats.append(attn_out.stats)
             if collect_details:
@@ -220,15 +365,27 @@ class DEFAEncoderRunner:
             # block (the rows that did not act as queries), so it must run
             # before the mask is advanced to the one this block generated.
             keep_mask, compact = self.ffn_stage_plan(fmap_mask, x.shape[0])
+            stream = None
+            if plan is not None:
+                # Ping-pong stream buffers: the stage writes block i's output
+                # into stream i%2 while reading block i-1's from the other.
+                stream = plan.buffer(f"stream{index % 2}", x.shape)
             x = layer.forward_ffn_stage(
-                x, attn_out.output, keep_mask=keep_mask, compact=compact
+                x,
+                attn_out.output,
+                keep_mask=keep_mask,
+                compact=compact,
+                plan=plan,
+                out=stream,
             )
             attn_out.stats.sparse_ffn = compact
             fmap_mask = attn_out.fmap_mask_next
             fmap_masks.append(fmap_mask)
 
+        # The final memory escapes to the caller, so it must not alias the
+        # arena (the next forward would overwrite it) — one copy per forward.
         return DEFAEncoderResult(
-            memory=x,
+            memory=x.copy() if plan is not None else x,
             layer_stats=layer_stats,
             layer_outputs=layer_outputs,
             fmap_masks=fmap_masks,
@@ -254,21 +411,44 @@ class DEFAEncoderRunner:
             raise ValueError("src must have shape (B, N_in, D)")
         batch = x.shape[0]
         pos = np.asarray(pos, dtype=FLOAT_DTYPE)
+        backend = self.resolved_backend()
+        plan = (
+            self.execution_plan(spatial_shapes, batch)
+            if backend.fused and not collect_details
+            else None
+        )
         fmap_mask: np.ndarray | None = None
         per_image_stats: list[list[DEFALayerStats]] = [[] for _ in range(batch)]
         per_image_outputs: list[list[DEFAAttentionOutput]] = [[] for _ in range(batch)]
         per_image_masks: list[list[np.ndarray]] = [[] for _ in range(batch)]
 
-        for layer, defa_attn in zip(self.encoder.layers, self.defa_layers):
-            query = x + pos
+        for index, (layer, defa_attn) in enumerate(
+            zip(self.encoder.layers, self.defa_layers)
+        ):
+            q_keep, q_compact = self.query_stage_plan(fmap_mask, x.shape[1], batched=True)
+            query = self._build_query(x, pos, q_keep, q_compact, plan)
             attn_out: DEFAAttentionBatchOutput = defa_attn.forward_detailed(
-                query, reference_points, x, spatial_shapes, fmap_mask=fmap_mask
+                query,
+                reference_points,
+                x,
+                spatial_shapes,
+                fmap_mask=fmap_mask,
+                backend=backend,
+                plan=plan,
             )
             # Inter-block stage on the incoming (per-image) masks — before
             # the masks advance to the ones this block generated.
             keep_mask, compact = self.ffn_stage_plan(fmap_mask, x.shape[1], batched=True)
+            stream = None
+            if plan is not None:
+                stream = plan.buffer(f"stream{index % 2}", x.shape)
             x = layer.forward_ffn_stage(
-                x, attn_out.output, keep_mask=keep_mask, compact=compact
+                x,
+                attn_out.output,
+                keep_mask=keep_mask,
+                compact=compact,
+                plan=plan,
+                out=stream,
             )
             for b, image in enumerate(attn_out.images):
                 image.stats.sparse_ffn = compact
@@ -278,6 +458,8 @@ class DEFAEncoderRunner:
                     per_image_outputs[b].append(image)
             fmap_mask = attn_out.fmap_mask_next
 
+        if plan is not None:
+            x = x.copy()  # the memory escapes; it must not alias the arena
         images = [
             DEFAEncoderResult(
                 memory=x[b],

@@ -149,6 +149,20 @@ def compute_fmap_mask_batched(
     ]
 
 
+def normalize_mask(mask: np.ndarray | None) -> np.ndarray | None:
+    """Coerce a keep-mask to ``bool`` once, at the pipeline boundary.
+
+    Integer/uint8 masks (non-zero means *keep*) are converted to a boolean
+    array; boolean masks pass through without a copy (``np.asarray`` is a
+    no-op on them), so every downstream stage can rely on ``mask.dtype ==
+    bool`` — in particular on ``~mask`` being a logical, not bitwise,
+    negation — without re-casting per stage.  ``None`` passes through.
+    """
+    if mask is None:
+        return None
+    return np.asarray(mask, dtype=bool)
+
+
 def apply_fmap_mask(value: np.ndarray, fmap_mask: np.ndarray | None) -> np.ndarray:
     """Zero out the value rows of pruned pixels.
 
@@ -160,7 +174,7 @@ def apply_fmap_mask(value: np.ndarray, fmap_mask: np.ndarray | None) -> np.ndarr
     """
     if fmap_mask is None:
         return value
-    fmap_mask = np.asarray(fmap_mask, dtype=bool)
+    fmap_mask = normalize_mask(fmap_mask)
     if fmap_mask.shape[0] != value.shape[0]:
         raise ValueError("fmap_mask length must match the value token axis")
     if fmap_mask.all():

@@ -55,6 +55,14 @@ from repro.core.fwp import (
     apply_fmap_mask,
     compute_fmap_mask,
     compute_fmap_mask_batched,
+    normalize_mask,
+)
+from repro.kernels import ExecutionPlan, resolve_backend
+from repro.kernels.fused_ops import (
+    project_batched_into,
+    project_into,
+    project_rows_batched_into,
+    project_rows_into,
 )
 from repro.core.pap import PAPResult, compute_point_mask
 from repro.core.range_narrowing import RangeNarrowing
@@ -338,14 +346,28 @@ class DEFAAttention:
         executed with the compacted gather/scatter kernels (actual wall-clock
         savings) or the masked-dense kernels (pruning simulated by zeroing).
         Both paths are equivalence-tested to 1e-5.
+    backend:
+        Kernel-backend specification for the compact-trace kernels (name,
+        backend object, or ``None`` to follow ``config.kernel_backend`` and
+        then the process default — resolved per call, so
+        :func:`repro.kernels.set_backend` takes effect immediately).  The
+        backends are bit-identical; ``"fused"`` additionally consumes the
+        ``plan`` buffer arena passed into :meth:`forward_detailed`.
     """
 
-    def __init__(self, attn: MSDeformAttn, config: DEFAConfig, sparse_mode: str = "auto") -> None:
+    def __init__(
+        self,
+        attn: MSDeformAttn,
+        config: DEFAConfig,
+        sparse_mode: str = "auto",
+        backend=None,
+    ) -> None:
         if sparse_mode not in SPARSE_MODES:
             raise ValueError(f"sparse_mode must be one of {SPARSE_MODES}, got {sparse_mode!r}")
         self.attn = attn
         self.config = config
         self.sparse_mode = sparse_mode
+        self.kernel_backend = backend
         self.range_narrowing: RangeNarrowing | None = None
         if config.enable_range_narrowing:
             self.range_narrowing = RangeNarrowing(config.effective_ranges(attn.num_levels))
@@ -358,6 +380,14 @@ class DEFAAttention:
         if self.config.quant_bits is None:
             return linear
         return quantize_linear(linear, self.config.quant_bits)
+
+    def _resolve_backend(self, backend=None):
+        """Per-call > per-block > per-config > process-default resolution."""
+        if backend is None:
+            backend = self.kernel_backend
+        if backend is None:
+            backend = self.config.kernel_backend
+        return resolve_backend(backend)
 
     @staticmethod
     def _project_batched(proj: Linear | QuantizedLinear, x: np.ndarray) -> np.ndarray:
@@ -475,7 +505,10 @@ class DEFAAttention:
         )
 
     def _project_values(
-        self, value_input: np.ndarray, fmap_mask: np.ndarray | None
+        self,
+        value_input: np.ndarray,
+        fmap_mask: np.ndarray | None,
+        plan: ExecutionPlan | None = None,
     ) -> tuple[np.ndarray, bool]:
         """Single-image value projection ``V = X W^V`` under the FWP mask.
 
@@ -483,15 +516,31 @@ class DEFAAttention:
         whether the compacted path ran.  The compacted path gathers the kept
         rows, projects the ``(N_kept, D)`` compact array only and scatters the
         result back; quantized projections derive their dynamic activation
-        scale from the *full* input so both paths quantize identically.
+        scale from the *full* input so both paths quantize identically.  With
+        a ``plan`` the projection and the value tensor live in reused arena
+        buffers (bit-identical values).
         """
         attn = self.attn
         n_in = value_input.shape[0]
         proj = self._value_proj
         if not self._use_sparse_projection(fmap_mask, n_in):
+            if plan is not None:
+                value = project_into(proj, value_input, plan, "value_proj").reshape(
+                    n_in, attn.num_heads, attn.d_head
+                )
+                if fmap_mask is not None and not fmap_mask.all():
+                    value[~fmap_mask] = 0  # plan buffer: zero in place, no copy
+                return value, False
             value = proj(value_input).reshape(n_in, attn.num_heads, attn.d_head)
             return apply_fmap_mask(value, fmap_mask), False
         kept = np.flatnonzero(fmap_mask)
+        if plan is not None:
+            value = plan.zeros("value", (n_in, attn.d_model))
+            if kept.size:
+                value[kept] = project_rows_into(
+                    proj, value_input, kept, plan, "value_proj"
+                )
+            return value.reshape(n_in, attn.num_heads, attn.d_head), True
         value = np.zeros((n_in, attn.d_model), dtype=FLOAT_DTYPE)
         if kept.size:
             if isinstance(proj, QuantizedLinear):
@@ -501,7 +550,10 @@ class DEFAAttention:
         return value.reshape(n_in, attn.num_heads, attn.d_head), True
 
     def _project_values_batched(
-        self, value_input: np.ndarray, fmap_mask: np.ndarray | None
+        self,
+        value_input: np.ndarray,
+        fmap_mask: np.ndarray | None,
+        plan: ExecutionPlan | None = None,
     ) -> tuple[np.ndarray, bool]:
         """Batched value projection under per-image FWP masks.
 
@@ -509,11 +561,19 @@ class DEFAAttention:
         ``(sum_b N_kept_b, D)`` matmul (per-image quantization scales are
         preserved by :meth:`QuantizedLinear.forward_rows_batched`) and
         scatters the outputs back into the zero-initialised batch tensor.
+        ``plan`` reuses arena buffers as in :meth:`_project_values`.
         """
         attn = self.attn
         batch, n_in = value_input.shape[0], value_input.shape[1]
         proj = self._value_proj
         if not self._use_sparse_projection(fmap_mask, n_in, batched=True):
+            if plan is not None:
+                value = project_batched_into(
+                    proj, value_input, plan, "value_proj"
+                ).reshape(batch, n_in, attn.num_heads, attn.d_head)
+                if fmap_mask is not None and not fmap_mask.all():
+                    value[~fmap_mask] = 0  # plan buffer: zero in place, no copy
+                return value, False
             value = self._project_batched(proj, value_input).reshape(
                 batch, n_in, attn.num_heads, attn.d_head
             )
@@ -522,6 +582,13 @@ class DEFAAttention:
                 value[~fmap_mask] = 0
             return value, False
         kept = np.flatnonzero(fmap_mask.reshape(-1))
+        if plan is not None:
+            value = plan.zeros("value", (batch * n_in, attn.d_model))
+            if kept.size:
+                value[kept] = project_rows_batched_into(
+                    proj, value_input, kept, plan, "value_proj"
+                )
+            return value.reshape(batch, n_in, attn.num_heads, attn.d_head), True
         value = np.zeros((batch * n_in, attn.d_model), dtype=FLOAT_DTYPE)
         if kept.size:
             if isinstance(proj, QuantizedLinear):
@@ -539,6 +606,8 @@ class DEFAAttention:
         value_input: np.ndarray,
         spatial_shapes: list[LevelShape],
         fmap_mask: np.ndarray | None = None,
+        backend=None,
+        plan: ExecutionPlan | None = None,
     ) -> DEFAAttentionOutput | DEFAAttentionBatchOutput:
         """Run one DEFA attention block.
 
@@ -561,7 +630,21 @@ class DEFAAttention:
             stats report ``pixels_kept == pixels_total`` with
             ``mask_applied=False``, even when ``enable_fwp=True``).  For a
             batch, a ``(B, N_in)`` array of per-image masks.  Integer masks
-            are coerced to boolean (non-zero means *keep*).
+            are normalized to boolean once, here at the pipeline boundary
+            (non-zero means *keep*); every downstream stage sees ``bool``.
+        backend:
+            Per-call kernel-backend override (``None`` follows the block's
+            ``backend`` and then ``config.kernel_backend`` / the process
+            default).  The backends are bit-identical.
+        plan:
+            Optional :class:`~repro.kernels.ExecutionPlan` buffer arena.
+            When given (the encoder runner passes one per shape signature),
+            every large per-block intermediate — projections, the value
+            tensor, the compact trace, the gather/aggregate scratch and the
+            block output — lives in reused arena buffers, so steady-state
+            forwards allocate nothing large.  The returned arrays are then
+            only valid until the plan's next forward (the runner copies what
+            it keeps); callers that retain outputs must pass ``plan=None``.
 
         Batched inputs return a :class:`DEFAAttentionBatchOutput` whose
         per-image records match single-image execution.
@@ -570,15 +653,24 @@ class DEFAAttention:
         value_input = np.asarray(value_input, dtype=FLOAT_DTYPE)
         if query.ndim == 3:
             return self._forward_detailed_batched(
-                query, reference_points, value_input, spatial_shapes, fmap_mask
+                query,
+                reference_points,
+                value_input,
+                spatial_shapes,
+                fmap_mask,
+                backend=backend,
+                plan=plan,
             )
         attn = self.attn
+        backend = self._resolve_backend(backend)
+        if plan is not None and not backend.fused:
+            plan = None  # the reference backend runs exactly the PR 4 path
         n_q = query.shape[0]
         n_in = value_input.shape[0]
         if n_in != total_pixels(spatial_shapes):
             raise ValueError("value_input length does not match spatial_shapes")
         if fmap_mask is not None:
-            fmap_mask = np.asarray(fmap_mask, dtype=bool)  # accept int/bool masks
+            fmap_mask = normalize_mask(fmap_mask)  # once, at the boundary
             if fmap_mask.shape[0] != n_in:
                 raise ValueError("fmap_mask length must equal the number of tokens")
 
@@ -603,15 +695,33 @@ class DEFAAttention:
         points_shape = (n_q, attn.num_heads, attn.num_levels, attn.num_points)
         with kernel_section("query_proj"):
             if sparse_query:
-                logits = self._project_rows(self._attention_weights, query, kept_q)
+                if plan is not None:
+                    logits = project_rows_into(
+                        self._attention_weights, query, kept_q, plan, "attn_logits"
+                    )
+                else:
+                    logits = self._project_rows(self._attention_weights, query, kept_q)
+            elif plan is not None:
+                logits = project_into(self._attention_weights, query, plan, "attn_logits")
             else:
                 logits = self._attention_weights(query)
             logits = logits.reshape(-1, attn.num_heads, attn.num_levels * attn.num_points)
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted)
-        probs = (exp / exp.sum(axis=-1, keepdims=True)).reshape(
-            logits.shape[0], attn.num_heads, attn.num_levels, attn.num_points
-        )
+        if plan is not None:
+            # In-place softmax on the logits buffer: the same subtract / exp /
+            # divide chain as below, so the probabilities are bit-identical.
+            np.subtract(logits, logits.max(axis=-1, keepdims=True), out=logits)
+            np.exp(logits, out=logits)
+            probs = plan.buffer("probs", logits.shape)
+            np.divide(logits, logits.sum(axis=-1, keepdims=True), out=probs)
+            probs = probs.reshape(
+                logits.shape[0], attn.num_heads, attn.num_levels, attn.num_points
+            )
+        else:
+            shifted = logits - logits.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            probs = (exp / exp.sum(axis=-1, keepdims=True)).reshape(
+                logits.shape[0], attn.num_heads, attn.num_levels, attn.num_points
+            )
         if self.config.enable_pap:
             row_pap = compute_point_mask(
                 probs,
@@ -630,27 +740,57 @@ class DEFAAttention:
         # Step 2: sampling offsets of the surviving points + range narrowing.
         with kernel_section("query_proj"):
             if sparse_query:
-                offsets = np.zeros(points_shape + (2,), dtype=FLOAT_DTYPE)
-                offsets[kept_q] = self._project_rows(
-                    self._sampling_offsets, query, kept_q
-                ).reshape((kept_q.size,) + points_shape[1:] + (2,))
+                if plan is not None:
+                    offsets = plan.zeros("offsets", points_shape + (2,))
+                    if kept_q.size:
+                        offsets[kept_q] = project_rows_into(
+                            self._sampling_offsets, query, kept_q, plan, "offsets_rows"
+                        ).reshape((kept_q.size,) + points_shape[1:] + (2,))
+                else:
+                    offsets = np.zeros(points_shape + (2,), dtype=FLOAT_DTYPE)
+                    offsets[kept_q] = self._project_rows(
+                        self._sampling_offsets, query, kept_q
+                    ).reshape((kept_q.size,) + points_shape[1:] + (2,))
             else:
-                offsets = self._sampling_offsets(query).reshape(points_shape + (2,))
-                if query_keep is not None:
-                    # Dense path under query pruning: zero the pruned rows so
-                    # both paths record identical offsets and locations.
-                    offsets = offsets * query_keep[:, None, None, None, None]
+                if plan is not None:
+                    offsets = project_into(
+                        self._sampling_offsets, query, plan, "offsets"
+                    ).reshape(points_shape + (2,))
+                    if query_keep is not None:
+                        # Dense path under query pruning: zero the pruned rows
+                        # so both paths record identical offsets/locations
+                        # (in place — the offsets live in a plan buffer).
+                        offsets *= query_keep[:, None, None, None, None]
+                else:
+                    offsets = self._sampling_offsets(query).reshape(points_shape + (2,))
+                    if query_keep is not None:
+                        # Dense path under query pruning: zero the pruned rows so
+                        # both paths record identical offsets and locations.
+                        offsets = offsets * query_keep[:, None, None, None, None]
         clipping_fraction = 0.0
         if self.range_narrowing is not None:
             measured = offsets if query_keep is None else offsets[query_keep]
             clipping_fraction = self.range_narrowing.clipping_fraction(measured)
-            offsets = self.range_narrowing.clamp_offsets(offsets)
-        locations = attn.compute_sampling_locations(reference_points, offsets, spatial_shapes)
+            if plan is not None:
+                offsets = self.range_narrowing.clamp_offsets_inplace(offsets)
+            else:
+                offsets = self.range_narrowing.clamp_offsets(offsets)
+        if plan is not None:
+            locations = attn.compute_sampling_locations(
+                reference_points,
+                offsets,
+                spatial_shapes,
+                out=plan.buffer("locations", offsets.shape),
+            )
+        else:
+            locations = attn.compute_sampling_locations(
+                reference_points, offsets, spatial_shapes
+            )
 
         # Step 3: value projection with the FWP mask from the previous block
         # (compacted to the kept rows when the sparse path is active).
         with kernel_section("value_proj"):
-            value, sparse_projection = self._project_values(value_input, fmap_mask)
+            value, sparse_projection = self._project_values(value_input, fmap_mask, plan)
 
         # Step 4: fused MSGS + aggregation, with frequency counting for FWP.
         # The sparse path builds the compacted trace — neighbour indices,
@@ -667,10 +807,10 @@ class DEFAAttention:
         if sparse_gather:
             with kernel_section("neighbors"):
                 trace = multi_scale_neighbors_sparse(
-                    spatial_shapes, locations, point_mask=effective_mask
+                    spatial_shapes, locations, point_mask=effective_mask, plan=plan
                 )
             head_outputs = ms_deform_attn_from_compact_trace(
-                value, trace, pap.attention_weights
+                value, trace, pap.attention_weights, backend=backend, plan=plan
             )
         else:
             with kernel_section("neighbors"):
@@ -697,15 +837,27 @@ class DEFAAttention:
         # rows equal the projection bias on both paths).
         with kernel_section("output_proj"):
             if sparse_query:
-                output = np.zeros((n_q, attn.d_model), dtype=FLOAT_DTYPE)
-                bias = self._projection_bias(self._output_proj)
-                if bias is not None:
-                    output += bias
-                if kept_q.size:
-                    output[kept_q] = self._project_rows(
-                        self._output_proj, head_outputs, kept_q
-                    )
-                output = output.astype(FLOAT_DTYPE)
+                if plan is not None:
+                    output = plan.zeros("output", (n_q, attn.d_model))
+                    bias = self._projection_bias(self._output_proj)
+                    if bias is not None:
+                        output += bias
+                    if kept_q.size:
+                        output[kept_q] = project_rows_into(
+                            self._output_proj, head_outputs, kept_q, plan, "output_rows"
+                        )
+                else:
+                    output = np.zeros((n_q, attn.d_model), dtype=FLOAT_DTYPE)
+                    bias = self._projection_bias(self._output_proj)
+                    if bias is not None:
+                        output += bias
+                    if kept_q.size:
+                        output[kept_q] = self._project_rows(
+                            self._output_proj, head_outputs, kept_q
+                        )
+                    output = output.astype(FLOAT_DTYPE)
+            elif plan is not None:
+                output = project_into(self._output_proj, head_outputs, plan, "output")
             else:
                 output = self._output_proj(head_outputs).astype(FLOAT_DTYPE)
 
@@ -757,9 +909,14 @@ class DEFAAttention:
         value_input: np.ndarray,
         spatial_shapes: list[LevelShape],
         fmap_mask: np.ndarray | None,
+        backend=None,
+        plan: ExecutionPlan | None = None,
     ) -> DEFAAttentionBatchOutput:
         """Batched DEFA block: vectorized tensors, per-image masks and stats."""
         attn = self.attn
+        backend = self._resolve_backend(backend)
+        if plan is not None and not backend.fused:
+            plan = None  # the reference backend runs exactly the PR 4 path
         if value_input.ndim != 3 or value_input.shape[0] != query.shape[0]:
             raise ValueError("value_input must be (B, N_in, D) with the query's batch size")
         batch, n_q = query.shape[0], query.shape[1]
@@ -767,7 +924,7 @@ class DEFAAttention:
         if n_in != total_pixels(spatial_shapes):
             raise ValueError("value_input length does not match spatial_shapes")
         if fmap_mask is not None:
-            fmap_mask = np.asarray(fmap_mask, dtype=bool)
+            fmap_mask = normalize_mask(fmap_mask)  # once, at the boundary
             if fmap_mask.shape != (batch, n_in):
                 raise ValueError("batched fmap_mask must have shape (B, N_in)")
 
@@ -792,13 +949,35 @@ class DEFAAttention:
         grid_shape = (batch * n_q, attn.num_heads, attn.num_levels, attn.num_points)
         with kernel_section("query_proj"):
             if sparse_query:
-                logits = self._project_rows_batched(self._attention_weights, query, kept_q)
+                if plan is not None:
+                    logits = project_rows_batched_into(
+                        self._attention_weights, query, kept_q, plan, "attn_logits"
+                    )
+                else:
+                    logits = self._project_rows_batched(
+                        self._attention_weights, query, kept_q
+                    )
+            elif plan is not None:
+                logits = project_batched_into(
+                    self._attention_weights, query, plan, "attn_logits"
+                )
             else:
                 logits = self._project_batched(self._attention_weights, query)
             logits = logits.reshape(-1, attn.num_heads, attn.num_levels * attn.num_points)
-        probs = softmax(logits, axis=-1).reshape(
-            logits.shape[0], attn.num_heads, attn.num_levels, attn.num_points
-        )
+        if plan is not None:
+            # In-place softmax on the logits buffer — the same subtract / exp /
+            # divide chain as repro.nn.tensor_utils.softmax, bit-identically.
+            np.subtract(logits, np.max(logits, axis=-1, keepdims=True), out=logits)
+            np.exp(logits, out=logits)
+            probs = plan.buffer("probs", logits.shape)
+            np.divide(logits, np.sum(logits, axis=-1, keepdims=True), out=probs)
+            probs = probs.reshape(
+                logits.shape[0], attn.num_heads, attn.num_levels, attn.num_points
+            )
+        else:
+            probs = softmax(logits, axis=-1).reshape(
+                logits.shape[0], attn.num_heads, attn.num_levels, attn.num_points
+            )
         if self.config.enable_pap:
             row_pap = compute_point_mask(
                 probs,
@@ -833,19 +1012,34 @@ class DEFAAttention:
         # per-image clipping fractions over the kept queries).
         with kernel_section("query_proj"):
             if sparse_query:
-                offsets_flat = np.zeros(grid_shape + (2,), dtype=FLOAT_DTYPE)
-                offsets_flat[kept_q] = self._project_rows_batched(
-                    self._sampling_offsets, query, kept_q
-                ).reshape((kept_q.size,) + grid_shape[1:] + (2,))
+                if plan is not None:
+                    offsets_flat = plan.zeros("offsets", grid_shape + (2,))
+                    if kept_q.size:
+                        offsets_flat[kept_q] = project_rows_batched_into(
+                            self._sampling_offsets, query, kept_q, plan, "offsets_rows"
+                        ).reshape((kept_q.size,) + grid_shape[1:] + (2,))
+                else:
+                    offsets_flat = np.zeros(grid_shape + (2,), dtype=FLOAT_DTYPE)
+                    offsets_flat[kept_q] = self._project_rows_batched(
+                        self._sampling_offsets, query, kept_q
+                    ).reshape((kept_q.size,) + grid_shape[1:] + (2,))
                 offsets = offsets_flat.reshape((batch, n_q) + grid_shape[1:] + (2,))
             else:
-                offsets = self._project_batched(self._sampling_offsets, query).reshape(
-                    (batch, n_q) + grid_shape[1:] + (2,)
-                )
-                if query_keep is not None:
-                    # Dense path under query pruning: zero the pruned rows so
-                    # both paths record identical offsets and locations.
-                    offsets = offsets * query_keep[:, :, None, None, None, None]
+                if plan is not None:
+                    offsets = project_batched_into(
+                        self._sampling_offsets, query, plan, "offsets"
+                    ).reshape((batch, n_q) + grid_shape[1:] + (2,))
+                    if query_keep is not None:
+                        # In place — the offsets live in a plan buffer.
+                        offsets *= query_keep[:, :, None, None, None, None]
+                else:
+                    offsets = self._project_batched(self._sampling_offsets, query).reshape(
+                        (batch, n_q) + grid_shape[1:] + (2,)
+                    )
+                    if query_keep is not None:
+                        # Dense path under query pruning: zero the pruned rows so
+                        # both paths record identical offsets and locations.
+                        offsets = offsets * query_keep[:, :, None, None, None, None]
         clipping_fractions = [0.0] * batch
         if self.range_narrowing is not None:
             clipping_fractions = [
@@ -854,13 +1048,28 @@ class DEFAAttention:
                 )
                 for b in range(batch)
             ]
-            offsets = self.range_narrowing.clamp_offsets(offsets)
-        locations = attn.compute_sampling_locations(reference_points, offsets, spatial_shapes)
+            if plan is not None:
+                offsets = self.range_narrowing.clamp_offsets_inplace(offsets)
+            else:
+                offsets = self.range_narrowing.clamp_offsets(offsets)
+        if plan is not None:
+            locations = attn.compute_sampling_locations(
+                reference_points,
+                offsets,
+                spatial_shapes,
+                out=plan.buffer("locations", offsets.shape),
+            )
+        else:
+            locations = attn.compute_sampling_locations(
+                reference_points, offsets, spatial_shapes
+            )
 
         # Step 3: value projection with the per-image FWP masks (compacted
         # across the batch when the sparse path is active).
         with kernel_section("value_proj"):
-            value, sparse_projection = self._project_values_batched(value_input, fmap_mask)
+            value, sparse_projection = self._project_values_batched(
+                value_input, fmap_mask, plan
+            )
 
         # Step 4: fused MSGS + aggregation over the whole batch, then
         # vectorized frequency counting and per-image FWP mask generation.
@@ -879,9 +1088,11 @@ class DEFAAttention:
         if sparse_gather:
             with kernel_section("neighbors"):
                 trace = multi_scale_neighbors_sparse_batched(
-                    spatial_shapes, locations, point_mask=effective_masks
+                    spatial_shapes, locations, point_mask=effective_masks, plan=plan
                 )
-            head_outputs = ms_deform_attn_from_compact_trace(value, trace, attn_weights)
+            head_outputs = ms_deform_attn_from_compact_trace(
+                value, trace, attn_weights, backend=backend, plan=plan
+            )
         else:
             with kernel_section("neighbors"):
                 trace = multi_scale_neighbors_batched(spatial_shapes, locations)
@@ -910,15 +1121,37 @@ class DEFAAttention:
         # pruning — pruned queries' rows equal the projection bias).
         with kernel_section("output_proj"):
             if sparse_query:
-                out_flat = np.zeros((batch * n_q, attn.d_model), dtype=FLOAT_DTYPE)
-                bias = self._projection_bias(self._output_proj)
-                if bias is not None:
-                    out_flat += bias
-                if kept_q.size:
-                    out_flat[kept_q] = self._project_rows_batched(
-                        self._output_proj, head_outputs, kept_q
-                    )
-                output = out_flat.reshape(batch, n_q, attn.d_model).astype(FLOAT_DTYPE)
+                if plan is not None:
+                    out_flat = plan.zeros("output", (batch * n_q, attn.d_model))
+                    bias = self._projection_bias(self._output_proj)
+                    if bias is not None:
+                        out_flat += bias
+                    if kept_q.size:
+                        out_flat[kept_q] = project_rows_batched_into(
+                            self._output_proj,
+                            head_outputs.reshape(batch, n_q, attn.d_model),
+                            kept_q,
+                            plan,
+                            "output_rows",
+                        )
+                    output = out_flat.reshape(batch, n_q, attn.d_model)
+                else:
+                    out_flat = np.zeros((batch * n_q, attn.d_model), dtype=FLOAT_DTYPE)
+                    bias = self._projection_bias(self._output_proj)
+                    if bias is not None:
+                        out_flat += bias
+                    if kept_q.size:
+                        out_flat[kept_q] = self._project_rows_batched(
+                            self._output_proj, head_outputs, kept_q
+                        )
+                    output = out_flat.reshape(batch, n_q, attn.d_model).astype(FLOAT_DTYPE)
+            elif plan is not None:
+                output = project_batched_into(
+                    self._output_proj,
+                    head_outputs.reshape(batch, n_q, attn.d_model),
+                    plan,
+                    "output",
+                )
             else:
                 output = self._project_batched(self._output_proj, head_outputs).astype(
                     FLOAT_DTYPE

@@ -52,13 +52,16 @@ class RangeNarrowing:
 
     # -------------------------------------------------------------- numerics
 
-    def clamp_offsets(self, sampling_offsets: np.ndarray) -> np.ndarray:
+    def clamp_offsets(
+        self, sampling_offsets: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Clamp raw sampling offsets into the per-level bounded ranges.
 
         ``sampling_offsets`` has shape ``(N_q, N_h, N_l, N_p, 2)`` — or
         ``(B, N_q, N_h, N_l, N_p, 2)`` for a batch — and is expressed in
         pixels of the sampled level (the Deformable DETR convention before
-        dividing by the level size).
+        dividing by the level size).  ``out`` (optionally the input itself)
+        receives the clamped offsets without allocating.
         """
         offsets = np.asarray(sampling_offsets, dtype=FLOAT_DTYPE)
         if offsets.ndim not in (5, 6) or offsets.shape[-3] != self.num_levels:
@@ -67,7 +70,13 @@ class RangeNarrowing:
                 f"got {offsets.shape}"
             )
         ranges = np.asarray(self.level_ranges, dtype=FLOAT_DTYPE)[:, None, None]
-        return np.clip(offsets, -ranges, ranges)
+        return np.clip(offsets, -ranges, ranges, out=out)
+
+    def clamp_offsets_inplace(self, sampling_offsets: np.ndarray) -> np.ndarray:
+        """:meth:`clamp_offsets` clamping the array in place (fused execution:
+        the offsets live in a reusable plan buffer, so no copy is needed).
+        Bit-identical to the allocating form."""
+        return self.clamp_offsets(sampling_offsets, out=sampling_offsets)
 
     def clipping_fraction(self, sampling_offsets: np.ndarray) -> float:
         """Fraction of offset components altered by the clamp (a fidelity metric)."""

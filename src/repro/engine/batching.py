@@ -180,7 +180,9 @@ def encoder_forward_fn(encoder) -> BatchForward:
     return forward
 
 
-def defa_forward_fn(runner, sparse_mode: str | None = None) -> BatchForward:
+def defa_forward_fn(
+    runner, sparse_mode: str | None = None, backend: str | None = None
+) -> BatchForward:
     """Adapt a :class:`~repro.core.encoder_runner.DEFAEncoderRunner`.
 
     Runs the full DEFA algorithm (per-image FWP/PAP mask threading) on each
@@ -189,13 +191,19 @@ def defa_forward_fn(runner, sparse_mode: str | None = None) -> BatchForward:
     before every batch dispatched through this adapter, so each adapter
     always runs in its own mode even when several adapters share one runner;
     the runner is left in that mode afterwards.  ``None`` keeps the runner's
-    current mode.
+    current mode.  ``backend`` does the same for the runner's kernel backend
+    (``"reference"``/``"fused"``); under the fused backend the runner's
+    per-shape-signature :class:`~repro.kernels.ExecutionPlan` arenas are
+    reused across every work item this adapter dispatches, so a steady
+    stream of same-shape items executes with zero large allocations.
     """
     cache: dict[ShapeKey, tuple[np.ndarray, np.ndarray]] = {}
 
     def forward(features: np.ndarray, spatial_shapes: list[LevelShape]) -> np.ndarray:
         if sparse_mode is not None:
             runner.sparse_mode = sparse_mode
+        if backend is not None:
+            runner.kernel_backend = backend
         key = tuple(s.as_tuple() for s in spatial_shapes)
         if key not in cache:
             cache[key] = _positional_inputs(spatial_shapes, runner.encoder.d_model)

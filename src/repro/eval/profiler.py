@@ -24,6 +24,7 @@ from repro.baselines.gpu import GPUCostModel, GPUSpec, RTX_3090TI
 from repro.core.config import DEFAConfig
 from repro.core.encoder_runner import DEFAEncoderRunner
 from repro.core.pipeline import DEFAAttention
+from repro.kernels import ExecutionPlan
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.msdeform_attn import MSDeformAttn
 from repro.nn.positional import make_reference_points, sine_positional_encoding
@@ -425,7 +426,11 @@ class EncoderSparseSpeedupReport:
     * ``dense_s`` — everything masked-dense (pruning changes numerics only);
     * ``sparse_dense_ffn_s`` — sparse attention blocks, masked-dense
       inter-block FFN/LayerNorm stage: the PR 3 cost profile;
-    * ``sparse_s`` — the full block-sparse encoder (row-compacted FFN stage).
+    * ``sparse_s`` — the full block-sparse encoder (row-compacted FFN stage)
+      on the ``"reference"`` kernel backend: the PR 4 execution exactly;
+    * ``sparse_fused_s`` — the same block-sparse encoder on the ``"fused"``
+      backend (single-pass kernels + execution-plan buffer reuse, PR 5).
+      Bit-identical outputs, so :attr:`fused_max_abs_diff` must be 0.
     """
 
     workload: str
@@ -439,6 +444,15 @@ class EncoderSparseSpeedupReport:
     dense_s: float
     sparse_dense_ffn_s: float
     sparse_s: float
+    sparse_fused_s: float
+    """Best-of-repeats wall clock of the fused-backend block-sparse run."""
+
+    fused_max_abs_diff: float
+    """Max elementwise deviation of the fused-backend memory from the
+    reference-backend block-sparse memory.  The fused backend is
+    bit-identical by construction (same float ops, reused buffers), so any
+    non-zero value here is an execution bug, not rounding."""
+
     max_abs_diff: float
     """Max elementwise deviation of the sparse memory from the dense memory.
 
@@ -481,6 +495,14 @@ class EncoderSparseSpeedupReport:
         profile (sparse attention + dense inter-block work)."""
         return self.sparse_dense_ffn_s / self.sparse_s if self.sparse_s > 0 else float("inf")
 
+    @property
+    def fused_speedup(self) -> float:
+        """Additional end-to-end win of the fused backend + execution plans
+        over the PR 4 block-sparse path (the reference backend)."""
+        return (
+            self.sparse_s / self.sparse_fused_s if self.sparse_fused_s > 0 else float("inf")
+        )
+
     def as_dict(self) -> dict[str, object]:
         return {
             "workload": self.workload,
@@ -492,8 +514,11 @@ class EncoderSparseSpeedupReport:
             "dense_ms": 1e3 * self.dense_s,
             "sparse_dense_ffn_ms": 1e3 * self.sparse_dense_ffn_s,
             "sparse_ms": 1e3 * self.sparse_s,
+            "sparse_fused_ms": 1e3 * self.sparse_fused_s,
             "speedup": self.speedup,
             "ffn_speedup": self.ffn_speedup,
+            "fused_speedup": self.fused_speedup,
+            "fused_max_abs_diff": self.fused_max_abs_diff,
             "max_abs_diff": self.max_abs_diff,
             "dense_pixels_kept": list(self.dense_pixels_kept),
             "sparse_pixels_kept": list(self.sparse_pixels_kept),
@@ -519,13 +544,19 @@ def measure_encoder_sparse_speedup(
 
     1. ``sparse_mode="dense"`` — the all-masked-dense reference,
     2. ``sparse_mode="sparse"`` with ``enable_sparse_ffn=False`` — the PR 3
-       cost profile (compacted attention, dense inter-block stage), and
-    3. ``sparse_mode="sparse"`` — the full block-sparse encoder,
+       cost profile (compacted attention, dense inter-block stage),
+    3. ``sparse_mode="sparse"`` — the full block-sparse encoder on the
+       ``"reference"`` kernel backend (the PR 4 path), and
+    4. the same block-sparse encoder on the ``"fused"`` backend (PR 5:
+       single-pass kernels + execution-plan buffer reuse),
 
-    interleaved best-of-*repeats*.  All three see identical inputs and
-    produce the same memory (``max_abs_diff`` reports dense vs. full-sparse),
-    so :attr:`EncoderSparseSpeedupReport.ffn_speedup` isolates the win of
-    carrying FWP pruning through the FFN/LayerNorm stage.
+    interleaved best-of-*repeats*.  All four see identical inputs and
+    produce the same memory (``max_abs_diff`` reports dense vs. full-sparse;
+    ``fused_max_abs_diff`` reports fused vs. reference, which must be 0), so
+    :attr:`EncoderSparseSpeedupReport.ffn_speedup` isolates the win of
+    carrying FWP pruning through the FFN/LayerNorm stage and
+    :attr:`EncoderSparseSpeedupReport.fused_speedup` the win of the fused
+    backend over the PR 4 path.
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
@@ -552,14 +583,17 @@ def measure_encoder_sparse_speedup(
 
     runner = DEFAEncoderRunner(encoder, config, sparse_mode="dense")
 
-    def run(mode: str, sparse_ffn: bool):
+    def run(mode: str, sparse_ffn: bool, backend: str = "reference"):
         runner.sparse_mode = mode
         runner.enable_sparse_ffn = sparse_ffn
+        runner.kernel_backend = backend
         return runner.forward(features, pos, reference_points, shapes)
 
     dense_res = run("dense", False)  # warm-up + reference
     sparse_res = run("sparse", True)
+    fused_res = run("sparse", True, backend="fused")  # also warms the plan arena
     max_abs_diff = float(np.max(np.abs(dense_res.memory - sparse_res.memory)))
+    fused_max_abs_diff = float(np.max(np.abs(sparse_res.memory - fused_res.memory)))
     pixel_reduction = sparse_res.mean_pixel_reduction
     dense_pixels_kept = tuple(s.pixels_kept for s in dense_res.layer_stats)
     sparse_pixels_kept = tuple(s.pixels_kept for s in sparse_res.layer_stats)
@@ -569,15 +603,17 @@ def measure_encoder_sparse_speedup(
         np.array_equal(a, b)
         for a, b in zip(dense_res.fmap_masks, sparse_res.fmap_masks)
     )
-    del dense_res, sparse_res
+    del dense_res, sparse_res, fused_res
 
     dense_times: list[float] = []
     pr3_times: list[float] = []
     sparse_times: list[float] = []
+    fused_times: list[float] = []
     for _ in range(repeats):
         dense_times.append(_timed(lambda: run("dense", False)))
         pr3_times.append(_timed(lambda: run("sparse", False)))
         sparse_times.append(_timed(lambda: run("sparse", True)))
+        fused_times.append(_timed(lambda: run("sparse", True, backend="fused")))
 
     with collect_kernel_timings() as dense_kernels:
         run("dense", False)
@@ -594,6 +630,8 @@ def measure_encoder_sparse_speedup(
         dense_s=min(dense_times),
         sparse_dense_ffn_s=min(pr3_times),
         sparse_s=min(sparse_times),
+        sparse_fused_s=min(fused_times),
+        fused_max_abs_diff=fused_max_abs_diff,
         max_abs_diff=max_abs_diff,
         dense_pixels_kept=dense_pixels_kept,
         sparse_pixels_kept=sparse_pixels_kept,
@@ -671,3 +709,145 @@ def measure_encoder_blockwise_equivalence(
             return float("inf")
         x, fmap_mask = out_dense, mask_next
     return max_drift
+
+
+# --------------------------------------------------------------------------
+# Kernel-fusion profiling (PR 5)
+
+
+@dataclass(frozen=True)
+class KernelFusionReport:
+    """Fused-vs-reference backend comparison of one sparse DEFA block.
+
+    Both runs execute the identical sparse path (same inputs, same masks,
+    same ``sparse_mode="sparse"``) and differ only in the kernel backend, so
+    ``max_abs_diff`` measures the backends' numerical agreement — which is
+    exactly 0 by construction (the fused backend performs the same float
+    operations in the same order) — and the section ratios isolate where the
+    fusion wins.
+    """
+
+    workload: str
+    num_tokens: int
+    reference_s: float
+    """Best-of-repeats wall clock of the reference-backend block forward."""
+
+    fused_s: float
+    """Best-of-repeats wall clock of the fused-backend block forward
+    (steady-state: the execution-plan arena is warmed before timing)."""
+
+    max_abs_diff: float
+    """Max elementwise deviation between the two block outputs (0 expected)."""
+
+    reference_kernels: dict[str, float]
+    """Per-section seconds of one reference-backend forward."""
+
+    fused_kernels: dict[str, float]
+    """Per-section seconds of one fused-backend forward."""
+
+    @property
+    def speedup(self) -> float:
+        """Reference-over-fused wall-clock ratio (> 1 means fusion wins)."""
+        return self.reference_s / self.fused_s if self.fused_s > 0 else float("inf")
+
+    def section_speedups(self) -> dict[str, float]:
+        """Reference/fused ratio per kernel section (where both measured)."""
+        return {
+            name: self.reference_kernels[name] / self.fused_kernels[name]
+            for name in sorted(self.reference_kernels)
+            if self.fused_kernels.get(name, 0.0) > 0.0
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "workload": self.workload,
+            "num_tokens": self.num_tokens,
+            "reference_ms": 1e3 * self.reference_s,
+            "fused_ms": 1e3 * self.fused_s,
+            "speedup": self.speedup,
+            "max_abs_diff": self.max_abs_diff,
+            "section_speedups": self.section_speedups(),
+            "reference_kernels_ms": {k: 1e3 * v for k, v in self.reference_kernels.items()},
+            "fused_kernels_ms": {k: 1e3 * v for k, v in self.fused_kernels.items()},
+        }
+
+
+def measure_kernel_fusion(
+    workload: WorkloadSpec,
+    config: DEFAConfig | None = None,
+    repeats: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> KernelFusionReport:
+    """Time one sparse DEFA block on the reference vs the fused backend.
+
+    The block setup mirrors :func:`measure_sparse_speedup` (a first unmasked
+    block produces a realistic FWP mask; the timed block receives it), but
+    both timed runs use ``sparse_mode="sparse"`` and only the kernel backend
+    differs.  An :class:`~repro.kernels.ExecutionPlan` is threaded through
+    the fused run via a :class:`DEFAEncoderRunner`-style plan so the fused
+    numbers reflect steady-state (warm-arena) execution.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    config = config or DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+    rng = as_rng(rng)
+    shapes = workload.spatial_shapes
+    model = workload.model
+    n_in = workload.num_tokens
+    attn = MSDeformAttn(
+        d_model=model.d_model,
+        num_heads=model.num_heads,
+        num_levels=model.num_levels,
+        num_points=model.num_points,
+        rng=rng,
+    )
+    features = rng.standard_normal((n_in, model.d_model)).astype(FLOAT_DTYPE)
+    pos = sine_positional_encoding(shapes, model.d_model)
+    reference_points = make_reference_points(shapes)
+    query = features + pos
+
+    defa = DEFAAttention(attn, config, sparse_mode="sparse")
+    first = defa.forward_detailed(
+        query, reference_points, features, shapes, backend="reference"
+    )
+    fmap_mask = first.fmap_mask_next.copy()
+    del first
+
+    plan = ExecutionPlan()
+
+    def run_reference():
+        return defa.forward_detailed(
+            query, reference_points, features, shapes,
+            fmap_mask=fmap_mask, backend="reference",
+        )
+
+    def run_fused():
+        return defa.forward_detailed(
+            query, reference_points, features, shapes,
+            fmap_mask=fmap_mask, backend="fused", plan=plan,
+        )
+
+    ref_out = run_reference()  # warm-up + reference output
+    fused_out = run_fused()  # warms the plan arena
+    max_abs_diff = float(np.max(np.abs(ref_out.output - fused_out.output)))
+    del ref_out, fused_out
+
+    ref_times, fused_times = [], []
+    for _ in range(repeats):  # interleaved, as in measure_sparse_speedup
+        ref_times.append(_timed(run_reference))
+        fused_times.append(_timed(run_fused))
+
+    with collect_kernel_timings() as reference_kernels:
+        run_reference()
+    with collect_kernel_timings() as fused_kernels:
+        run_fused()
+
+    return KernelFusionReport(
+        workload=workload.name,
+        num_tokens=n_in,
+        reference_s=min(ref_times),
+        fused_s=min(fused_times),
+        max_abs_diff=max_abs_diff,
+        reference_kernels=dict(reference_kernels.seconds),
+        fused_kernels=dict(fused_kernels.seconds),
+    )

@@ -1,0 +1,34 @@
+"""Kernel backends and zero-allocation execution plans (PR 5).
+
+Public surface:
+
+* :func:`get_backend` / :func:`set_backend` / :func:`resolve_backend` /
+  :func:`use_backend` — backend selection (``"reference"`` = the PR 4
+  kernels unchanged, ``"fused"`` = bit-identical single-pass kernels with
+  buffer reuse), initialised from ``REPRO_KERNEL_BACKEND``.
+* :class:`ExecutionPlan` — the named-buffer arena that makes steady-state
+  encoder forwards allocation-free (see :mod:`repro.kernels.plan` for the
+  lifetime rules).
+* :mod:`repro.kernels.fused_ops` — plan-aware fused projection / LayerNorm /
+  fake-quantize helpers used by the pipeline when a plan is active.
+"""
+
+from repro.kernels.plan import ExecutionPlan
+from repro.kernels.registry import (
+    DEFAULT_BACKEND_ENV,
+    KERNEL_BACKENDS,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND_ENV",
+    "ExecutionPlan",
+    "KERNEL_BACKENDS",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]

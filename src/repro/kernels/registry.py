@@ -1,0 +1,90 @@
+"""Kernel-backend registry and selection.
+
+The compact-trace MSGS kernels (and the execution-plan machinery that rides
+with them) exist in two implementations — see :mod:`repro.kernels.backends`.
+Selection, from lowest to highest precedence:
+
+1. the process default — the ``REPRO_KERNEL_BACKEND`` environment variable
+   at first use (``"fused"`` when unset), changeable at runtime with
+   :func:`set_backend`;
+2. the per-pipeline configuration — :attr:`repro.core.config.DEFAConfig.
+   kernel_backend` (``None`` follows the process default);
+3. a per-call ``backend=`` override on the kernel entry points and
+   ``forward_detailed`` methods.
+
+``"reference"`` reproduces the PR 4 execution byte for byte (no execution
+plans, per-chunk allocation); ``"fused"`` is bit-identical in results but
+single-pass and zero-allocation in steady state.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.kernels.backends import FusedBackend, ReferenceBackend
+
+KERNEL_BACKENDS = ("reference", "fused")
+"""Valid kernel-backend names, in increasing order of fusion."""
+
+DEFAULT_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+"""Environment variable consulted once for the initial process default."""
+
+_BACKENDS = {"reference": ReferenceBackend(), "fused": FusedBackend()}
+_current = None
+
+
+def _lookup(name: str):
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"kernel backend must be one of {KERNEL_BACKENDS}, got {name!r}"
+        ) from None
+
+
+def get_backend():
+    """The process-default kernel backend.
+
+    Initialised lazily from :data:`DEFAULT_BACKEND_ENV` (``"fused"`` when the
+    variable is unset); an unknown value in the environment raises here, at
+    first use, with the valid names.
+    """
+    global _current
+    if _current is None:
+        _current = _lookup(os.environ.get(DEFAULT_BACKEND_ENV, "fused"))
+    return _current
+
+
+def set_backend(name: str):
+    """Set the process-default backend; returns the backend object."""
+    global _current
+    _current = _lookup(name)
+    return _current
+
+
+def resolve_backend(backend=None):
+    """Resolve a backend specification to a backend object.
+
+    ``None`` means the process default, a string is looked up by name, and a
+    backend object passes through — the uniform rule behind every
+    ``backend=`` parameter in the pipeline.
+    """
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, str):
+        return _lookup(backend)
+    return backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the process-default backend (tests, probes)."""
+    previous = get_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        global _current
+        _current = previous

@@ -108,6 +108,8 @@ class DeformableEncoderLayer(Module):
         attn_output: np.ndarray,
         keep_mask: np.ndarray | None = None,
         compact: bool = False,
+        plan=None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """The inter-block stage ``norm2(z + ffn(z))``, ``z = norm1(src + attn)``.
 
@@ -133,32 +135,82 @@ class DeformableEncoderLayer(Module):
             ``forward_rows`` entry points); ``False`` computes the stage
             densely and masks, which implements identical semantics (kept
             rows agree to float32 matmul precision, frozen rows exactly).
+        plan:
+            Optional :class:`~repro.kernels.ExecutionPlan`.  When given,
+            every stage intermediate (residual adds, the FFN hidden buffer —
+            the largest temporary of the whole block — and the norm outputs)
+            lives in reused arena buffers, bit-identically to the allocating
+            path.
+        out:
+            Optional destination for the stage output (same shape as ``src``,
+            must not alias it) — the encoder runner passes alternating stream
+            buffers so consecutive blocks ping-pong between two arrays.
+            Requires ``plan``; without a plan the stage always allocates.
 
         Returns the stage output in the shape of ``src``.
         """
         src = np.asarray(src, dtype=FLOAT_DTYPE)
         attn_output = np.asarray(attn_output, dtype=FLOAT_DTYPE)
+        if out is not None and plan is None:
+            raise ValueError("forward_ffn_stage: out= requires a plan")
         if keep_mask is None:
+            if plan is not None:
+                mixed = plan.buffer("ffn.mixed", src.shape)
+                src2 = plan.buffer("ffn.src2", src.shape)
+                hidden = plan.buffer("ffn.hidden", src.shape[:-1] + (self.ffn.d_ffn,))
+                with kernel_section("norm"):
+                    np.add(src, attn_output, out=mixed)
+                    self.norm1.forward_into(mixed, src2)
+                with kernel_section("ffn"):
+                    self.ffn.forward_into(src2, mixed, hidden)  # mixed = ffn_out
+                with kernel_section("norm"):
+                    np.add(src2, mixed, out=mixed)
+                    result = out if out is not None else plan.buffer("ffn.out", src.shape)
+                    self.norm2.forward_into(mixed, result)
+                return result
             with kernel_section("norm"):
                 src2 = self.norm1(src + attn_output)
             with kernel_section("ffn"):
                 ffn_out = self.ffn(src2)
             with kernel_section("norm"):
-                out = self.norm2(src2 + ffn_out)
-            return out.astype(FLOAT_DTYPE)
+                out_dense = self.norm2(src2 + ffn_out)
+            return out_dense.astype(FLOAT_DTYPE)
         keep_mask = np.asarray(keep_mask, dtype=bool)
         if keep_mask.shape != src.shape[:-1]:
             raise ValueError("keep_mask must match the row shape of src")
         if not compact:
-            dense = self.forward_ffn_stage(src, attn_output)
-            out = src.copy()
-            out[keep_mask] = dense[keep_mask]
-            return out
+            dense = self.forward_ffn_stage(src, attn_output, plan=plan)
+            if plan is not None:
+                result = out if out is not None else plan.buffer("ffn.masked_out", src.shape)
+                np.copyto(result, src)
+                result[keep_mask] = dense[keep_mask]
+                return result
+            out_masked = src.copy()
+            out_masked[keep_mask] = dense[keep_mask]
+            return out_masked
         d_model = src.shape[-1]
         flat_src = src.reshape(-1, d_model)
         flat_attn = attn_output.reshape(-1, d_model)
         kept = np.flatnonzero(keep_mask.reshape(-1))
-        out = src.copy()
+        if plan is not None:
+            result = out if out is not None else plan.buffer("ffn.compact_out", src.shape)
+            np.copyto(result, src)
+            if kept.size:
+                with kernel_section("norm"):
+                    mixed = plan.take("ffn.rows_mixed", flat_src, kept)
+                    rows_attn = plan.take("ffn.rows_attn", flat_attn, kept)
+                    np.add(mixed, rows_attn, out=mixed)
+                    src2 = plan.buffer("ffn.rows_src2", mixed.shape)
+                    self.norm1.forward_into(mixed, src2)
+                with kernel_section("ffn"):
+                    hidden = plan.buffer("ffn.hidden", (kept.size, self.ffn.d_ffn))
+                    self.ffn.forward_into(src2, mixed, hidden)  # mixed = ffn_out
+                with kernel_section("norm"):
+                    np.add(src2, mixed, out=mixed)
+                    self.norm2.forward_into(mixed, src2)  # src2 = output rows
+                result.reshape(-1, d_model)[kept] = src2
+            return result
+        out_compact = src.copy()
         if kept.size:
             with kernel_section("norm"):
                 src2 = self.norm1(flat_src[kept] + flat_attn[kept])
@@ -166,8 +218,8 @@ class DeformableEncoderLayer(Module):
                 ffn_out = self.ffn(src2)
             with kernel_section("norm"):
                 rows = self.norm2(src2 + ffn_out)
-            out.reshape(-1, d_model)[kept] = rows
-        return out
+            out_compact.reshape(-1, d_model)[kept] = rows
+        return out_compact
 
     def forward(
         self,

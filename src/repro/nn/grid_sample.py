@@ -40,6 +40,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.backends import _SPARSE_CONTRIB_BUDGET_BYTES, segment_sum_into
+from repro.kernels.plan import ExecutionPlan
+from repro.kernels.registry import resolve_backend
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.shapes import LevelShape, level_start_indices
 from repro.utils.timing import kernel_section
@@ -671,9 +674,6 @@ same dense/sparse decision, otherwise quantized configs could amplify the
 float32 rounding difference between the two kernels into a full quantization
 step and break batched-vs-serial equivalence."""
 
-_SPARSE_CONTRIB_BUDGET_BYTES = 8 * 1024 * 1024
-"""Upper bound on the compacted ``(N_kept, D_h)`` contribution block per
-chunk, mirroring the cache-size chunking of the dense kernels."""
 
 
 def use_sparse_gather(
@@ -820,6 +820,7 @@ def _compact_trace_impl(
     spatial_shapes: list[LevelShape],
     sampling_locations: np.ndarray,
     point_mask: np.ndarray | None,
+    plan: ExecutionPlan | None = None,
 ) -> CompactSamplingTrace:
     """Shared body of the compacted-trace constructors.
 
@@ -827,6 +828,14 @@ def _compact_trace_impl(
     (``(B, N_q, N_h, N_l, N_p, 2)``, ``B = 1`` for single images); the
     bilinear neighbour/weight/index math runs on the mask survivors only, so
     the cost is proportional to the keep ratio rather than the grid size.
+
+    With a ``plan`` every per-point array (levels, neighbour rows/cols,
+    weights, validity, flat indices) is built in-place inside reused arena
+    buffers — bit-identical to the allocating path (same float expressions in
+    the same order, with the ``np.stack`` copies replaced by column stores).
+    The trace arrays then *are* plan buffers: valid until the plan's next
+    forward, per the :class:`~repro.kernels.plan.ExecutionPlan` lifetime
+    rules.
     """
     batch, n_q, n_h, n_l, n_p, _ = sampling_locations.shape
     total_points = batch * n_q * n_h * n_l * n_p
@@ -841,17 +850,22 @@ def _compact_trace_impl(
     wi = np.array([s.width for s in spatial_shapes], dtype=np.int64)
     starts = np.array(level_start_indices(spatial_shapes), dtype=np.int64)
 
-    lvl = (kept // n_p) % n_l
-    loc = np.ascontiguousarray(sampling_locations).reshape(total_points, 2)[kept]
-    # Identical float32 expressions as the dense trace path (via
-    # _neighbor_grid), so per-point results are bit-identical to the dense
-    # trace restricted to the kept points.
-    x = loc[:, 0] * widths[lvl] - 0.5
-    y = loc[:, 1] * heights[lvl] - 0.5
-    _, _, weights, valid, safe_flat = _neighbor_grid(
-        x, y, hi[lvl][:, None], wi[lvl][:, None], starts[lvl][:, None]
-    )
-    safe_flat[~valid] = -1  # freshly allocated: in-place scatter, no copy
+    if plan is not None:
+        lvl, weights, valid, safe_flat = _compact_trace_arrays_fused(
+            sampling_locations, kept, n_p, n_l, widths, heights, hi, wi, starts, plan
+        )
+    else:
+        lvl = (kept // n_p) % n_l
+        loc = np.ascontiguousarray(sampling_locations).reshape(total_points, 2)[kept]
+        # Identical float32 expressions as the dense trace path (via
+        # _neighbor_grid), so per-point results are bit-identical to the dense
+        # trace restricted to the kept points.
+        x = loc[:, 0] * widths[lvl] - 0.5
+        y = loc[:, 1] * heights[lvl] - 0.5
+        _, _, weights, valid, safe_flat = _neighbor_grid(
+            x, y, hi[lvl][:, None], wi[lvl][:, None], starts[lvl][:, None]
+        )
+        safe_flat[~valid] = -1  # freshly allocated: in-place scatter, no copy
     return CompactSamplingTrace(
         kept=kept,
         levels=lvl,
@@ -867,10 +881,115 @@ def _compact_trace_impl(
     )
 
 
+def _compact_trace_arrays_fused(
+    sampling_locations: np.ndarray,
+    kept: np.ndarray,
+    n_p: int,
+    n_l: int,
+    widths: np.ndarray,
+    heights: np.ndarray,
+    hi: np.ndarray,
+    wi: np.ndarray,
+    starts: np.ndarray,
+    plan: ExecutionPlan,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Buffer-reusing per-point trace arrays: ``(levels, weights, valid, flat)``.
+
+    Bit-identical to the allocating branch of :func:`_compact_trace_impl`:
+    every float expression matches :func:`_neighbor_grid` (the int64 operand
+    promotions included), the stacks become column stores, and the integer
+    flat-index arithmetic is exact in any order.
+    """
+    k = int(kept.size)
+    loc_flat = np.ascontiguousarray(sampling_locations).reshape(-1, 2)
+    loc = plan.take("trace.loc", loc_flat, kept, axis=0)  # (K, 2)
+    lvl = plan.buffer("trace.levels", (k,), np.int64)
+    np.floor_divide(kept, n_p, out=lvl)
+    np.mod(lvl, n_l, out=lvl)
+
+    # x = loc_x * widths[lvl] - 0.5 (and likewise y), all float32.
+    size_l = plan.take("trace.size_l", widths, lvl)
+    x = plan.buffer("trace.x", (k,), FLOAT_DTYPE)
+    np.multiply(loc[:, 0], size_l, out=x)
+    np.subtract(x, 0.5, out=x)
+    np.take(heights, lvl, out=size_l)
+    y = plan.buffer("trace.y", (k,), FLOAT_DTYPE)
+    np.multiply(loc[:, 1], size_l, out=y)
+    np.subtract(y, 0.5, out=y)
+
+    # Integer corners and float32 fractions, as in _neighbor_grid: x0/y0 are
+    # the floors, t = (coord - corner) computed through the float64 promotion
+    # and stored back to float32.
+    frac = plan.buffer("trace.frac", (k,), FLOAT_DTYPE)
+    x0 = plan.buffer("trace.x0", (k,), np.int64)
+    y0 = plan.buffer("trace.y0", (k,), np.int64)
+    np.floor(x, out=frac)
+    np.copyto(x0, frac, casting="unsafe")
+    t1 = plan.buffer("trace.t1", (k,), FLOAT_DTYPE)
+    np.subtract(x, x0, out=t1, casting="unsafe")
+    np.floor(y, out=frac)
+    np.copyto(y0, frac, casting="unsafe")
+    t0 = plan.buffer("trace.t0", (k,), FLOAT_DTYPE)
+    np.subtract(y, y0, out=t0, casting="unsafe")
+
+    rows = plan.buffer("trace.rows", (k, 4), np.int64)
+    rows[:, 0] = y0
+    rows[:, 1] = y0
+    np.add(y0, 1, out=rows[:, 2])
+    rows[:, 3] = rows[:, 2]
+    cols = plan.buffer("trace.cols", (k, 4), np.int64)
+    cols[:, 0] = x0
+    np.add(x0, 1, out=cols[:, 1])
+    cols[:, 2] = x0
+    cols[:, 3] = cols[:, 1]
+
+    weights = plan.buffer("trace.weights", (k, 4), FLOAT_DTYPE)
+    one_m_t1 = x  # reuse: x/y are no longer needed past this point
+    one_m_t0 = y
+    np.subtract(1.0, t1, out=one_m_t1)
+    np.subtract(1.0, t0, out=one_m_t0)
+    np.multiply(one_m_t1, one_m_t0, out=weights[:, 0])
+    np.multiply(t1, one_m_t0, out=weights[:, 1])
+    np.multiply(one_m_t1, t0, out=weights[:, 2])
+    np.multiply(t1, t0, out=weights[:, 3])
+
+    h_col = plan.take("trace.h", hi, lvl)[:, None]
+    w_col = plan.take("trace.w", wi, lvl)[:, None]
+    valid = plan.buffer("trace.valid", (k, 4), np.bool_)
+    tmp = plan.buffer("trace.valid_tmp", (k, 4), np.bool_)
+    np.greater_equal(rows, 0, out=valid)
+    np.less(rows, h_col, out=tmp)
+    valid &= tmp
+    np.greater_equal(cols, 0, out=tmp)
+    valid &= tmp
+    np.less(cols, w_col, out=tmp)
+    valid &= tmp
+
+    # Clamp in place (rows/cols are not part of the compact trace) and build
+    # the flat token indices; invalid neighbours are marked -1.  h_col/w_col
+    # are only needed as size-1 bounds from here on, so the decrement reuses
+    # them.
+    np.maximum(rows, 0, out=rows)
+    np.subtract(h_col, 1, out=h_col)
+    np.minimum(rows, h_col, out=rows)
+    np.maximum(cols, 0, out=cols)
+    np.subtract(w_col, 1, out=w_col)
+    np.minimum(cols, w_col, out=cols)
+    np.add(w_col, 1, out=w_col)  # restore: the flat index needs the true width
+    flat = plan.buffer("trace.flat", (k, 4), np.int64)
+    np.multiply(rows, w_col, out=flat)
+    flat += cols
+    flat += plan.take("trace.starts", starts, lvl)[:, None]
+    np.logical_not(valid, out=tmp)
+    np.copyto(flat, -1, where=tmp)
+    return lvl, weights, valid, flat
+
+
 def multi_scale_neighbors_sparse(
     spatial_shapes: list[LevelShape],
     sampling_locations: np.ndarray,
     point_mask: np.ndarray | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> CompactSamplingTrace:
     """Compacted-trace variant of :func:`multi_scale_neighbors`.
 
@@ -878,7 +997,9 @@ def multi_scale_neighbors_sparse(
     and level offsets **only for the points kept** by ``point_mask`` (shape
     ``(N_q, N_h, N_l, N_p)``; ``None`` keeps every point).  The per-point
     results are bit-identical to the dense trace restricted to the kept
-    points; construction cost scales with the keep ratio.
+    points; construction cost scales with the keep ratio.  With a ``plan``
+    the per-point arrays live in reused arena buffers (fused execution) —
+    the returned trace is then only valid until the plan's next forward.
     """
     sampling_locations = np.asarray(sampling_locations, dtype=FLOAT_DTYPE)
     if sampling_locations.ndim != 5 or sampling_locations.shape[-1] != 2:
@@ -896,6 +1017,7 @@ def multi_scale_neighbors_sparse(
         spatial_shapes,
         sampling_locations[None],
         None if point_mask is None else point_mask[None],
+        plan=plan,
     )
 
 
@@ -903,6 +1025,7 @@ def multi_scale_neighbors_sparse_batched(
     spatial_shapes: list[LevelShape],
     sampling_locations: np.ndarray,
     point_mask: np.ndarray | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> CompactSamplingTrace:
     """Batched variant of :func:`multi_scale_neighbors_sparse`.
 
@@ -923,30 +1046,12 @@ def multi_scale_neighbors_sparse_batched(
         point_mask = np.asarray(point_mask, dtype=bool)
         if point_mask.shape != sampling_locations.shape[:-1]:
             raise ValueError("point_mask shape must match sampling_locations[:-1]")
-    return _compact_trace_impl(spatial_shapes, sampling_locations, point_mask)
+    return _compact_trace_impl(spatial_shapes, sampling_locations, point_mask, plan=plan)
 
 
-def _segment_sum_into(out: np.ndarray, contrib: np.ndarray, seg: np.ndarray) -> None:
-    """Accumulate ``contrib`` rows into ``out[seg]`` for *sorted* segment ids.
-
-    ``seg`` must be non-decreasing (compaction via ``np.flatnonzero``
-    guarantees it).  Implemented with one ``np.add.reduceat`` over the starts
-    of the non-empty segments — orders of magnitude faster than ``np.add.at``
-    and exact up to float summation order.
-    """
-    if contrib.shape[0] == 0:
-        return
-    first = int(seg[0])
-    last = int(seg[-1])
-    counts = np.bincount(seg - first, minlength=last - first + 1)
-    nonempty = counts > 0
-    ends = np.cumsum(counts)
-    starts = ends - counts
-    # Non-empty segment starts are strictly increasing, and the rows between
-    # two consecutive ones belong to exactly the earlier segment (empty
-    # segments contribute no rows), so reduceat sums each segment exactly.
-    sums = np.add.reduceat(contrib, starts[nonempty], axis=0)
-    out[first : last + 1][nonempty] += sums
+# Shared by the sparse kernels below and re-exported for backward
+# compatibility; the implementation lives with the kernel backends.
+_segment_sum_into = segment_sum_into
 
 
 def _sparse_gather_aggregate(
@@ -1033,46 +1138,28 @@ def _compact_gather_aggregate(
     trace: CompactSamplingTrace,
     attn_flat: np.ndarray,
     n_in: int,
+    backend=None,
+    plan: ExecutionPlan | None = None,
 ) -> np.ndarray:
     """Gather + segment-sum aggregation over an already-compacted trace.
 
-    ``value_flat`` is the ``(B * N_in * N_h, D_h)`` value-row matrix,
-    ``attn_flat`` the ``(K,)`` attention probabilities of the kept points (in
-    ``trace.kept`` order).  Returns the ``(B * N_q * N_h, D_h)`` head
-    outputs.  Unlike :func:`_sparse_gather_aggregate`, there is no mask
-    compaction and no neighbour lookup left to do — the trace already holds
-    exactly the surviving rows — so the kernel is a chunked gather, one
-    einsum over the four neighbours and a segment sum.
+    The implementation is selected by the kernel-backend registry (see
+    :mod:`repro.kernels`): ``"reference"`` is the original chunked
+    gather-einsum-reduceat kernel, ``"fused"`` the bit-identical single-pass
+    variant that precomputes the flattened gather indices once per trace and
+    reuses ``plan`` buffers for every intermediate.
     """
-    d_h = value_flat.shape[1]
-    n_h = trace.num_heads
-    n_q, batch = trace.num_queries, trace.batch_size
-    seg_all = trace.segments()
-    output = np.zeros((batch * n_q * n_h, d_h), dtype=FLOAT_DTYPE)
-    chunk = max(1, _SPARSE_CONTRIB_BUDGET_BYTES // (4 * 4 * max(d_h, 1)))
-    for lo in range(0, trace.num_kept, chunk):
-        sl = slice(lo, lo + chunk)
-        with kernel_section("gather"):
-            seg = seg_all[sl]
-            head = seg % n_h
-            token = np.maximum(trace.flat_indices[sl], 0)  # clamp -1 (weight is 0)
-            if batch > 1:
-                image = seg // (n_q * n_h)
-                gather_idx = ((image[:, None] * n_in) + token) * n_h + head[:, None]
-            else:
-                gather_idx = token * n_h + head[:, None]
-            gathered = value_flat[gather_idx]  # (K_chunk, 4, D_h)
-        with kernel_section("aggregate"):
-            w4 = trace.weights[sl] * trace.valid[sl] * attn_flat[sl][:, None]
-            contrib = np.einsum("kfc,kf->kc", gathered, w4)
-            _segment_sum_into(output, contrib, seg)
-    return output
+    return resolve_backend(backend).compact_gather_aggregate(
+        value_flat, trace, attn_flat, n_in, plan=plan
+    )
 
 
 def ms_deform_attn_from_compact_trace(
     value: np.ndarray,
     trace: CompactSamplingTrace,
     attention_weights: np.ndarray,
+    backend=None,
+    plan: ExecutionPlan | None = None,
 ) -> np.ndarray:
     """MSGS + aggregation from a precomputed :class:`CompactSamplingTrace`.
 
@@ -1082,7 +1169,13 @@ def ms_deform_attn_from_compact_trace(
     ``(N_in, N_h, D_h)`` for a ``batch_size == 1`` trace or
     ``(B, N_in, N_h, D_h)`` for a batched one; ``attention_weights`` is the
     full ``([B,] N_q, N_h, N_l, N_p)`` array (only kept entries are read).
-    Matches the dense from-trace kernel to float32 rounding.
+    Matches the dense from-trace kernel to float32 rounding (and the two
+    kernel backends match each other bit for bit).
+
+    ``backend`` overrides the kernel backend for this call (``None`` follows
+    the process default); ``plan`` supplies the buffer arena of the fused
+    backend (``None`` allocates scratch per call).  The returned array may be
+    a plan buffer — callers that retain it across forwards must copy.
     """
     value = np.asarray(value, dtype=FLOAT_DTYPE)
     batched = trace.batch_size > 1 or value.ndim == 4
@@ -1101,12 +1194,15 @@ def ms_deform_attn_from_compact_trace(
     expected = sum(s.num_pixels for s in trace.spatial_shapes)
     if n_in != expected:
         raise ValueError(f"value has {n_in} tokens but spatial shapes sum to {expected}")
-    attn_flat = (
-        np.ascontiguousarray(np.asarray(attention_weights, dtype=FLOAT_DTYPE))
-        .reshape(-1)[trace.kept]
-    )
+    attn_all = np.ascontiguousarray(np.asarray(attention_weights, dtype=FLOAT_DTYPE))
+    if plan is not None:
+        attn_flat = plan.take("msgs.attn", attn_all.reshape(-1), trace.kept)
+    else:
+        attn_flat = attn_all.reshape(-1)[trace.kept]
     value_flat = np.ascontiguousarray(value).reshape(batch * n_in * n_h, d_h)
-    output = _compact_gather_aggregate(value_flat, trace, attn_flat, n_in)
+    output = _compact_gather_aggregate(
+        value_flat, trace, attn_flat, n_in, backend=backend, plan=plan
+    )
     if batched:
         return output.reshape(batch, trace.num_queries, n_h * d_h)
     return output.reshape(trace.num_queries, n_h * d_h)
@@ -1196,6 +1292,8 @@ def _core_sparse_impl(
     sampling_locations: np.ndarray,
     attention_weights: np.ndarray,
     point_mask: np.ndarray | None,
+    backend=None,
+    plan: ExecutionPlan | None = None,
 ) -> np.ndarray:
     """Compact-before-neighbours sparse core shared by single/batched entry points.
 
@@ -1205,11 +1303,20 @@ def _core_sparse_impl(
     neighbour/weight math runs on the ``(N_kept, ...)`` survivors only.
     """
     b, n_in, n_h, d_h = value.shape
+    backend = resolve_backend(backend)
     with kernel_section("neighbors"):
-        trace = _compact_trace_impl(spatial_shapes, sampling_locations, point_mask)
-    attn_flat = np.ascontiguousarray(attention_weights).reshape(-1)[trace.kept]
+        trace = _compact_trace_impl(
+            spatial_shapes, sampling_locations, point_mask, plan=plan
+        )
+    attn_all = np.ascontiguousarray(attention_weights).reshape(-1)
+    if plan is not None:
+        attn_flat = plan.take("msgs.attn", attn_all, trace.kept)
+    else:
+        attn_flat = attn_all[trace.kept]
     value_flat = np.ascontiguousarray(value).reshape(b * n_in * n_h, d_h)
-    return _compact_gather_aggregate(value_flat, trace, attn_flat, n_in)
+    return _compact_gather_aggregate(
+        value_flat, trace, attn_flat, n_in, backend=backend, plan=plan
+    )
 
 
 def ms_deform_attn_core_sparse(
@@ -1218,13 +1325,15 @@ def ms_deform_attn_core_sparse(
     sampling_locations: np.ndarray,
     attention_weights: np.ndarray,
     point_mask: np.ndarray | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Sparse equivalent of :func:`ms_deform_attn_core`.
 
     The ``(N_q, N_h, N_l, N_p)`` point set is compacted with the PAP mask
     before any per-point work: pruned points skip the bilinear neighbour
     computation *and* the value gather entirely.  Matches the dense kernel to
-    float32 rounding.
+    float32 rounding.  ``backend`` selects the kernel backend for this call
+    (``None`` follows the process default; the backends are bit-identical).
     """
     value = np.asarray(value, dtype=FLOAT_DTYPE)
     if value.ndim != 3:
@@ -1250,6 +1359,7 @@ def ms_deform_attn_core_sparse(
         sampling_locations[None],
         attention_weights[None],
         None if point_mask is None else point_mask[None],
+        backend=backend,
     )
     return output.reshape(n_q, n_h * value.shape[2])
 
@@ -1260,6 +1370,7 @@ def ms_deform_attn_core_sparse_batched(
     sampling_locations: np.ndarray,
     attention_weights: np.ndarray,
     point_mask: np.ndarray | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Batched variant of :func:`ms_deform_attn_core_sparse`.
 
@@ -1288,6 +1399,11 @@ def ms_deform_attn_core_sparse_batched(
         raise ValueError("sampling_locations batch axis must match value")
     n_q, n_h = sampling_locations.shape[1], sampling_locations.shape[2]
     output = _core_sparse_impl(
-        value, spatial_shapes, sampling_locations, attention_weights, point_mask
+        value,
+        spatial_shapes,
+        sampling_locations,
+        attention_weights,
+        point_mask,
+        backend=backend,
     )
     return output.reshape(batch, n_q, n_h * value.shape[3])

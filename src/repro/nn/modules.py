@@ -94,6 +94,25 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def forward_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """:meth:`forward` written into a caller-provided buffer.
+
+        ``out`` must have shape ``x.shape[:-1] + (out_features,)`` and must
+        not alias ``x``.  Bit-identical to :meth:`forward` (``np.matmul``
+        with ``out=`` issues the same BLAS call — kernel choice depends on
+        the row count, which is unchanged — and the in-place bias add is the
+        same float operation); only the temporaries disappear.
+        """
+        x = np.asarray(x, dtype=FLOAT_DTYPE)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dimension {self.in_features}, got {x.shape[-1]}"
+            )
+        np.matmul(x, self.weight, out=out)
+        if self.bias is not None:
+            out += self.bias
+        return out
+
     def flops(self, num_rows: int) -> int:
         """Multiply-accumulate FLOPs (2 per MAC) for *num_rows* input rows."""
         return int(2 * num_rows * self.in_features * self.out_features)
@@ -112,6 +131,12 @@ class LayerNorm(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return layer_norm(x, self.weight, self.bias, self.eps)
+
+    def forward_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """:meth:`forward` written into ``out`` (same shape, not aliasing
+        ``x``); bit-identical — see :func:`repro.nn.tensor_utils.layer_norm`.
+        """
+        return layer_norm(x, self.weight, self.bias, self.eps, out=out)
 
     def forward_rows(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Normalize only ``x[rows]`` of a ``(N, D)`` input.
@@ -192,6 +217,26 @@ class FeedForward(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return self.linear2(self.activation(self.linear1(x)))
+
+    def forward_into(
+        self, x: np.ndarray, out: np.ndarray, hidden: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`forward` through caller-provided buffers.
+
+        ``hidden`` holds the ``(..., d_ffn)`` post-activation intermediate
+        (the largest FFN temporary), ``out`` the ``(..., d_model)`` result;
+        neither may alias ``x``.  Only the ReLU activation supports the
+        in-place path (GELU's tanh chain is not expressible as one in-place
+        ufunc), so GELU configurations fall back to :meth:`forward` for the
+        activation while keeping the buffered matmuls.  Bit-identical to
+        :meth:`forward` either way.
+        """
+        self.linear1.forward_into(x, hidden)
+        if isinstance(self.activation, ReLU):
+            np.maximum(hidden, 0.0, out=hidden)
+        else:
+            hidden = self.activation(hidden)
+        return self.linear2.forward_into(hidden, out)
 
     def forward_rows(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Run the FFN only on ``x[rows]`` of a ``(N, D)`` input.

@@ -194,6 +194,7 @@ class MSDeformAttn(Module):
         reference_points: np.ndarray,
         sampling_offsets: np.ndarray,
         spatial_shapes: list[LevelShape],
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Combine reference points and offsets into normalized locations.
 
@@ -203,7 +204,9 @@ class MSDeformAttn(Module):
 
         Batched offsets ``(B, N_q, N_h, N_l, N_p, 2)`` are supported with
         either shared ``(N_q, N_l, 2)`` or per-image ``(B, N_q, N_l, 2)``
-        reference points.
+        reference points.  ``out`` (same shape as the offsets, may alias
+        them) receives the locations without allocating — bit-identical to
+        the allocating path (same divide-then-add order).
         """
         if len(spatial_shapes) != self.num_levels:
             raise ValueError("spatial_shapes length must equal num_levels")
@@ -213,7 +216,11 @@ class MSDeformAttn(Module):
         ref = np.asarray(reference_points, dtype=FLOAT_DTYPE)
         # Insert the head and point axes: (..., N_q, N_l, 2) -> (..., N_q, 1, N_l, 1, 2).
         ref = ref[..., :, None, :, None, :]
-        return ref + sampling_offsets / normalizer[:, None, :]
+        if out is None:
+            return ref + sampling_offsets / normalizer[:, None, :]
+        np.divide(sampling_offsets, normalizer[:, None, :], out=out)
+        np.add(ref, out, out=out)
+        return out
 
     def forward_detailed(
         self,
@@ -225,6 +232,7 @@ class MSDeformAttn(Module):
         point_mask: np.ndarray | None = None,
         query_mask: np.ndarray | None = None,
         sparse_mode: str = "auto",
+        backend=None,
     ) -> MSDeformAttnOutput:
         """Full forward pass returning intermediates.
 
@@ -265,6 +273,10 @@ class MSDeformAttn(Module):
             callers are unchanged; ``"sparse"`` forces the compacted kernels
             even without a mask (all points kept — useful for testing and
             benchmarking the kernels themselves).
+        backend:
+            Per-call kernel-backend override for the compacted kernels (see
+            :mod:`repro.kernels`); ``None`` follows the process default.  The
+            backends are bit-identical, so this only affects wall clock.
 
         Batched inputs take the fully vectorized kernels (no per-image Python
         loop); every field of the result gains a leading batch axis and the
@@ -343,7 +355,12 @@ class MSDeformAttn(Module):
                     )
             elif sparse:
                 head_outputs = ms_deform_attn_core_sparse_batched(
-                    value, spatial_shapes, locations, attention, point_mask=point_mask
+                    value,
+                    spatial_shapes,
+                    locations,
+                    attention,
+                    point_mask=point_mask,
+                    backend=backend,
                 )
             else:
                 head_outputs = ms_deform_attn_core_batched(
@@ -358,7 +375,12 @@ class MSDeformAttn(Module):
                 )
             elif sparse:
                 head_outputs = ms_deform_attn_core_sparse(
-                    value, spatial_shapes, locations, attention, point_mask=point_mask
+                    value,
+                    spatial_shapes,
+                    locations,
+                    attention,
+                    point_mask=point_mask,
+                    backend=backend,
                 )
             else:
                 head_outputs = ms_deform_attn_core(

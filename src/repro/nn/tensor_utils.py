@@ -19,13 +19,33 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return exp / np.sum(exp, axis=axis, keepdims=True)
 
 
-def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5) -> np.ndarray:
-    """Layer normalization over the last dimension."""
+def layer_norm(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    eps: float = 1e-5,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Layer normalization over the last dimension.
+
+    With ``out`` (a float32 array of ``x.shape``, distinct from ``x``) the
+    big elementwise passes run in-place into it — bit-identical to the
+    allocating path (same operations in the same order; only the per-row
+    mean/variance reductions still allocate, and those are ``D`` times
+    smaller than the data).
+    """
     x = np.asarray(x, dtype=FLOAT_DTYPE)
     mean = x.mean(axis=-1, keepdims=True)
     var = x.var(axis=-1, keepdims=True)
-    normalized = (x - mean) / np.sqrt(var + eps)
-    return normalized * weight + bias
+    if out is None:
+        normalized = (x - mean) / np.sqrt(var + eps)
+        return normalized * weight + bias
+    np.subtract(x, mean, out=out)
+    denom = np.sqrt(var + eps)
+    np.divide(out, denom, out=out)
+    np.multiply(out, weight, out=out)
+    np.add(out, bias, out=out)
+    return out
 
 
 def relu(x: np.ndarray) -> np.ndarray:

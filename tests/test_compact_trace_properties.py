@@ -21,6 +21,7 @@ row count and move the last ulp of the accumulations.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -40,6 +41,20 @@ from repro.nn.grid_sample import (
     multi_scale_neighbors_sparse_batched,
 )
 from repro.utils.shapes import LevelShape
+
+
+@pytest.fixture(autouse=True, scope="module", params=["reference", "fused"])
+def kernel_backend(request):
+    """Run the whole property module under both kernel backends.
+
+    Module-scoped (hypothesis forbids function-scoped fixtures under
+    ``@given``): every golden property must hold bit-identically under the
+    reference (PR 4) and the fused (PR 5) kernels.
+    """
+    from repro.kernels import use_backend
+
+    with use_backend(request.param):
+        yield request.param
 
 
 @st.composite

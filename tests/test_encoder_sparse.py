@@ -258,3 +258,135 @@ class TestFfnStageDispatch:
         np.testing.assert_array_equal(out_compact[~mask], x[~mask])
         np.testing.assert_array_equal(out_masked[mask], dense_stage[mask])
         np.testing.assert_allclose(out_compact[mask], dense_stage[mask], atol=TOL)
+
+
+class TestQueryAddStage:
+    """The pre-attention ``query = x + pos`` add under query pruning (PR 5).
+
+    FWP-pruned pixels never act as queries, so their positional add is dead
+    work: the runner computes it only on kept rows in the sparse path and
+    zeroes the pruned rows in the masked-dense path.  Both must be
+    observation-equivalent to the PR 4 execution (full add for every row) —
+    the pruned rows' query values were always masked out downstream — and
+    the frozen-row convention must be untouched.
+    """
+
+    @staticmethod
+    def _pr4_forward(runner, features, pos, reference):
+        """The PR 4 encoder loop: full ``x + pos`` for every row."""
+        x = np.asarray(features, dtype=np.float32)
+        fmap_mask = None
+        masks = []
+        for layer, defa in zip(runner.encoder.layers, runner.defa_layers):
+            query = x + pos
+            attn_out = defa.forward_detailed(
+                query, reference, x, SHAPES, fmap_mask=fmap_mask
+            )
+            keep_mask, compact = runner.ffn_stage_plan(fmap_mask, x.shape[0])
+            x = layer.forward_ffn_stage(
+                x, attn_out.output, keep_mask=keep_mask, compact=compact
+            )
+            fmap_mask = attn_out.fmap_mask_next
+            masks.append(fmap_mask)
+        return x, masks
+
+    @pytest.mark.parametrize("sparse_mode", ["dense", "sparse"])
+    def test_skipped_query_add_matches_pr4_full_add(self, sparse_mode):
+        encoder = _make_encoder(seed=21)
+        features, pos, reference = _inputs(seed=22)
+        runner = DEFAEncoderRunner(encoder, QP_FP32, sparse_mode=sparse_mode)
+        result = runner.forward(features, pos, reference, SHAPES)
+        pr4_memory, pr4_masks = self._pr4_forward(runner, features, pos, reference)
+        # Zeroing / skipping the pruned rows' adds changes nothing observable:
+        # every projection of a pruned row is masked out downstream.
+        np.testing.assert_array_equal(result.memory, pr4_memory)
+        for got, want in zip(result.fmap_masks, pr4_masks):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("sparse_mode", ["dense", "sparse"])
+    def test_frozen_rows_survive_the_query_add_skip(self, sparse_mode):
+        """Pruned rows stay frozen at the block input with the add skipped."""
+        encoder = _make_encoder(seed=23, num_layers=2)
+        features, pos, reference = _inputs(seed=24)
+        runner = DEFAEncoderRunner(encoder, QP_FP32, sparse_mode=sparse_mode)
+        result = runner.forward(features, pos, reference, SHAPES, collect_details=True)
+        mask_into_block2 = result.fmap_masks[0]
+        assert 0 < mask_into_block2.sum() < N_IN
+        block1_out = result.layer_outputs[0]
+        # Reconstruct block 1's stage output (= block 2's input).
+        keep_mask, compact = runner.ffn_stage_plan(None, N_IN)
+        block2_input = encoder.layers[0].forward_ffn_stage(
+            features, block1_out.output, keep_mask=keep_mask, compact=compact
+        )
+        keep_mask, compact = runner.ffn_stage_plan(mask_into_block2, N_IN)
+        block2_out = encoder.layers[1].forward_ffn_stage(
+            block2_input,
+            result.layer_outputs[1].output,
+            keep_mask=keep_mask,
+            compact=compact,
+        )
+        np.testing.assert_array_equal(
+            block2_out[~mask_into_block2], block2_input[~mask_into_block2]
+        )
+        np.testing.assert_allclose(result.memory, block2_out, atol=TOL)
+
+    def test_query_stage_plan_gate(self):
+        encoder = _make_encoder(seed=25)
+        mask = np.zeros(N_IN, dtype=bool)
+        mask[: N_IN // 3] = True
+        # No query pruning => no mask, regardless of sparse_mode.
+        off = DEFAEncoderRunner(encoder, DEFAConfig(quant_bits=None), sparse_mode="sparse")
+        assert off.query_stage_plan(mask, N_IN) == (None, False)
+        # Query pruning + forced sparse => compact path.
+        on = DEFAEncoderRunner(encoder, QP_FP32, sparse_mode="sparse")
+        keep, compact = on.query_stage_plan(mask, N_IN)
+        assert compact and keep is not None
+        # First block (no mask) always runs the plain add.
+        assert on.query_stage_plan(None, N_IN) == (None, False)
+        # auto mode keeps tiny inputs dense (N_IN < SPARSE_AUTO_MIN_QUERIES).
+        auto = DEFAEncoderRunner(encoder, QP_FP32, sparse_mode="auto")
+        keep, compact = auto.query_stage_plan(mask, N_IN)
+        assert keep is not None and not compact
+
+
+class TestIntegerMaskNormalization:
+    """Integer/uint8 masks are normalized to bool once at the boundary and
+    must flow through the full encoder identically to boolean masks."""
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int32])
+    def test_integer_masks_through_full_encoder(self, dtype):
+        encoder = _make_encoder(seed=26)
+        features, pos, reference = _inputs(seed=27)
+        runner = DEFAEncoderRunner(encoder, QP_INT12, sparse_mode="sparse")
+        want = runner.forward(features, pos, reference, SHAPES)
+
+        # The same loop, but every block boundary receives an integer mask.
+        x = np.asarray(features, dtype=np.float32)
+        fmap_mask = None
+        masks = []
+        for layer, defa in zip(runner.encoder.layers, runner.defa_layers):
+            int_mask = None if fmap_mask is None else fmap_mask.astype(dtype)
+            q_keep, q_compact = runner.query_stage_plan(int_mask, x.shape[0])
+            query = runner._build_query(x, pos, q_keep, q_compact, None)
+            attn_out = defa.forward_detailed(
+                query, reference, x, SHAPES, fmap_mask=int_mask
+            )
+            keep_mask, compact = runner.ffn_stage_plan(int_mask, x.shape[0])
+            x = layer.forward_ffn_stage(
+                x, attn_out.output, keep_mask=keep_mask, compact=compact
+            )
+            fmap_mask = attn_out.fmap_mask_next
+            masks.append(fmap_mask)
+
+        np.testing.assert_array_equal(x, want.memory)
+        for got, ref_mask in zip(masks, want.fmap_masks):
+            np.testing.assert_array_equal(got, ref_mask)
+
+    def test_normalize_mask_contract(self):
+        from repro.core.fwp import normalize_mask
+
+        assert normalize_mask(None) is None
+        boolean = np.array([True, False, True])
+        assert normalize_mask(boolean) is boolean  # no copy for bool masks
+        ints = np.array([2, 0, 255], dtype=np.uint8)
+        np.testing.assert_array_equal(normalize_mask(ints), [True, False, True])

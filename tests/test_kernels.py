@@ -1,0 +1,304 @@
+"""Tests for the kernel-backend registry and the execution-plan arena (PR 5).
+
+Covers the selection machinery (env var / config / per-call override), the
+:class:`~repro.kernels.ExecutionPlan` buffer-reuse semantics, bit-identity of
+the fused backend against the reference backend at the kernel and encoder
+level, the no-aliasing-corruption guarantee across consecutive plan-reusing
+forwards, and the steady-state allocation budget (via ``tracemalloc``).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAConfig
+from repro.core.encoder_runner import DEFAEncoderRunner
+from repro.kernels import (
+    KERNEL_BACKENDS,
+    ExecutionPlan,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.nn.encoder import DeformableEncoder
+from repro.nn.grid_sample import (
+    ms_deform_attn_from_compact_trace,
+    multi_scale_neighbors_sparse,
+)
+from repro.nn.positional import make_reference_points, sine_positional_encoding
+from repro.utils.shapes import LevelShape, make_level_shapes
+
+SHAPES = [LevelShape(8, 12), LevelShape(4, 6), LevelShape(2, 3)]
+N_IN = sum(s.num_pixels for s in SHAPES)
+N_Q, N_H, N_L, N_P, D_H = 29, 4, 3, 2, 8
+
+
+def _kernel_inputs(seed=0):
+    rng = np.random.default_rng(seed)
+    value = rng.standard_normal((N_IN, N_H, D_H)).astype(np.float32)
+    locs = rng.uniform(-0.15, 1.15, (N_Q, N_H, N_L, N_P, 2)).astype(np.float32)
+    attn = rng.uniform(0.0, 1.0, (N_Q, N_H, N_L, N_P)).astype(np.float32)
+    mask = rng.uniform(0.0, 1.0, attn.shape) < 0.35
+    return value, locs, attn, mask
+
+
+def _encoder_fixture(num_layers=3, seed=0):
+    shapes = make_level_shapes(24, 32, (4, 8, 16))
+    encoder = DeformableEncoder(
+        num_layers=num_layers,
+        d_model=64,
+        num_heads=4,
+        num_levels=len(shapes),
+        num_points=2,
+        ffn_dim=128,
+        rng=seed,
+    )
+    n_in = sum(s.num_pixels for s in shapes)
+    rng = np.random.default_rng(seed + 1)
+    features = rng.standard_normal((n_in, 64)).astype(np.float32)
+    pos = sine_positional_encoding(shapes, 64)
+    reference_points = make_reference_points(shapes)
+    return shapes, encoder, features, pos, reference_points
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert KERNEL_BACKENDS == ("reference", "fused")
+        for name in KERNEL_BACKENDS:
+            assert resolve_backend(name).name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="kernel backend"):
+            set_backend("turbo")
+        with pytest.raises(ValueError, match="kernel backend"):
+            resolve_backend("turbo")
+
+    def test_resolve_none_follows_process_default(self):
+        with use_backend("reference"):
+            assert resolve_backend(None).name == "reference"
+        with use_backend("fused"):
+            assert resolve_backend(None).name == "fused"
+
+    def test_use_backend_restores_previous(self):
+        before = get_backend().name
+        with use_backend("reference"):
+            assert get_backend().name == "reference"
+        assert get_backend().name == before
+
+    def test_backend_object_passes_through(self):
+        backend = resolve_backend("fused")
+        assert resolve_backend(backend) is backend
+
+    def test_config_validates_backend_name(self):
+        with pytest.raises(ValueError, match="kernel_backend"):
+            DEFAConfig(kernel_backend="turbo")
+        assert DEFAConfig(kernel_backend="reference").kernel_backend == "reference"
+
+
+class TestExecutionPlan:
+    def test_buffer_reuse_and_growth(self):
+        plan = ExecutionPlan()
+        a = plan.buffer("x", (16, 4), np.float32)
+        b = plan.buffer("x", (8, 4), np.float32)  # smaller: reuses capacity
+        assert b.base is a.base or b.base is a  # same storage
+        assert plan.grows == 1 and plan.hits == 1
+        c = plan.buffer("x", (64, 4), np.float32)  # larger: reallocates
+        assert plan.grows == 2
+        assert c.shape == (64, 4)
+
+    def test_distinct_names_and_dtypes_get_distinct_storage(self):
+        plan = ExecutionPlan()
+        a = plan.buffer("x", (8,), np.float32)
+        b = plan.buffer("y", (8,), np.float32)
+        d = plan.buffer("x", (8,), np.float64)
+        assert not np.shares_memory(a, b)
+        assert not np.shares_memory(a, d)
+
+    def test_retention_cap_serves_large_requests_fresh(self):
+        plan = ExecutionPlan(max_buffer_bytes=64)
+        small = plan.buffer("x", (8,), np.float32)  # 32 bytes: cached
+        assert np.shares_memory(small, plan.buffer("x", (8,), np.float32))
+        big_a = plan.buffer("x", (64,), np.float32)  # 256 bytes: transient
+        big_b = plan.buffer("x", (64,), np.float32)
+        assert not np.shares_memory(big_a, big_b)
+        assert plan.allocated_bytes == 32  # only the small buffer is retained
+
+    def test_fused_scratch_does_not_pin_large_workloads(self):
+        scratch = resolve_backend("fused")._scratch
+        assert scratch.max_buffer_bytes is not None
+
+    def test_zeros_and_take(self):
+        plan = ExecutionPlan()
+        z = plan.zeros("z", (5, 3))
+        assert not z.any()
+        src = np.arange(20.0, dtype=np.float32).reshape(10, 2)
+        got = plan.take("t", src, np.array([1, 3, 5]))
+        np.testing.assert_array_equal(got, src[[1, 3, 5]])
+
+
+class TestFusedBitIdentity:
+    def test_compact_kernel_backends_bit_identical(self):
+        value, locs, attn, mask = _kernel_inputs()
+        trace = multi_scale_neighbors_sparse(SHAPES, locs, point_mask=mask)
+        ref = ms_deform_attn_from_compact_trace(value, trace, attn, backend="reference")
+        fused = ms_deform_attn_from_compact_trace(value, trace, attn, backend="fused")
+        assert np.array_equal(ref, fused)
+
+    def test_fused_trace_construction_bit_identical(self):
+        _, locs, _, mask = _kernel_inputs(seed=3)
+        ref = multi_scale_neighbors_sparse(SHAPES, locs, point_mask=mask)
+        fused = multi_scale_neighbors_sparse(
+            SHAPES, locs, point_mask=mask, plan=ExecutionPlan()
+        )
+        for field in ("kept", "levels", "flat_indices", "weights", "valid"):
+            assert np.array_equal(getattr(ref, field), getattr(fused, field)), field
+
+    @pytest.mark.parametrize("sparse_mode", ["dense", "sparse", "auto"])
+    def test_encoder_backends_bit_identical(self, sparse_mode):
+        shapes, encoder, features, pos, reference_points = _encoder_fixture()
+        config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+        ref_runner = DEFAEncoderRunner(
+            encoder, config, sparse_mode=sparse_mode, backend="reference"
+        )
+        fused_runner = DEFAEncoderRunner(
+            encoder, config, sparse_mode=sparse_mode, backend="fused"
+        )
+        ref = ref_runner.forward(features, pos, reference_points, shapes)
+        fused = fused_runner.forward(features, pos, reference_points, shapes)
+        assert np.array_equal(ref.memory, fused.memory)
+        for a, b in zip(ref.fmap_masks, fused.fmap_masks):
+            assert np.array_equal(a, b)
+
+    def test_batched_encoder_backends_bit_identical(self):
+        shapes, encoder, features, pos, reference_points = _encoder_fixture()
+        batch = np.stack([features, features * 0.5, features + 0.1])
+        config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+        ref = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="reference")
+        fused = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="fused")
+        a = ref.forward_batched(batch, pos, reference_points, shapes)
+        b = fused.forward_batched(batch, pos, reference_points, shapes)
+        assert np.array_equal(a.memory, b.memory)
+
+
+class TestPlanReuseAcrossForwards:
+    def test_no_aliasing_corruption_across_forwards_with_different_masks(self):
+        """Results of forward i must survive forward i+1 untouched.
+
+        Two forwards with different inputs produce different FWP masks and
+        keep counts, so every arena buffer is rewritten at a different
+        occupancy — any result aliasing a plan buffer would be corrupted.
+        """
+        shapes, encoder, features, pos, reference_points = _encoder_fixture()
+        config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+        runner = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="fused")
+        first = runner.forward(features, pos, reference_points, shapes)
+        memory_snapshot = first.memory.copy()
+        mask_snapshots = [m.copy() for m in first.fmap_masks]
+        stats_snapshot = [(s.pixels_kept, s.points_kept) for s in first.layer_stats]
+
+        rng = np.random.default_rng(99)
+        other = rng.standard_normal(features.shape).astype(np.float32) * 2.0
+        second = runner.forward(other, pos, reference_points, shapes)
+
+        np.testing.assert_array_equal(first.memory, memory_snapshot)
+        for kept, snap in zip(first.fmap_masks, mask_snapshots):
+            np.testing.assert_array_equal(kept, snap)
+        assert [(s.pixels_kept, s.points_kept) for s in first.layer_stats] == stats_snapshot
+        # and the second result is the same as a fresh runner would produce
+        fresh = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="fused")
+        again = fresh.forward(other, pos, reference_points, shapes)
+        np.testing.assert_array_equal(second.memory, again.memory)
+
+    def test_plans_keyed_by_shape_signature_and_batch(self):
+        shapes, encoder, features, pos, reference_points = _encoder_fixture()
+        config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+        runner = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="fused")
+        runner.forward(features, pos, reference_points, shapes)
+        runner.forward_batched(
+            np.stack([features, features]), pos, reference_points, shapes
+        )
+        keys = set(runner._plans)
+        assert len(keys) == 2  # (signature, None) and (signature, 2)
+        batch_sizes = {key[1] for key in keys}
+        assert batch_sizes == {None, 2}
+
+    def test_plan_cache_is_lru_bounded(self):
+        shapes, encoder, features, pos, reference_points = _encoder_fixture()
+        config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+        runner = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="fused")
+        first_key = (tuple(s.as_tuple() for s in shapes), None)
+        runner.forward(features, pos, reference_points, shapes)
+        # Synthetic distinct signatures fill the cache past the bound; the
+        # real signature is refreshed (LRU) halfway, so it must survive.
+        for i in range(runner.MAX_EXECUTION_PLANS - 1):
+            runner.execution_plan(shapes, batch_size=100 + i)
+            if i == runner.MAX_EXECUTION_PLANS // 2:
+                runner.execution_plan(shapes, batch_size=None)  # refresh
+        assert first_key in runner._plans
+        for i in range(runner.MAX_EXECUTION_PLANS + 1):
+            runner.execution_plan(shapes, batch_size=200 + i)
+        assert len(runner._plans) == runner.MAX_EXECUTION_PLANS
+        assert first_key not in runner._plans  # evicted least-recently-used
+        # A dropped signature simply re-warms: the forward still works.
+        result = runner.forward(features, pos, reference_points, shapes)
+        assert result.memory.shape == features.shape
+
+    def test_collect_details_disables_the_plan(self):
+        """Detailed outputs are handed to the caller, so they must not live
+        in arena buffers; the runner falls back to fresh allocation."""
+        shapes, encoder, features, pos, reference_points = _encoder_fixture()
+        config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+        runner = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="fused")
+        detailed = runner.forward(
+            features, pos, reference_points, shapes, collect_details=True
+        )
+        kept_output = detailed.layer_outputs[1].output.copy()
+        kept_weights = detailed.layer_outputs[1].attention_weights.copy()
+        runner.forward(features * 1.5, pos, reference_points, shapes)
+        np.testing.assert_array_equal(detailed.layer_outputs[1].output, kept_output)
+        np.testing.assert_array_equal(
+            detailed.layer_outputs[1].attention_weights, kept_weights
+        )
+
+
+class TestAllocationBudget:
+    def test_steady_state_fused_forward_allocates_far_less_than_reference(self):
+        """The tracemalloc smoke check of the zero-allocation plans.
+
+        After one warm forward per signature the arena is at its high-water
+        mark, so a steady-state fused forward's peak *traced* allocation
+        (tracemalloc only sees allocations made after ``start()``) must stay
+        under a fixed budget — a small multiple of the input size — while
+        the reference backend allocates every intermediate freshly.
+        """
+        shapes, encoder, features, pos, reference_points = _encoder_fixture()
+        config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+
+        def peak_bytes(runner):
+            runner.forward(features, pos, reference_points, shapes)  # warm
+            tracemalloc.start()
+            runner.forward(features, pos, reference_points, shapes)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak
+
+        fused_peak = peak_bytes(
+            DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="fused")
+        )
+        reference_peak = peak_bytes(
+            DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="reference")
+        )
+        # Fixed budget: the escaping arrays (final memory copy, per-block FWP
+        # masks and PAP records) are O(input size); everything else is arena.
+        input_bytes = features.nbytes
+        assert fused_peak < 24 * input_bytes, (
+            f"steady-state fused forward peaked at {fused_peak} traced bytes "
+            f"(budget {24 * input_bytes})"
+        )
+        assert fused_peak < reference_peak / 2, (
+            f"fused peak {fused_peak} not well below reference peak {reference_peak}"
+        )

@@ -46,6 +46,21 @@ from repro.utils.shapes import LevelShape
 TOL = 1e-5
 """Strict float32-path equivalence tolerance (unquantized configs)."""
 
+
+@pytest.fixture(autouse=True, params=["reference", "fused"])
+def kernel_backend(request):
+    """Run every golden-equivalence test under both kernel backends.
+
+    The backends are bit-identical by construction, so each test's
+    tolerances must hold identically under either; parametrizing the whole
+    module keeps the fused backend (the production default) and the PR 4
+    reference path covered by the same assertions.
+    """
+    from repro.kernels import use_backend
+
+    with use_backend(request.param):
+        yield request.param
+
 QUANT_TOL = 5e-3
 """Quantized-config tolerance: a few INT12 steps (see module docstring)."""
 
