@@ -10,6 +10,10 @@ main-branch artifact, or the committed reference under
   (relative; default 20 % — wall-clock ratios are hardware-dependent and
   jitter between runners, so the gate guards the trajectory, not the exact
   number),
+* any tracked **serving metric** (p50/p99 latency, throughput) regresses past
+  the widened :data:`LATENCY_FENCE_FACTOR` fence — percentiles of one short
+  replay jitter more than best-of-N ratios, so their fence only catches
+  structural regressions,
 * any **equivalence probe** of the current record drifts beyond its own
   recorded tolerance (numerics are machine-independent, so this is exact), or
 * a metric tracked by the baseline disappears from the current record
@@ -37,6 +41,15 @@ from pathlib import Path
 
 #: Default relative speedup-regression tolerance (20 %).
 DEFAULT_TOLERANCE = 0.2
+
+#: Extra widening of the serving latency/throughput fence on top of the
+#: speedup tolerance.  Serving percentiles come from one short replay of a
+#: bursty stream on a single shared-CI core — they jitter far more than the
+#: best-of-N wall-clock *ratios* the speedup gate tracks — so the fence is
+#: ``(1 + tolerance) * LATENCY_FENCE_FACTOR``-fold: it catches structural
+#: regressions (a poll loop going quadratic, a lost batch stalling the
+#: queue), not scheduler noise.
+LATENCY_FENCE_FACTOR = 2.0
 
 
 def _benchmarks(record: dict) -> list[dict]:
@@ -76,6 +89,24 @@ def extract_speedups(record: dict) -> dict[str, float]:
             if isinstance(summary.get(key), (int, float)):
                 speedups[f"{name}.{key}"] = float(summary[key])
     return speedups
+
+
+def extract_serving_metrics(record: dict) -> dict[str, tuple[str, float]]:
+    """The tracked serving metrics of a record: ``{name: (direction, value)}``.
+
+    ``direction`` is ``"higher"`` (throughput: regressing means falling) or
+    ``"lower"`` (latency percentiles: regressing means rising).  Both are
+    gated behind the widened :data:`LATENCY_FENCE_FACTOR` fence — see there.
+    """
+    metrics: dict[str, tuple[str, float]] = {}
+    for bench in _benchmarks(record):
+        name = bench.get("name", "benchmark")
+        if isinstance(bench.get("throughput_rps"), (int, float)):
+            metrics[f"{name}.throughput_rps"] = ("higher", float(bench["throughput_rps"]))
+        for key in ("p50_ms", "p99_ms"):
+            if isinstance(bench.get(key), (int, float)):
+                metrics[f"{name}.{key}"] = ("lower", float(bench[key]))
+    return metrics
 
 
 def extract_equivalence_probes(record: dict) -> list[dict]:
@@ -171,6 +202,36 @@ def compare_records(
             )
     for name in sorted(set(curr_speedups) - set(base_speedups)):
         lines.append(f"{name:<48} {'-':>9} {curr_speedups[name]:>8.2f}x {'-':>8}  new")
+
+    base_serving = extract_serving_metrics(baseline)
+    curr_serving = extract_serving_metrics(current)
+    fence = (1.0 + tolerance) * LATENCY_FENCE_FACTOR
+    for name in sorted(base_serving):
+        direction, base = base_serving[name]
+        if name not in curr_serving:
+            status = "MISSING" if not allow_missing else "missing (allowed)"
+            lines.append(f"{name:<48} {base:>9.2f} {'-':>9} {'-':>8}  {status}")
+            if not allow_missing:
+                failures.append(
+                    f"{name}: tracked by the baseline but absent from the current record"
+                )
+            continue
+        curr = curr_serving[name][1]
+        change = (curr - base) / base if base > 0 else 0.0
+        if direction == "lower":
+            regressed = curr > base * fence
+        else:
+            regressed = curr < base / fence
+        status = "REGRESSION" if regressed else "ok"
+        lines.append(f"{name:<48} {base:>9.2f} {curr:>9.2f} {change:>+7.1%}  {status}")
+        if regressed:
+            worse = "rose" if direction == "lower" else "fell"
+            failures.append(
+                f"{name}: {worse} {base:.2f} -> {curr:.2f} ({change:+.1%}, "
+                f"fence {fence:.1f}x)"
+            )
+    for name in sorted(set(curr_serving) - set(base_serving)):
+        lines.append(f"{name:<48} {'-':>9} {curr_serving[name][1]:>9.2f} {'-':>8}  new")
 
     for probe in extract_equivalence_probes(current):
         ok = probe["max_abs_diff"] <= probe["tolerance"]

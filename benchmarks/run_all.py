@@ -54,11 +54,11 @@ SPARSE_INT12_EQUIVALENCE_TOL = 5e-3
 rounding difference can be amplified to a full quantization step by the
 dynamically scaled output projection, so the bound is a few steps wide."""
 
-#: Sparse-sweep scale and repeats per harness scale preset.
+#: Sparse-sweep scale, repeats and serving-stream length per harness preset.
 SCALE_PRESETS = {
-    "compact": {"sparse_scale": "small", "repeats": 2},
-    "medium": {"sparse_scale": "medium", "repeats": 3},
-    "paper": {"sparse_scale": "paper", "repeats": 3},
+    "compact": {"sparse_scale": "small", "repeats": 2, "serving_requests": 40},
+    "medium": {"sparse_scale": "medium", "repeats": 3, "serving_requests": 64},
+    "paper": {"sparse_scale": "paper", "repeats": 3, "serving_requests": 96},
 }
 
 
@@ -251,6 +251,30 @@ def run_sparse_fp32_equivalence(sparse_scale: str, repeats: int) -> dict:
     }
 
 
+def run_serving_benchmark(serving_requests: int, repeats: int) -> dict:
+    """The serving-engine probe (see ``bench_serving.py``): one worker, a
+    forced kill mid-stream, mixed shapes and fp32/INT12 request classes.
+
+    The gated quantity is the served-vs-serial drift at exactly zero — it
+    covers the whole scheduler surface *including* the worker death and the
+    degraded-mode fallback, and is machine-independent because scheduling
+    cannot change results.  The latency/throughput numbers are tracked as a
+    trajectory by ``compare_bench.py`` behind a widened fence (latency
+    percentiles of short single-core runs jitter far more than best-of-N
+    ratios).
+    """
+    from bench_serving import serving_record, serving_report
+
+    kill_at = serving_requests // 3
+    report = serving_report(
+        num_workers=1,
+        num_requests=serving_requests,
+        kill_worker_at=kill_at,
+        repeats=repeats,
+    )
+    return serving_record(report, kill_worker_at=kill_at)
+
+
 def equivalence_probes(record: dict) -> list[dict]:
     """Flatten every equivalence probe of a harness record.
 
@@ -328,13 +352,21 @@ def main(argv: list[str] | None = None) -> int:
             run_sparse_fp32_equivalence(preset["sparse_scale"], repeats),
             run_encoder_fp32_equivalence(preset["sparse_scale"], repeats),
             run_encoder_int12_equivalence(preset["sparse_scale"], repeats),
+            run_serving_benchmark(preset["serving_requests"], repeats),
         ],
     }
 
     args.json.write_text(json.dumps(record, indent=2) + "\n")
     for bench in record["benchmarks"]:
         speedup = bench.get("speedup") or bench.get("summary", {}).get("max_speedup")
-        if speedup is not None:
+        if "throughput_rps" in bench:  # the serving probe tracks latency, not speedup
+            print(
+                f"  {bench['name']}: p50 {bench['p50_ms']:.1f} ms, "
+                f"p99 {bench['p99_ms']:.1f} ms, "
+                f"throughput {bench['throughput_rps']:.1f} req/s, "
+                f"max |diff| {bench['max_abs_diff']:.2e}"
+            )
+        elif speedup is not None:
             print(f"  {bench['name']}: speedup {speedup:.2f}x")
         else:  # pure equivalence probes carry a drift, not a speedup
             print(f"  {bench['name']}: max |diff| {bench['max_abs_diff']:.2e}")

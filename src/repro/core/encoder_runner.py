@@ -212,6 +212,22 @@ class DEFAEncoderRunner:
             self._plans.popitem(last=False)
         return plan
 
+    def plan_stats(self) -> dict[str, int]:
+        """Aggregate arena accounting over all cached execution plans.
+
+        ``hits``/``grows`` follow :class:`~repro.kernels.ExecutionPlan`
+        semantics (buffer reuses vs. (re)allocations); ``bytes`` is the total
+        steady-state arena footprint.  The serving engine reports this per
+        worker as evidence that the warm-arena regime survives across
+        requests (hits keep climbing, grows plateau once the plans are warm).
+        """
+        return {
+            "plans": len(self._plans),
+            "hits": sum(p.hits for p in self._plans.values()),
+            "grows": sum(p.grows for p in self._plans.values()),
+            "bytes": sum(p.allocated_bytes for p in self._plans.values()),
+        }
+
     def query_stage_plan(
         self, fmap_mask: np.ndarray | None, queries_per_image: int, batched: bool = False
     ) -> tuple[np.ndarray | None, bool]:

@@ -7,7 +7,12 @@ This package is the scaling layer on top of the single-image reproduction:
 * :mod:`repro.engine.trace_cache` — :class:`TraceCache` memoizes deterministic
   ``(spec, seed)`` layer traces with hit/miss accounting;
 * :mod:`repro.engine.parallel` — process-parallel experiment execution behind
-  the ``--jobs`` flag of :mod:`repro.experiments.runner`.
+  the ``--jobs`` flag of :mod:`repro.experiments.runner`;
+* :mod:`repro.engine.serving` — :class:`ServingEngine`, the long-running
+  scheduler that streams requests into persistent warm workers with a
+  degraded in-process fallback;
+* :mod:`repro.engine.traffic` — synthetic serving traffic (uniform / bursty /
+  diurnal arrivals over mixed pyramid shapes and request classes).
 """
 
 from repro.engine.batching import (
@@ -18,8 +23,25 @@ from repro.engine.batching import (
     defa_forward_fn,
     encoder_forward_fn,
 )
-from repro.engine.parallel import run_experiments_parallel
+from repro.engine.parallel import ParallelExperimentError, run_experiments_parallel
+from repro.engine.serving import (
+    DEFAULT_REQUEST_CLASS,
+    BatchRecord,
+    ModelBank,
+    ModelBankSpec,
+    ServingConfig,
+    ServingEngine,
+    ServingStats,
+)
 from repro.engine.trace_cache import DEFAULT_TRACE_CACHE, TraceCache, TraceCacheStats
+from repro.engine.traffic import (
+    ARRIVAL_PROCESSES,
+    ReplayResult,
+    TrafficEvent,
+    generate_traffic,
+    replay_traffic,
+    serial_reference_outputs,
+)
 
 __all__ = [
     "BatchRunner",
@@ -28,8 +50,22 @@ __all__ = [
     "WorkItem",
     "defa_forward_fn",
     "encoder_forward_fn",
+    "ParallelExperimentError",
     "run_experiments_parallel",
     "DEFAULT_TRACE_CACHE",
     "TraceCache",
     "TraceCacheStats",
+    "DEFAULT_REQUEST_CLASS",
+    "BatchRecord",
+    "ModelBank",
+    "ModelBankSpec",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingStats",
+    "ARRIVAL_PROCESSES",
+    "ReplayResult",
+    "TrafficEvent",
+    "generate_traffic",
+    "replay_traffic",
+    "serial_reference_outputs",
 ]

@@ -40,24 +40,41 @@ class WorkItem:
     ``eq=False``: the dataclass-generated ``__eq__``/``__hash__`` would
     choke on the ndarray field (ambiguous truth value / unhashable), so
     items use identity semantics like any queue entry.
+
+    The features are snapshotted at construction: the item stores a private,
+    read-only :data:`FLOAT_DTYPE` copy of the caller's array.  Once requests
+    queue asynchronously (the serving engine), the time between submit and
+    batch execution is unbounded — a caller mutating or recycling its own
+    buffer in that window must not be able to corrupt the queued request.
+    Non-float dtypes are rejected here (an integer feature array is almost
+    certainly a caller bug, not something to cast silently per batch).
     """
 
     item_id: int | str
     features: np.ndarray
-    """Flattened multi-scale features of shape ``(N_in, D)``."""
+    """Flattened multi-scale features of shape ``(N_in, D)``; stored as a
+    read-only ``FLOAT_DTYPE`` copy of the array passed in."""
 
     spatial_shapes: tuple[LevelShape, ...]
     """Pyramid level shapes whose pixel counts sum to ``N_in``."""
 
     def __post_init__(self) -> None:
-        if self.features.ndim != 2:
+        features = np.asarray(self.features)
+        if features.ndim != 2:
             raise ValueError("WorkItem features must have shape (N_in, D)")
-        n_in = sum(s.num_pixels for s in self.spatial_shapes)
-        if self.features.shape[0] != n_in:
+        if not np.issubdtype(features.dtype, np.floating):
             raise ValueError(
-                f"features have {self.features.shape[0]} tokens but spatial "
+                f"WorkItem features must be floating point, got {features.dtype}"
+            )
+        n_in = sum(s.num_pixels for s in self.spatial_shapes)
+        if features.shape[0] != n_in:
+            raise ValueError(
+                f"features have {features.shape[0]} tokens but spatial "
                 f"shapes sum to {n_in}"
             )
+        frozen = np.array(features, dtype=FLOAT_DTYPE)  # always copies
+        frozen.flags.writeable = False
+        object.__setattr__(self, "features", frozen)
 
     @property
     def shape_key(self) -> ShapeKey:
@@ -134,9 +151,9 @@ class BatchRunner:
             shapes = list(items[indices[0]].spatial_shapes)
             for start in range(0, len(indices), self.max_batch_size):
                 chunk = indices[start : start + self.max_batch_size]
-                stacked = np.stack(
-                    [np.asarray(items[i].features, dtype=FLOAT_DTYPE) for i in chunk]
-                )
+                # Items froze their features to FLOAT_DTYPE at construction,
+                # so the stack needs no per-item cast.
+                stacked = np.stack([items[i].features for i in chunk])
                 batched_out = self.forward_fn(stacked, shapes)
                 if batched_out.shape[0] != len(chunk):
                     raise ValueError(
@@ -188,26 +205,38 @@ def defa_forward_fn(
     Runs the full DEFA algorithm (per-image FWP/PAP mask threading) on each
     batch and returns the batched encoder memory.  ``sparse_mode`` (one of
     ``"auto"``/``"dense"``/``"sparse"``) sets the runner's execution switch
-    before every batch dispatched through this adapter, so each adapter
+    around every batch dispatched through this adapter, so each adapter
     always runs in its own mode even when several adapters share one runner;
-    the runner is left in that mode afterwards.  ``None`` keeps the runner's
-    current mode.  ``backend`` does the same for the runner's kernel backend
-    (``"reference"``/``"fused"``); under the fused backend the runner's
-    per-shape-signature :class:`~repro.kernels.ExecutionPlan` arenas are
-    reused across every work item this adapter dispatches, so a steady
-    stream of same-shape items executes with zero large allocations.
+    the runner's previous mode is restored afterwards (the adapter must not
+    leak its mode into other adapters or later direct calls on the shared
+    runner).  ``None`` keeps the runner's current mode.  ``backend`` does the
+    same for the runner's kernel backend (``"reference"``/``"fused"``); under
+    the fused backend the runner's per-shape-signature
+    :class:`~repro.kernels.ExecutionPlan` arenas are reused across every work
+    item this adapter dispatches, so a steady stream of same-shape items
+    executes with zero large allocations.
     """
     cache: dict[ShapeKey, tuple[np.ndarray, np.ndarray]] = {}
 
     def forward(features: np.ndarray, spatial_shapes: list[LevelShape]) -> np.ndarray:
-        if sparse_mode is not None:
-            runner.sparse_mode = sparse_mode
-        if backend is not None:
-            runner.kernel_backend = backend
-        key = tuple(s.as_tuple() for s in spatial_shapes)
-        if key not in cache:
-            cache[key] = _positional_inputs(spatial_shapes, runner.encoder.d_model)
-        pos, reference_points = cache[key]
-        return runner.forward_batched(features, pos, reference_points, spatial_shapes).memory
+        saved_mode = runner.sparse_mode
+        saved_backend = runner.kernel_backend
+        try:
+            if sparse_mode is not None:
+                runner.sparse_mode = sparse_mode
+            if backend is not None:
+                runner.kernel_backend = backend
+            key = tuple(s.as_tuple() for s in spatial_shapes)
+            if key not in cache:
+                cache[key] = _positional_inputs(spatial_shapes, runner.encoder.d_model)
+            pos, reference_points = cache[key]
+            return runner.forward_batched(
+                features, pos, reference_points, spatial_shapes
+            ).memory
+        finally:
+            if sparse_mode is not None:
+                runner.sparse_mode = saved_mode
+            if backend is not None:
+                runner.kernel_backend = saved_backend
 
     return forward

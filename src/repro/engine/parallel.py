@@ -18,6 +18,28 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable
 
 
+class ParallelExperimentError(RuntimeError):
+    """One or more experiments failed in a parallel run.
+
+    Unlike re-raising the first worker exception (which silently discards
+    the rest), this carries *every* failure in :attr:`failures` so a
+    multi-failure run is diagnosable from a single traceback.  A plain
+    ``RuntimeError`` subclass rather than :class:`ExceptionGroup` because the
+    suite still supports Python 3.10.
+    """
+
+    def __init__(self, failures: dict[str, Exception]) -> None:
+        self.failures = dict(failures)
+        failed_ids = sorted(self.failures)
+        details = "; ".join(
+            f"{experiment_id}: {type(error).__name__}: {error}"
+            for experiment_id, error in sorted(self.failures.items())
+        )
+        super().__init__(
+            f"{len(failed_ids)} experiment(s) failed: {', '.join(failed_ids)} ({details})"
+        )
+
+
 def _run_single_experiment(experiment_id: str):
     """Worker entry point: run one experiment by id (must be picklable)."""
     from repro.experiments import EXPERIMENTS
@@ -29,6 +51,7 @@ def run_experiments_parallel(
     ids: list[str],
     jobs: int,
     on_result: Callable[[str, object], None] | None = None,
+    worker: Callable[[str], object] = _run_single_experiment,
 ) -> dict:
     """Run the given experiment ids across *jobs* worker processes.
 
@@ -44,10 +67,20 @@ def run_experiments_parallel(
         This lets callers persist finished results incrementally, so one
         failing experiment does not discard the others — matching the
         serial runner's save-as-you-go behaviour.
+    worker:
+        Worker callable mapping an experiment id to its result; defaults to
+        the registry-backed runner (overridable as a test seam — must stay
+        picklable, i.e. a top-level function).
 
     Returns
     -------
     ``{experiment_id: ExperimentResult}`` in the input id order.
+
+    Raises
+    ------
+    ParallelExperimentError
+        If any experiment failed; carries every ``{id: exception}`` so a
+        multi-failure run reports all failed ids, not just the first.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
@@ -55,23 +88,23 @@ def run_experiments_parallel(
         return {}
     workers = min(jobs, len(ids))
     results: dict = {}
-    first_error: Exception | None = None
+    errors: dict[str, Exception] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            pool.submit(_run_single_experiment, experiment_id): experiment_id
+            pool.submit(worker, experiment_id): experiment_id
             for experiment_id in ids
         }
         for future in as_completed(futures):
             experiment_id = futures[future]
             try:
                 result = future.result()
-            except Exception as error:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = error
+            except Exception as error:  # noqa: BLE001 - collected and re-raised below
+                errors[experiment_id] = error
                 continue
             results[experiment_id] = result
             if on_result is not None:
                 on_result(experiment_id, result)
-    if first_error is not None:
-        raise first_error
+    if errors:
+        first_error = errors[min(errors, key=ids.index)]
+        raise ParallelExperimentError(errors) from first_error
     return {experiment_id: results[experiment_id] for experiment_id in ids}

@@ -1,0 +1,827 @@
+"""Sharded serving engine: a long-running scheduler over persistent workers.
+
+:mod:`repro.engine.batching` made same-shape batching a *library* call and
+:mod:`repro.engine.parallel` spins up a fresh process pool per invocation —
+neither keeps anything warm between requests, so the per-shape-signature
+:class:`~repro.kernels.ExecutionPlan` arenas of PR 5 (and every positional /
+reference-point cache) are rebuilt for every call.  This module promotes the
+engine into a *service*:
+
+* :class:`ServingEngine` — a scheduler that accepts a stream of
+  :class:`~repro.engine.batching.WorkItem` requests, groups them by
+  ``(request class, shape signature)`` under a queueing policy (flush a group
+  when it reaches ``max_batch_size`` or its oldest request has waited
+  ``max_wait_s``), and fans the batches out to persistent worker processes.
+* Each worker owns a warm :class:`ModelBank` — one
+  :class:`~repro.core.encoder_runner.DEFAEncoderRunner` per request class —
+  for its whole lifetime, so the execution-plan arenas and positional caches
+  survive across requests and the zero-allocation steady state of PR 5 holds
+  *across* the request stream, not just within one batch.
+* A **degraded mode** falls back to in-process serial execution whenever no
+  worker process is alive (mirroring the primary/degraded split of a service
+  that must answer even while its backend restarts): dead workers are
+  restarted with exponential backoff, and the engine returns to primary mode
+  once a restarted worker reports ready.  The fallback executes the *same*
+  forward functions as the workers, and the batched kernels are bit-equal to
+  the per-image loop for any batch composition (per-image auto-dispatch
+  thresholds, per-image quantization scales), so scheduling decisions —
+  batch packing, worker placement, fallback path — can never change a
+  served result.
+
+The scheduler core is a plain state machine driven by :meth:`ServingEngine.
+poll`; :meth:`ServingEngine.start` runs it on a background pump thread for
+real streaming traffic, while unit tests drive ``poll()`` directly under a
+manual clock for deterministic queueing-policy checks.
+
+Single-core note: this container serves every process from one core, so the
+engine is gated on scheduling *correctness* (served results bit-equal to the
+serial loop, bounded queueing latency, overhead) — multi-worker speedup is
+reported by the benchmarks as informational only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import DEFAConfig
+from repro.engine.batching import BatchForward, ShapeKey, WorkItem, defa_forward_fn
+
+__all__ = [
+    "DEFAULT_REQUEST_CLASS",
+    "ModelBank",
+    "ModelBankSpec",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingStats",
+    "BatchRecord",
+]
+
+DEFAULT_REQUEST_CLASS = "default"
+"""Request class used when a caller does not distinguish request classes."""
+
+
+class ModelBank:
+    """The forward functions (one per request class) a worker serves with.
+
+    A *request class* names one serving configuration — e.g. ``"fp32"`` and
+    ``"int12"`` pruning/quantization variants — and maps to one batched
+    forward callable (see :data:`~repro.engine.batching.BatchForward`).  When
+    the forwards are :func:`~repro.engine.batching.defa_forward_fn` adapters,
+    the backing runners can be registered too so :meth:`plan_stats` can
+    report the warm execution-plan arenas (the evidence that the PR 5
+    zero-allocation steady state survives across requests).
+    """
+
+    def __init__(
+        self,
+        forwards: dict[str, BatchForward],
+        runners: dict[str, object] | None = None,
+    ) -> None:
+        if not forwards:
+            raise ValueError("a ModelBank needs at least one request class")
+        self.forwards = dict(forwards)
+        self.runners = dict(runners or {})
+
+    @classmethod
+    def coerce(cls, obj: "ModelBank | dict[str, BatchForward]") -> "ModelBank":
+        """Accept a plain ``{class: forward}`` dict wherever a bank is expected."""
+        return obj if isinstance(obj, cls) else cls(obj)
+
+    @property
+    def request_classes(self) -> tuple[str, ...]:
+        return tuple(self.forwards)
+
+    def forward(self, request_class: str, features: np.ndarray, spatial_shapes) -> np.ndarray:
+        if request_class not in self.forwards:
+            raise KeyError(
+                f"unknown request class {request_class!r}; "
+                f"known classes: {sorted(self.forwards)}"
+            )
+        return self.forwards[request_class](features, list(spatial_shapes))
+
+    def plan_stats(self) -> dict[str, dict[str, int]]:
+        """Per-class execution-plan arena accounting of the registered runners."""
+        stats: dict[str, dict[str, int]] = {}
+        for name, runner in self.runners.items():
+            plan_stats = getattr(runner, "plan_stats", None)
+            if callable(plan_stats):
+                stats[name] = plan_stats()
+        return stats
+
+
+@dataclass(frozen=True)
+class ModelBankSpec:
+    """Picklable recipe for building identical :class:`ModelBank`\\ s everywhere.
+
+    The spec travels to each worker process (and is also built locally for
+    the degraded fallback), so every execution path constructs the *same*
+    deterministic encoder weights (``rng_seed``) and the same per-class
+    :class:`~repro.core.config.DEFAConfig`\\ s — the precondition for served
+    results being independent of which path ran a batch.  All classes share
+    one encoder (one set of weights); each gets its own
+    :class:`~repro.core.encoder_runner.DEFAEncoderRunner` so per-class
+    sparse-mode/quantization state never interferes.
+    """
+
+    num_layers: int = 2
+    d_model: int = 64
+    num_heads: int = 4
+    num_levels: int = 2
+    num_points: int = 2
+    ffn_dim: int = 128
+    rng_seed: int = 0
+    classes: tuple[tuple[str, DEFAConfig], ...] = ((DEFAULT_REQUEST_CLASS, DEFAConfig()),)
+
+    def build(self) -> ModelBank:
+        from repro.core.encoder_runner import DEFAEncoderRunner
+        from repro.nn.encoder import DeformableEncoder
+
+        encoder = DeformableEncoder(
+            num_layers=self.num_layers,
+            d_model=self.d_model,
+            num_heads=self.num_heads,
+            num_levels=self.num_levels,
+            num_points=self.num_points,
+            ffn_dim=self.ffn_dim,
+            rng=self.rng_seed,
+        )
+        forwards: dict[str, BatchForward] = {}
+        runners: dict[str, object] = {}
+        for name, config in self.classes:
+            runner = DEFAEncoderRunner(encoder, config)
+            runners[name] = runner
+            forwards[name] = defa_forward_fn(runner)
+        return ModelBank(forwards, runners)
+
+
+@dataclass
+class ServingConfig:
+    """Queueing and worker policy of a :class:`ServingEngine`.
+
+    ``num_workers=0`` serves every batch in-process (no subprocesses at all
+    — the permanent form of the degraded path, useful for tests and
+    single-core deployments).  ``max_wait_s`` bounds the queueing latency a
+    request can accumulate waiting for its shape group to fill: a group is
+    flushed as soon as it is full *or* its oldest request has waited this
+    long.
+    """
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.002
+    num_workers: int = 1
+    restart_backoff_s: float = 0.05
+    """Base delay before restarting a dead worker; doubles per consecutive
+    death of the same worker slot (capped at :attr:`max_backoff_s`)."""
+
+    max_backoff_s: float = 2.0
+    max_restarts: int | None = None
+    """Per-slot restart budget; ``None`` means restart forever.  A slot that
+    exhausts its budget stays dead and the engine serves degraded."""
+
+    poll_interval_s: float = 0.0005
+    """Sleep of the background pump thread between scheduler steps."""
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if self.restart_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Accounting of one dispatched batch (one entry per forward launched)."""
+
+    request_class: str
+    shape_key: ShapeKey
+    size: int
+    path: str
+    """``"worker"`` (served by a worker process) or ``"inproc"`` (served by
+    the in-process fallback — degraded mode or a ``num_workers=0`` engine)."""
+
+    reason: str
+    """Why the group was flushed: ``"full"`` (reached ``max_batch_size``),
+    ``"wait"`` (oldest request hit ``max_wait_s``) or ``"flush"`` (explicit
+    :meth:`ServingEngine.flush`)."""
+
+    worker: int | None = None
+    """Worker slot index for ``path="worker"`` batches."""
+
+
+@dataclass
+class ServingStats:
+    """Mutable accounting of one engine's lifetime."""
+
+    num_requests: int = 0
+    num_completed: int = 0
+    batches: list[BatchRecord] = field(default_factory=list)
+    latencies_s: list[float] = field(default_factory=list)
+    """Submit-to-completion latency of every completed request (engine clock)."""
+
+    worker_deaths: int = 0
+    worker_restarts: int = 0
+    mode_transitions: list[tuple[float, str]] = field(default_factory=list)
+    """``(clock time, new mode)`` — recorded whenever the health mode flips."""
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def batch_sizes(self) -> list[int]:
+        return [b.size for b in self.batches]
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batches else 0.0
+
+    @property
+    def primary_batches(self) -> int:
+        return sum(1 for b in self.batches if b.path == "worker")
+
+    @property
+    def degraded_batches(self) -> int:
+        return sum(1 for b in self.batches if b.path == "inproc")
+
+    def latency_quantile(self, q: float) -> float:
+        """Latency percentile in seconds (``q`` in [0, 100])."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(self.latencies_s, q))
+
+
+@dataclass(eq=False)
+class _Pending:
+    """One submitted request waiting for (or in) execution."""
+
+    seq: int
+    item: WorkItem
+    request_class: str
+    arrival: float
+    future: Future
+
+
+@dataclass(eq=False)
+class _Batch:
+    """One dispatched batch, in flight on a worker."""
+
+    batch_id: int
+    request_class: str
+    shape_key: ShapeKey
+    requests: list[_Pending]
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker slot (process + pipe + liveness)."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: mp.Process | None = None
+        self.conn = None
+        self.alive = False
+        self.ready = False
+        self.busy: _Batch | None = None
+        self.deaths = 0
+        self.restart_at: float | None = None
+        self.retired = False
+        """Set when the slot exhausted ``max_restarts``: never respawned."""
+
+
+def _worker_main(conn, model_bank_factory) -> None:
+    """Worker process entry point: build the bank once, serve batches forever.
+
+    The bank — and with it every runner's execution-plan arenas and
+    positional caches — lives for the whole worker lifetime, which is the
+    point of persistent workers: a steady stream of same-signature batches
+    executes in the PR 5 warm-arena regime.  Any exception inside a forward
+    is reported back as a traceback string (the worker itself survives); only
+    a hard process death tears the slot down.
+    """
+    bank = ModelBank.coerce(model_bank_factory())
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away
+        kind = message[0]
+        if kind == "batch":
+            _, batch_id, request_class, features, shapes = message
+            try:
+                output = bank.forward(request_class, features, shapes)
+                conn.send(("ok", batch_id, output))
+            except Exception:  # noqa: BLE001 - reported to the parent verbatim
+                conn.send(("err", batch_id, traceback.format_exc()))
+        elif kind == "stats":
+            conn.send(("stats_ok", bank.plan_stats()))
+        elif kind == "shutdown":
+            return
+
+
+class WorkerError(RuntimeError):
+    """A worker's forward raised; carries the worker-side traceback."""
+
+    def __init__(self, request_class: str, worker_traceback: str) -> None:
+        self.request_class = request_class
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"worker forward failed for request class {request_class!r}:\n"
+            f"{worker_traceback}"
+        )
+
+
+class ServingEngine:
+    """Long-running scheduler fanning batched requests out to warm workers.
+
+    Parameters
+    ----------
+    model_bank_factory:
+        Zero-argument picklable callable returning the :class:`ModelBank`
+        (or plain ``{class: forward}`` dict) to serve with.  Called once
+        inside every worker process and once lazily in the parent for the
+        degraded fallback, so all paths serve identical models (use
+        :meth:`ModelBankSpec.build` for the deterministic DEFA bank).
+    config:
+        Queueing/worker policy (see :class:`ServingConfig`).
+    clock:
+        Monotonic time source; injectable so unit tests can drive the
+        queueing policy deterministically.
+
+    The engine is driven by :meth:`poll` — one scheduler step: reap worker
+    replies and deaths, restart due workers, dispatch due batches.
+    :meth:`start` runs ``poll`` on a background pump thread; tests may skip
+    ``start`` and call ``poll`` directly.
+    """
+
+    def __init__(
+        self,
+        model_bank_factory: Callable[[], ModelBank | dict[str, BatchForward]],
+        config: ServingConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.model_bank_factory = model_bank_factory
+        self.config = config or ServingConfig()
+        self._clock = clock
+        self.stats = ServingStats()
+        self._lock = threading.RLock()
+        self._pending: deque[_Pending] = deque()
+        self._seq = 0
+        self._batch_seq = 0
+        self._flush_all = False
+        self._local_bank: ModelBank | None = None
+        self._workers = [_WorkerHandle(i) for i in range(self.config.num_workers)]
+        self._mp = mp.get_context()
+        self._pump: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._shut_down = False
+        self._last_mode: str | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self, wait_ready: bool = True, timeout: float = 60.0) -> "ServingEngine":
+        """Spawn the workers (and the pump thread); optionally block until
+        every worker has built its model bank and reported ready."""
+        with self._lock:
+            if self._shut_down:
+                raise RuntimeError("engine already shut down")
+            now = self._clock()
+            for handle in self._workers:
+                if not handle.alive and not handle.retired:
+                    self._spawn(handle)
+            if self.config.num_workers == 0:
+                # The permanent in-process engine pays its model build here,
+                # not inside the first served batch.
+                self._ensure_local_bank()
+            self._record_mode(now)
+        if wait_ready and self._workers:
+            deadline = time.monotonic() + timeout
+            while not all(h.ready for h in self._workers if h.alive):
+                self.poll()
+                if time.monotonic() > deadline:
+                    raise TimeoutError("workers did not report ready in time")
+                time.sleep(0.001)
+        if self._pump is None:
+            self._stop.clear()
+            self._pump = threading.Thread(
+                target=self._pump_loop, name="serving-pump", daemon=True
+            )
+            self._pump.start()
+        return self
+
+    def _pump_loop(self) -> None:
+        while not self._stop.is_set():
+            self.poll()
+            self._stop.wait(self.config.poll_interval_s)
+
+    def shutdown(self) -> None:
+        """Stop the pump, terminate the workers, fail any unserved futures."""
+        self._stop.set()
+        if self._pump is not None:
+            self._pump.join(timeout=5.0)
+            self._pump = None
+        with self._lock:
+            self._shut_down = True
+            for handle in self._workers:
+                if handle.conn is not None:
+                    try:
+                        handle.conn.send(("shutdown",))
+                    except (BrokenPipeError, OSError):
+                        pass
+            for handle in self._workers:
+                if handle.process is not None:
+                    handle.process.join(timeout=1.0)
+                    if handle.process.is_alive():
+                        handle.process.terminate()
+                        handle.process.join(timeout=1.0)
+                if handle.conn is not None:
+                    handle.conn.close()
+                    handle.conn = None
+                handle.alive = handle.ready = False
+            abandoned = list(self._pending)
+            self._pending.clear()
+            for handle in self._workers:
+                if handle.busy is not None:
+                    abandoned.extend(handle.busy.requests)
+                    handle.busy = None
+            for pending in abandoned:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        RuntimeError("serving engine shut down with the request unserved")
+                    )
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------ submission
+
+    def submit(
+        self, item: WorkItem, request_class: str = DEFAULT_REQUEST_CLASS
+    ) -> Future:
+        """Queue one request; the future resolves to its ``(N_in, D)`` output.
+
+        The item's features were copied and frozen at :class:`WorkItem`
+        construction, so nothing the caller does to its own arrays after
+        submit can reach the queued request.
+        """
+        with self._lock:
+            if self._shut_down:
+                raise RuntimeError("engine already shut down")
+            future: Future = Future()
+            self._pending.append(
+                _Pending(
+                    seq=self._seq,
+                    item=item,
+                    request_class=request_class,
+                    arrival=self._clock(),
+                    future=future,
+                )
+            )
+            self._seq += 1
+            self.stats.num_requests += 1
+            return future
+
+    def flush(self, timeout: float = 60.0) -> None:
+        """Dispatch everything pending regardless of wait policy and block
+        until every in-flight batch has completed."""
+        deadline = time.monotonic() + timeout
+        self._flush_all = True
+        try:
+            while True:
+                self.poll()
+                with self._lock:
+                    drained = not self._pending and all(
+                        h.busy is None for h in self._workers
+                    )
+                if drained:
+                    return
+                if time.monotonic() > deadline:
+                    raise TimeoutError("flush did not drain the engine in time")
+                time.sleep(0.0002)
+        finally:
+            self._flush_all = False
+
+    # ------------------------------------------------------------ health
+
+    @property
+    def mode(self) -> str:
+        """``"inproc"`` (no workers configured), ``"primary"`` (>= 1 worker
+        process alive) or ``"degraded"`` (all workers dead: in-process
+        fallback serves until a restart succeeds)."""
+        if self.config.num_workers == 0:
+            return "inproc"
+        return "primary" if any(h.alive for h in self._workers) else "degraded"
+
+    @property
+    def num_alive_workers(self) -> int:
+        return sum(1 for h in self._workers if h.alive)
+
+    def kill_worker(self, index: int = 0) -> None:
+        """Fault injection: SIGKILL one worker process (tests/benchmarks
+        exercise the death -> degraded -> restart path through this)."""
+        with self._lock:
+            handle = self._workers[index]
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.kill()
+
+    def worker_stats(self, timeout: float = 5.0) -> list[dict | None]:
+        """Execution-plan arena accounting per worker slot (``None`` for dead
+        slots).  Only meaningful on a drained engine (no batches in flight)."""
+        results: list[dict | None] = []
+        with self._lock:
+            for handle in self._workers:
+                if not (handle.alive and handle.ready and handle.busy is None):
+                    results.append(None)
+                    continue
+                try:
+                    handle.conn.send(("stats",))
+                    if handle.conn.poll(timeout):
+                        message = handle.conn.recv()
+                        results.append(message[1] if message[0] == "stats_ok" else None)
+                    else:
+                        results.append(None)
+                except (BrokenPipeError, EOFError, OSError):
+                    results.append(None)
+        return results
+
+    # ------------------------------------------------------------ scheduler
+
+    def poll(self) -> None:
+        """One scheduler step: reap replies and deaths, restart due workers,
+        dispatch due batches.  Reentrant-safe; called by the pump thread and
+        directly by tests/:meth:`flush`."""
+        with self._lock:
+            if self._shut_down:
+                return
+            now = self._clock()
+            self._reap(now)
+            self._restart_due(now)
+            self._dispatch(now)
+            self._record_mode(now)
+
+    def _record_mode(self, now: float) -> None:
+        mode = self.mode
+        if mode != self._last_mode:
+            self.stats.mode_transitions.append((now, mode))
+            self._last_mode = mode
+
+    # -- worker replies and deaths
+
+    def _reap(self, now: float) -> None:
+        for handle in self._workers:
+            if not handle.alive:
+                continue
+            try:
+                while handle.conn.poll():
+                    self._handle_message(handle, now, handle.conn.recv())
+            except (EOFError, BrokenPipeError, OSError):
+                self._handle_death(handle, now)
+                continue
+            if handle.process is not None and not handle.process.is_alive():
+                self._handle_death(handle, now)
+
+    def _handle_message(self, handle: _WorkerHandle, now: float, message) -> None:
+        kind = message[0]
+        if kind == "ready":
+            handle.ready = True
+        elif kind == "ok":
+            _, batch_id, output = message
+            batch = handle.busy
+            if batch is not None and batch.batch_id == batch_id:
+                handle.busy = None
+                self._resolve(batch, output, now)
+        elif kind == "err":
+            _, batch_id, worker_tb = message
+            batch = handle.busy
+            if batch is not None and batch.batch_id == batch_id:
+                handle.busy = None
+                error = WorkerError(batch.request_class, worker_tb)
+                for pending in batch.requests:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+        # stats_ok replies are consumed synchronously by worker_stats().
+
+    def _handle_death(self, handle: _WorkerHandle, now: float) -> None:
+        """A worker process died: salvage nothing, requeue its in-flight
+        requests at the front of the queue (submission order preserved — every
+        requeued seq predates everything still pending) and schedule a
+        restart with exponential backoff."""
+        handle.alive = False
+        handle.ready = False
+        if handle.conn is not None:
+            handle.conn.close()
+            handle.conn = None
+        if handle.process is not None:
+            handle.process.join(timeout=1.0)
+            handle.process = None
+        handle.deaths += 1
+        self.stats.worker_deaths += 1
+        if handle.busy is not None:
+            for pending in sorted(handle.busy.requests, key=lambda p: p.seq, reverse=True):
+                self._pending.appendleft(pending)
+            handle.busy = None
+        if (
+            self.config.max_restarts is not None
+            and handle.deaths > self.config.max_restarts
+        ):
+            handle.retired = True
+            handle.restart_at = None
+        else:
+            backoff = min(
+                self.config.restart_backoff_s * (2 ** (handle.deaths - 1)),
+                self.config.max_backoff_s,
+            )
+            handle.restart_at = now + backoff
+
+    def _restart_due(self, now: float) -> None:
+        for handle in self._workers:
+            if (
+                not handle.alive
+                and not handle.retired
+                and handle.restart_at is not None
+                and handle.restart_at <= now
+            ):
+                self._spawn(handle)
+                self.stats.worker_restarts += 1
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(child_conn, self.model_bank_factory),
+            name=f"serving-worker-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.alive = True
+        handle.ready = False
+        handle.restart_at = None
+
+    # -- batching and dispatch
+
+    def _due_reason(self, group: list[_Pending], now: float) -> str | None:
+        if len(group) >= self.config.max_batch_size:
+            return "full"
+        if self._flush_all:
+            return "flush"
+        if now - group[0].arrival >= self.config.max_wait_s:
+            return "wait"
+        return None
+
+    def _dispatch(self, now: float) -> None:
+        while self._pending:
+            groups: dict[tuple[str, ShapeKey], list[_Pending]] = {}
+            for pending in self._pending:  # deque stays seq-ordered
+                key = (pending.request_class, pending.item.shape_key)
+                groups.setdefault(key, []).append(pending)
+            due = []
+            for key, group in groups.items():
+                reason = self._due_reason(group, now)
+                if reason is not None:
+                    due.append((key, group, reason))
+            if not due:
+                return
+            progressed = False
+            for key, group, reason in due:
+                chunk = group[: self.config.max_batch_size]
+                worker = self._idle_worker()
+                if worker is not None:
+                    self._remove_pending(chunk)
+                    self._dispatch_to_worker(worker, key, chunk, reason, now)
+                    progressed = True
+                elif self.num_alive_workers == 0:
+                    self._remove_pending(chunk)
+                    self._run_inproc(key, chunk, reason, now)
+                    progressed = True
+                # else: workers exist but are busy/starting — bounded
+                # queueing: the batch dispatches as soon as one frees.
+            if not progressed:
+                return
+
+    def _idle_worker(self) -> _WorkerHandle | None:
+        for handle in self._workers:
+            if handle.alive and handle.ready and handle.busy is None:
+                return handle
+        return None
+
+    def _remove_pending(self, chunk: list[_Pending]) -> None:
+        taken = set(id(p) for p in chunk)
+        self._pending = deque(p for p in self._pending if id(p) not in taken)
+
+    def _stack(self, chunk: list[_Pending]) -> np.ndarray:
+        return np.stack([p.item.features for p in chunk])
+
+    def _dispatch_to_worker(
+        self,
+        handle: _WorkerHandle,
+        key: tuple[str, ShapeKey],
+        chunk: list[_Pending],
+        reason: str,
+        now: float,
+    ) -> None:
+        request_class, shape_key = key
+        batch = _Batch(
+            batch_id=self._batch_seq,
+            request_class=request_class,
+            shape_key=shape_key,
+            requests=chunk,
+        )
+        self._batch_seq += 1
+        shapes = tuple(chunk[0].item.spatial_shapes)
+        try:
+            handle.conn.send(
+                ("batch", batch.batch_id, request_class, self._stack(chunk), shapes)
+            )
+        except (BrokenPipeError, OSError):
+            # The worker died between reap and dispatch: requeue and let the
+            # next poll handle the death properly.
+            handle.busy = batch
+            self._handle_death(handle, now)
+            return
+        handle.busy = batch
+        self.stats.batches.append(
+            BatchRecord(
+                request_class=request_class,
+                shape_key=shape_key,
+                size=len(chunk),
+                path="worker",
+                reason=reason,
+                worker=handle.index,
+            )
+        )
+
+    def _ensure_local_bank(self) -> ModelBank:
+        if self._local_bank is None:
+            self._local_bank = ModelBank.coerce(self.model_bank_factory())
+        return self._local_bank
+
+    def _run_inproc(
+        self,
+        key: tuple[str, ShapeKey],
+        chunk: list[_Pending],
+        reason: str,
+        now: float,
+    ) -> None:
+        """Degraded/in-process execution: same forwards, same batching, so
+        the outputs are bit-equal to what a worker would have served."""
+        request_class, shape_key = key
+        bank = self._ensure_local_bank()
+        shapes = list(chunk[0].item.spatial_shapes)
+        self.stats.batches.append(
+            BatchRecord(
+                request_class=request_class,
+                shape_key=shape_key,
+                size=len(chunk),
+                path="inproc",
+                reason=reason,
+            )
+        )
+        try:
+            output = bank.forward(request_class, self._stack(chunk), shapes)
+        except Exception as error:  # noqa: BLE001 - delivered via the futures
+            for pending in chunk:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+            return
+        batch = _Batch(
+            batch_id=-1, request_class=request_class, shape_key=shape_key, requests=chunk
+        )
+        self._resolve(batch, output, self._clock())
+
+    def _resolve(self, batch: _Batch, output: np.ndarray, now: float) -> None:
+        if output.shape[0] != len(batch.requests):
+            error = RuntimeError(
+                f"forward returned a batch of {output.shape[0]} for "
+                f"{len(batch.requests)} requests"
+            )
+            for pending in batch.requests:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+            return
+        for index, pending in enumerate(batch.requests):
+            # Copy so a retained per-request output does not pin the whole
+            # batch array (mirrors BatchRunner.run).
+            result = np.array(output[index])
+            self.stats.latencies_s.append(now - pending.arrival)
+            self.stats.num_completed += 1
+            if not pending.future.done():
+                pending.future.set_result(result)

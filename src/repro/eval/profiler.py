@@ -851,3 +851,148 @@ def measure_kernel_fusion(
         reference_kernels=dict(reference_kernels.seconds),
         fused_kernels=dict(fused_kernels.seconds),
     )
+
+
+# --------------------------------------------------------------------------
+# Serving-engine profiling
+
+
+@dataclass(frozen=True)
+class ServingLatencyReport:
+    """Latency/throughput profile of one serving-engine traffic replay.
+
+    The correctness half is machine-independent: ``max_abs_diff`` compares
+    every served output against the serial per-image reference loop and must
+    be exactly zero (scheduling decisions cannot change results — the batched
+    kernels are bit-equal to the per-image path for any batch composition).
+    The latency half is wall clock on a single core, so it is tracked as a
+    trajectory (benchmarks) rather than asserted: on this container workers
+    add IPC + serialization overhead over the in-process loop, and
+    multi-worker speedup is informational only.
+    """
+
+    num_requests: int
+    num_workers: int
+    num_batches: int
+    mean_batch_size: float
+    p50_s: float
+    p99_s: float
+    """Submit-to-completion latency percentiles over all requests."""
+
+    max_latency_s: float
+    elapsed_s: float
+    """Wall clock of the whole replay (first submit to last completion)."""
+
+    serial_s: float
+    """Best-of-repeats wall clock of the serial per-image reference loop."""
+
+    max_abs_diff: float
+    """Max |served - serial reference| over every request (gated at 0.0)."""
+
+    worker_deaths: int
+    worker_restarts: int
+    primary_batches: int
+    degraded_batches: int
+    mode: str
+    """Engine health mode at the end of the replay."""
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of replay wall clock."""
+        return self.num_requests / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    @property
+    def overhead(self) -> float:
+        """Replay-over-serial wall-clock ratio (scheduling + IPC cost; 1.0
+        means the engine adds nothing over the bare serial loop)."""
+        return self.elapsed_s / self.serial_s if self.serial_s > 0 else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "num_requests": self.num_requests,
+            "num_workers": self.num_workers,
+            "num_batches": self.num_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "p50_ms": 1e3 * self.p50_s,
+            "p99_ms": 1e3 * self.p99_s,
+            "max_latency_ms": 1e3 * self.max_latency_s,
+            "elapsed_ms": 1e3 * self.elapsed_s,
+            "serial_ms": 1e3 * self.serial_s,
+            "throughput_rps": self.throughput_rps,
+            "overhead": self.overhead,
+            "max_abs_diff": self.max_abs_diff,
+            "worker_deaths": self.worker_deaths,
+            "worker_restarts": self.worker_restarts,
+            "primary_batches": self.primary_batches,
+            "degraded_batches": self.degraded_batches,
+            "mode": self.mode,
+        }
+
+
+def measure_serving_latency(
+    model_bank_factory,
+    events,
+    config=None,
+    speed: float = 0.0,
+    kill_worker_at: int | None = None,
+    repeats: int = 2,
+) -> ServingLatencyReport:
+    """Replay a traffic stream through a :class:`ServingEngine` and profile it.
+
+    Builds the model bank once locally for the serial per-image reference
+    (timed best-of-*repeats*), then starts an engine under *config*, replays
+    *events* at *speed* (``0`` = open loop, as fast as possible) and compares
+    every served output bit-for-bit against the reference.
+    ``kill_worker_at=k`` SIGKILLs worker 0 right after the *k*-th submit, so
+    the profile covers the death -> degraded -> restart path.
+    """
+    from repro.engine.serving import ModelBank, ServingConfig, ServingEngine
+    from repro.engine.traffic import replay_traffic, serial_reference_outputs
+
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    config = config or ServingConfig()
+    bank = ModelBank.coerce(model_bank_factory())
+    reference = serial_reference_outputs(bank, events)  # warm-up + reference
+    serial_s = min(
+        _timed(lambda: serial_reference_outputs(bank, events)) for _ in range(repeats)
+    )
+
+    engine = ServingEngine(model_bank_factory, config)
+    engine.start()
+    try:
+        on_submit = None
+        if kill_worker_at is not None:
+            fired: list[int] = []
+
+            def on_submit(i: int) -> None:
+                if i == kill_worker_at and not fired:
+                    fired.append(i)
+                    engine.kill_worker(0)
+
+        replay = replay_traffic(engine, events, speed=speed, on_submit=on_submit)
+        stats = engine.stats
+        mode = engine.mode
+    finally:
+        engine.shutdown()
+
+    max_abs_diff = 0.0
+    for served, expected in zip(replay.outputs, reference):
+        max_abs_diff = max(max_abs_diff, float(np.max(np.abs(served - expected))))
+    return ServingLatencyReport(
+        num_requests=len(events),
+        num_workers=config.num_workers,
+        num_batches=stats.num_batches,
+        mean_batch_size=stats.mean_batch_size,
+        p50_s=stats.latency_quantile(50),
+        p99_s=stats.latency_quantile(99),
+        max_latency_s=stats.latency_quantile(100),
+        elapsed_s=replay.elapsed_s,
+        serial_s=serial_s,
+        max_abs_diff=max_abs_diff,
+        worker_deaths=stats.worker_deaths,
+        worker_restarts=stats.worker_restarts,
+        primary_batches=stats.primary_batches,
+        degraded_batches=stats.degraded_batches,
+        mode=mode,
+    )

@@ -7,6 +7,7 @@ import pytest
 
 from repro.engine import (
     BatchRunner,
+    ParallelExperimentError,
     TraceCache,
     WorkItem,
     defa_forward_fn,
@@ -70,6 +71,52 @@ class TestWorkItem:
         b = _item(0, SHAPES_A, 0)
         assert a in {a} and a != b and a == a
         assert b not in {a}
+
+    def test_features_snapshotted_at_construction(self):
+        """The item must hold a private copy: post-construction mutation of
+        the caller's array (buffer reuse between submit and execution) cannot
+        reach the queued request."""
+        rng = np.random.default_rng(0)
+        n_in = sum(s.num_pixels for s in SHAPES_A)
+        caller_buffer = rng.standard_normal((n_in, D_MODEL)).astype(np.float32)
+        item = WorkItem(0, caller_buffer, SHAPES_A)
+        snapshot = np.array(item.features)
+        caller_buffer[:] = 0.0  # caller recycles its buffer post-submit
+        np.testing.assert_array_equal(item.features, snapshot)
+
+    def test_post_submit_mutation_cannot_change_outputs(self):
+        """End-to-end: corrupting the submitted array after construction must
+        not change what the runner computes."""
+        rng = np.random.default_rng(1)
+        n_in = sum(s.num_pixels for s in SHAPES_A)
+        buffers = [
+            rng.standard_normal((n_in, D_MODEL)).astype(np.float32) for _ in range(3)
+        ]
+        items = [WorkItem(i, buf, SHAPES_A) for i, buf in enumerate(buffers)]
+        expected = [buf.copy() for buf in buffers]
+        for buf in buffers:
+            buf[:] = np.nan  # post-submit corruption
+        runner = BatchRunner(lambda batch, shapes: batch.copy(), max_batch_size=2)
+        result = runner.run(items)
+        for output, want in zip(result.outputs, expected):
+            np.testing.assert_array_equal(output, want)
+
+    def test_features_are_read_only(self):
+        item = _item(0, SHAPES_A, 0)
+        assert not item.features.flags.writeable
+        with pytest.raises(ValueError):
+            item.features[0, 0] = 1.0
+
+    def test_non_float_dtype_rejected(self):
+        n_in = sum(s.num_pixels for s in SHAPES_A)
+        with pytest.raises(ValueError, match="floating point"):
+            WorkItem(0, np.zeros((n_in, D_MODEL), dtype=np.int32), SHAPES_A)
+
+    def test_float64_converted_to_float_dtype(self):
+        rng = np.random.default_rng(2)
+        n_in = sum(s.num_pixels for s in SHAPES_A)
+        item = WorkItem(0, rng.standard_normal((n_in, D_MODEL)), SHAPES_A)
+        assert item.features.dtype == np.float32
 
 
 class TestBatchRunner:
@@ -266,3 +313,96 @@ class TestParallelRunner:
 
     def test_empty_ids(self):
         assert run_experiments_parallel([], jobs=2) == {}
+
+
+class TestDefaForwardFnStateRestore:
+    """Two adapters sharing one runner must not leak modes into each other."""
+
+    def test_adapter_restores_runner_mode_and_backend(self):
+        runner = DEFAEncoderRunner(_encoder(), DEFAConfig())
+        assert runner.sparse_mode == "auto" and runner.kernel_backend is None
+        dense_fn = defa_forward_fn(runner, sparse_mode="dense", backend="reference")
+        sparse_fn = defa_forward_fn(runner, sparse_mode="sparse", backend="fused")
+        batch = _item(0, SHAPES_A, 0).features[None]
+        shapes = list(SHAPES_A)
+        dense_first = dense_fn(batch, shapes)
+        assert runner.sparse_mode == "auto" and runner.kernel_backend is None
+        sparse_fn(batch, shapes)
+        assert runner.sparse_mode == "auto" and runner.kernel_backend is None
+        # The dense adapter still computes its own mode's result after the
+        # sparse adapter ran on the shared runner (no leaked mode).
+        np.testing.assert_array_equal(dense_fn(batch, shapes), dense_first)
+
+    def test_adapter_matches_dedicated_runner(self):
+        """A mode-pinned adapter on a shared runner must produce exactly what
+        a runner permanently set to that mode produces."""
+        shared = DEFAEncoderRunner(_encoder(), DEFAConfig())
+        dedicated = DEFAEncoderRunner(_encoder(), DEFAConfig())
+        dedicated.sparse_mode = "sparse"
+        sparse_fn = defa_forward_fn(shared, sparse_mode="sparse")
+        other_fn = defa_forward_fn(shared, sparse_mode="dense")
+        batch = _item(0, SHAPES_A, 3).features[None]
+        shapes = list(SHAPES_A)
+        other_fn(batch, shapes)  # perturb the shared runner first
+        pos = sine_positional_encoding(shapes, D_MODEL)
+        reference = make_reference_points(shapes)
+        expected = dedicated.forward_batched(batch, pos, reference, shapes).memory
+        np.testing.assert_array_equal(sparse_fn(batch, shapes), expected)
+
+    def test_mode_restored_when_forward_raises(self):
+        runner = DEFAEncoderRunner(_encoder(), DEFAConfig())
+        adapter = defa_forward_fn(runner, sparse_mode="dense", backend="reference")
+        bad_batch = np.zeros((1, 3, D_MODEL), dtype=np.float32)  # token mismatch
+        with pytest.raises(Exception):
+            adapter(bad_batch, list(SHAPES_A))
+        assert runner.sparse_mode == "auto" and runner.kernel_backend is None
+
+    def test_none_keeps_current_mode(self):
+        runner = DEFAEncoderRunner(_encoder(), DEFAConfig())
+        runner.sparse_mode = "dense"
+        adapter = defa_forward_fn(runner)  # no overrides
+        adapter(_item(0, SHAPES_A, 0).features[None], list(SHAPES_A))
+        assert runner.sparse_mode == "dense"
+
+
+def _flaky_experiment_worker(experiment_id: str):
+    """Top-level (picklable) worker: fails every id starting with 'bad'."""
+    if experiment_id.startswith("bad"):
+        raise ValueError(f"boom: {experiment_id}")
+    return experiment_id.upper()
+
+
+class TestParallelMultiFailure:
+    """Multi-failure runs must report every failed experiment id."""
+
+    def test_all_failures_attached(self):
+        ids = ["ok-1", "bad-1", "ok-2", "bad-2", "bad-3"]
+        with pytest.raises(ParallelExperimentError) as excinfo:
+            run_experiments_parallel(ids, jobs=2, worker=_flaky_experiment_worker)
+        error = excinfo.value
+        assert set(error.failures) == {"bad-1", "bad-2", "bad-3"}
+        for failed_id in ("bad-1", "bad-2", "bad-3"):
+            assert failed_id in str(error)
+            assert isinstance(error.failures[failed_id], ValueError)
+        # The first failing id (input order) is chained as the cause.
+        assert error.__cause__ is error.failures["bad-1"]
+
+    def test_completed_results_still_delivered_via_callback(self):
+        """A failing sibling must not discard completed results: the
+        save-as-you-go callback sees every success."""
+        seen = {}
+        with pytest.raises(ParallelExperimentError):
+            run_experiments_parallel(
+                ["ok-1", "bad-1", "ok-2"],
+                jobs=2,
+                on_result=lambda eid, result: seen.__setitem__(eid, result),
+                worker=_flaky_experiment_worker,
+            )
+        assert seen == {"ok-1": "OK-1", "ok-2": "OK-2"}
+
+    def test_no_failures_returns_results_in_id_order(self):
+        results = run_experiments_parallel(
+            ["ok-2", "ok-1"], jobs=2, worker=_flaky_experiment_worker
+        )
+        assert list(results) == ["ok-2", "ok-1"]
+        assert results == {"ok-2": "OK-2", "ok-1": "OK-1"}

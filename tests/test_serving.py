@@ -1,0 +1,471 @@
+"""Tests for the serving engine: scheduling policy, degraded mode, traffic.
+
+The scheduling-policy tests drive :meth:`ServingEngine.poll` directly under a
+manual clock (no pump thread, no subprocesses) so dispatch decisions are
+deterministic; the worker tests spawn real worker processes and exercise the
+death -> degraded -> recovery path; the equivalence tests assert the
+acceptance criterion — served outputs bit-equal to the serial per-image loop
+on mixed-shape fp32 + INT12 traffic, including through a forced worker kill.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAConfig
+from repro.engine import (
+    ARRIVAL_PROCESSES,
+    ModelBank,
+    ModelBankSpec,
+    ServingConfig,
+    ServingEngine,
+    WorkItem,
+    generate_traffic,
+    replay_traffic,
+    serial_reference_outputs,
+)
+from repro.utils.shapes import LevelShape
+
+SHAPES_A = (LevelShape(8, 12), LevelShape(4, 6))
+SHAPES_B = (LevelShape(6, 8), LevelShape(3, 4))
+D_MODEL = 32
+
+
+def _spec() -> ModelBankSpec:
+    """A tiny two-class bank: unquantized + INT12 with query pruning."""
+    return ModelBankSpec(
+        num_layers=2,
+        d_model=D_MODEL,
+        num_heads=4,
+        num_levels=2,
+        num_points=2,
+        ffn_dim=64,
+        rng_seed=0,
+        classes=(
+            ("fp32", DEFAConfig(quant_bits=None)),
+            ("int12", DEFAConfig(quant_bits=12, enable_query_pruning=True)),
+        ),
+    )
+
+
+def _events(n: int = 24, seed: int = 3):
+    return generate_traffic(
+        n,
+        mean_rate_rps=2000.0,
+        d_model=D_MODEL,
+        shape_mix=((SHAPES_A, 1.0), (SHAPES_B, 1.0)),
+        class_mix=(("fp32", 1.0), ("int12", 1.0)),
+        process="uniform",
+        seed=seed,
+    )
+
+
+def _item(item_id, shapes, seed):
+    rng = np.random.default_rng(seed)
+    n_in = sum(s.num_pixels for s in shapes)
+    return WorkItem(
+        item_id=item_id,
+        features=rng.standard_normal((n_in, D_MODEL)).astype(np.float32),
+        spatial_shapes=shapes,
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _recording_bank(calls: list):
+    """An identity bank that records (batch size, shape key) per forward."""
+
+    def forward(batch, shapes):
+        calls.append((batch.shape[0], tuple(s.as_tuple() for s in shapes)))
+        return batch.copy()
+
+    return {"default": forward}
+
+
+class TestServingConfig:
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            ServingConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ServingConfig(max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            ServingConfig(num_workers=-1)
+        with pytest.raises(ValueError):
+            ServingConfig(restart_backoff_s=-0.1)
+
+
+class TestSchedulingPolicy:
+    """Manual-poll tests: no pump thread, no workers, deterministic clock."""
+
+    def _engine(self, calls, **config_kwargs):
+        config = ServingConfig(num_workers=0, **config_kwargs)
+        return ServingEngine(
+            lambda: _recording_bank(calls), config, clock=FakeClock()
+        )
+
+    def test_shape_grouped_dispatch_order(self):
+        """Items batch by shape signature in submission order: A[0,2] fills
+        first, then B[1,4], and the A remainder only flushes explicitly."""
+        calls: list = []
+        engine = self._engine(calls, max_batch_size=2, max_wait_s=100.0)
+        items = [
+            _item(0, SHAPES_A, 0),
+            _item(1, SHAPES_B, 1),
+            _item(2, SHAPES_A, 2),
+            _item(3, SHAPES_A, 3),
+            _item(4, SHAPES_B, 4),
+        ]
+        futures = [engine.submit(item) for item in items]
+        engine.poll()
+        key_a = items[0].shape_key
+        key_b = items[1].shape_key
+        assert calls == [(2, key_a), (2, key_b)]
+        records = engine.stats.batches
+        assert [(r.shape_key, r.size, r.reason) for r in records] == [
+            (key_a, 2, "full"),
+            (key_b, 2, "full"),
+        ]
+        assert not futures[3].done()  # the A remainder is below max_batch_size
+        engine.flush()
+        assert [(r.shape_key, r.size, r.reason) for r in engine.stats.batches[2:]] == [
+            (key_a, 1, "flush")
+        ]
+        # Identity forward: every future resolves to its own features.
+        for item, future in zip(items, futures):
+            np.testing.assert_array_equal(future.result(timeout=1.0), item.features)
+
+    def test_max_wait_flushes_partial_group(self):
+        calls: list = []
+        engine = self._engine(calls, max_batch_size=8, max_wait_s=1.0)
+        clock = engine._clock
+        future = engine.submit(_item(0, SHAPES_A, 0))
+        engine.poll()
+        assert not calls and not future.done()  # group neither full nor due
+        clock.advance(1.0)
+        engine.poll()
+        assert [r.reason for r in engine.stats.batches] == ["wait"]
+        assert future.done()
+
+    def test_wait_clock_starts_at_oldest_request(self):
+        calls: list = []
+        engine = self._engine(calls, max_batch_size=8, max_wait_s=1.0)
+        clock = engine._clock
+        engine.submit(_item(0, SHAPES_A, 0))
+        clock.advance(0.6)
+        engine.submit(_item(1, SHAPES_A, 1))
+        engine.poll()
+        assert not calls
+        clock.advance(0.4)  # oldest request has now waited the full max_wait
+        engine.poll()
+        assert [r.size for r in engine.stats.batches] == [2]
+
+    def test_unknown_request_class_fails_future(self):
+        engine = self._engine([], max_batch_size=2)
+        future = engine.submit(_item(0, SHAPES_A, 0), request_class="nope")
+        engine.flush()
+        with pytest.raises(KeyError, match="nope"):
+            future.result(timeout=1.0)
+
+    def test_submit_after_shutdown_raises(self):
+        engine = self._engine([])
+        engine.shutdown()
+        with pytest.raises(RuntimeError):
+            engine.submit(_item(0, SHAPES_A, 0))
+
+    def test_shutdown_fails_unserved_futures(self):
+        engine = self._engine([], max_batch_size=8, max_wait_s=100.0)
+        future = engine.submit(_item(0, SHAPES_A, 0))
+        engine.poll()  # not due: stays pending
+        engine.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            future.result(timeout=1.0)
+
+
+class TestServedEquivalence:
+    """Acceptance criterion: served outputs bit-equal to the serial loop."""
+
+    def test_inproc_bit_equal_fp32_and_int12(self):
+        spec = _spec()
+        events = _events(20)
+        assert {e.request_class for e in events} == {"fp32", "int12"}
+        reference = serial_reference_outputs(spec.build(), events)
+        engine = ServingEngine(
+            spec.build, ServingConfig(num_workers=0, max_batch_size=4)
+        ).start()
+        try:
+            result = replay_traffic(engine, events, speed=0.0)
+        finally:
+            engine.shutdown()
+        for served, expected in zip(result.outputs, reference):
+            np.testing.assert_array_equal(served, expected)
+        assert engine.stats.num_completed == len(events)
+        assert engine.stats.degraded_batches == engine.stats.num_batches
+
+    def test_worker_bit_equal_and_all_primary(self):
+        spec = _spec()
+        events = _events(16, seed=5)
+        reference = serial_reference_outputs(spec.build(), events)
+        engine = ServingEngine(
+            spec.build, ServingConfig(num_workers=1, max_batch_size=4)
+        ).start()
+        try:
+            result = replay_traffic(engine, events, speed=0.0)
+        finally:
+            engine.shutdown()
+        for served, expected in zip(result.outputs, reference):
+            np.testing.assert_array_equal(served, expected)
+        assert engine.stats.worker_deaths == 0
+        assert engine.stats.degraded_batches == 0
+        assert engine.stats.primary_batches == engine.stats.num_batches > 0
+
+    def test_bit_equal_through_worker_kill(self):
+        """The full fault path: kill the only worker mid-stream; the stranded
+        and re-enqueued requests serve degraded, later ones may serve from
+        the restarted worker — all bit-equal to the serial loop."""
+        spec = _spec()
+        events = _events(24, seed=9)
+        reference = serial_reference_outputs(spec.build(), events)
+        engine = ServingEngine(
+            spec.build,
+            ServingConfig(num_workers=1, max_batch_size=4, restart_backoff_s=0.05),
+        ).start()
+        killed: list[int] = []
+
+        def on_submit(i: int) -> None:
+            if i == 8 and not killed:
+                killed.append(i)
+                engine.kill_worker(0)
+
+        try:
+            result = replay_traffic(engine, events, speed=0.0, on_submit=on_submit)
+        finally:
+            engine.shutdown()
+        assert engine.stats.worker_deaths >= 1
+        for served, expected in zip(result.outputs, reference):
+            np.testing.assert_array_equal(served, expected)
+
+
+class TestWorkerLifecycle:
+    def test_death_degraded_then_recovery(self):
+        spec = _spec()
+        engine = ServingEngine(
+            spec.build,
+            # Long backoff: everything submitted right after the kill is
+            # guaranteed to serve via the degraded in-process path.
+            ServingConfig(num_workers=1, max_batch_size=4, restart_backoff_s=1.0),
+        ).start()
+        try:
+            first = [
+                engine.submit(_item(i, SHAPES_A, i), request_class="fp32")
+                for i in range(4)
+            ]
+            engine.flush()
+            assert engine.mode == "primary"
+            assert engine.stats.primary_batches > 0
+
+            engine.kill_worker(0)
+            second = [
+                engine.submit(_item(10 + i, SHAPES_A, 10 + i), request_class="fp32")
+                for i in range(4)
+            ]
+            engine.flush()
+            assert engine.stats.worker_deaths == 1
+            assert engine.stats.degraded_batches > 0
+            assert engine.mode == "degraded"
+            assert ("degraded" in [m for _, m in engine.stats.mode_transitions])
+
+            # The pump thread restarts the worker once the backoff expires.
+            deadline = time.monotonic() + 30.0
+            while engine.mode != "primary":
+                if time.monotonic() > deadline:
+                    pytest.fail("worker did not restart in time")
+                time.sleep(0.02)
+            assert engine.stats.worker_restarts >= 1
+
+            # Wait for ready, then confirm post-recovery batches use the worker.
+            deadline = time.monotonic() + 30.0
+            while not any(h.ready for h in engine._workers):
+                if time.monotonic() > deadline:
+                    pytest.fail("restarted worker did not report ready in time")
+                time.sleep(0.02)
+            third = [
+                engine.submit(_item(20 + i, SHAPES_A, 20 + i), request_class="fp32")
+                for i in range(4)
+            ]
+            engine.flush()
+            assert engine.stats.batches[-1].path == "worker"
+            for future in first + second + third:
+                assert future.result(timeout=1.0).shape == (
+                    sum(s.num_pixels for s in SHAPES_A),
+                    D_MODEL,
+                )
+        finally:
+            engine.shutdown()
+
+    def test_max_restarts_retires_worker(self):
+        calls: list = []
+        clock = FakeClock()
+        engine = ServingEngine(
+            lambda: _recording_bank(calls),
+            ServingConfig(
+                num_workers=1, max_batch_size=2, restart_backoff_s=0.01, max_restarts=0
+            ),
+            clock=clock,
+        )
+        engine.start()
+        try:
+            engine.kill_worker(0)
+            deadline = time.monotonic() + 30.0
+            while engine.stats.worker_deaths == 0:
+                if time.monotonic() > deadline:
+                    pytest.fail("kill was not detected in time")
+                time.sleep(0.02)
+            clock.advance(10.0)
+            future = engine.submit(_item(0, SHAPES_A, 0))
+            engine.flush()
+            # Retired slot: never respawned, everything serves degraded.
+            assert engine.stats.worker_restarts == 0
+            assert engine.mode == "degraded"
+            assert future.result(timeout=1.0) is not None
+        finally:
+            engine.shutdown()
+
+    def test_worker_plan_stats_stay_warm_across_requests(self):
+        """The worker's runner keeps its ExecutionPlan arenas across batches:
+        plan hits must climb between two same-shape flush rounds (the PR 5
+        zero-allocation steady state surviving across requests)."""
+        spec = ModelBankSpec(
+            num_layers=2,
+            d_model=D_MODEL,
+            num_heads=4,
+            num_levels=2,
+            num_points=2,
+            ffn_dim=64,
+            rng_seed=0,
+            # Pin the fused backend so the plan arena is exercised even when
+            # the process default backend is "reference" (CI matrix leg).
+            classes=(("fp32", DEFAConfig(quant_bits=None, kernel_backend="fused")),),
+        )
+        engine = ServingEngine(
+            spec.build,
+            # A long max_wait keeps the pump thread from flushing a partial
+            # group mid-submission: each round must dispatch as exactly one
+            # batch of 4, so both rounds hit the same (shape, batch) plan and
+            # the arena footprint stays constant.
+            ServingConfig(num_workers=1, max_batch_size=4, max_wait_s=30.0),
+        ).start()
+        try:
+            for i in range(4):
+                engine.submit(_item(i, SHAPES_A, i), request_class="fp32")
+            engine.flush()
+            first = engine.worker_stats()[0]
+            assert first is not None and first["fp32"]["plans"] >= 1
+            for i in range(4, 8):
+                engine.submit(_item(i, SHAPES_A, i), request_class="fp32")
+            engine.flush()
+            second = engine.worker_stats()[0]
+            assert second["fp32"]["hits"] > first["fp32"]["hits"]
+            assert second["fp32"]["bytes"] == first["fp32"]["bytes"]
+        finally:
+            engine.shutdown()
+
+    def test_worker_forward_error_fails_future_but_worker_survives(self):
+        spec = _spec()
+        engine = ServingEngine(
+            spec.build, ServingConfig(num_workers=1, max_batch_size=2)
+        ).start()
+        try:
+            bad = engine.submit(_item(0, SHAPES_A, 0), request_class="nope")
+            engine.flush()
+            with pytest.raises(RuntimeError, match="nope"):
+                bad.result(timeout=1.0)
+            # The worker survived the forward error and keeps serving.
+            good = engine.submit(_item(1, SHAPES_A, 1), request_class="fp32")
+            engine.flush()
+            assert good.result(timeout=1.0) is not None
+            assert engine.stats.worker_deaths == 0
+            assert engine.mode == "primary"
+        finally:
+            engine.shutdown()
+
+
+class TestModelBank:
+    def test_coerce_accepts_plain_dict(self):
+        bank = ModelBank.coerce({"default": lambda batch, shapes: batch})
+        assert bank.request_classes == ("default",)
+        assert ModelBank.coerce(bank) is bank
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            ModelBank({})
+
+    def test_unknown_class_raises_keyerror(self):
+        bank = ModelBank({"default": lambda batch, shapes: batch})
+        with pytest.raises(KeyError, match="nope"):
+            bank.forward("nope", np.zeros((1, 2, 3), dtype=np.float32), [])
+
+
+class TestTrafficGenerator:
+    def test_deterministic_per_seed(self):
+        a = _events(12, seed=7)
+        b = _events(12, seed=7)
+        c = _events(12, seed=8)
+        assert [e.arrival_s for e in a] == [e.arrival_s for e in b]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.item.features, y.item.features)
+            assert x.request_class == y.request_class
+        assert [e.arrival_s for e in a] != [e.arrival_s for e in c]
+
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_arrivals_monotone_and_positive(self, process):
+        events = generate_traffic(
+            30, mean_rate_rps=100.0, d_model=D_MODEL, process=process, seed=1
+        )
+        arrivals = [e.arrival_s for e in events]
+        assert all(t > 0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_mixes_respected(self):
+        events = generate_traffic(
+            40,
+            mean_rate_rps=100.0,
+            d_model=D_MODEL,
+            shape_mix=((SHAPES_A, 1.0), (SHAPES_B, 1.0)),
+            class_mix=(("x", 1.0), ("y", 1.0)),
+            seed=0,
+        )
+        assert {e.item.shape_key for e in events} == {
+            tuple(s.as_tuple() for s in SHAPES_A),
+            tuple(s.as_tuple() for s in SHAPES_B),
+        }
+        assert {e.request_class for e in events} == {"x", "y"}
+        # Feature token counts match each event's own pyramid.
+        for event in events:
+            n_in = sum(s.num_pixels for s in event.item.spatial_shapes)
+            assert event.item.features.shape == (n_in, D_MODEL)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generate_traffic(-1)
+        with pytest.raises(ValueError):
+            generate_traffic(4, mean_rate_rps=0.0)
+        with pytest.raises(ValueError):
+            generate_traffic(4, process="weekly")
+        with pytest.raises(ValueError):
+            generate_traffic(4, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            generate_traffic(4, class_mix=(("a", -1.0),))
+        with pytest.raises(ValueError):
+            generate_traffic(4, class_mix=())
