@@ -40,12 +40,16 @@ SERVING_SHAPE_MIX = (
 )
 
 
-def serving_bank_spec() -> ModelBankSpec:
+def serving_bank_spec(backend: str | None = None) -> ModelBankSpec:
     """The two-class model bank every serving benchmark/probe serves with.
 
     ``fp32`` is the unquantized sparse pipeline, ``int12`` the quantized one
     with query pruning — together they cover both equivalence regimes of the
-    acceptance criteria on one shared encoder.
+    acceptance criteria on one shared encoder.  ``backend`` pins the kernel
+    backend of both classes (the spec travels to worker *processes*, whose
+    default backend is their own, not the benchmark process's) — a worker
+    asked for ``"compiled"`` on a host without the built extension falls
+    back to ``"fused"`` via the registry, which ``worker_stats()`` reports.
     """
     return ModelBankSpec(
         num_layers=2,
@@ -56,8 +60,13 @@ def serving_bank_spec() -> ModelBankSpec:
         ffn_dim=128,
         rng_seed=0,
         classes=(
-            ("fp32", DEFAConfig(quant_bits=None)),
-            ("int12", DEFAConfig(quant_bits=12, enable_query_pruning=True)),
+            ("fp32", DEFAConfig(quant_bits=None, kernel_backend=backend)),
+            (
+                "int12",
+                DEFAConfig(
+                    quant_bits=12, enable_query_pruning=True, kernel_backend=backend
+                ),
+            ),
         ),
     )
 
@@ -88,9 +97,10 @@ def serving_report(
     num_requests: int = 48,
     kill_worker_at: int | None = None,
     repeats: int = 2,
+    backend: str | None = None,
 ):
     """One full serving profile (see ``measure_serving_latency``)."""
-    spec = serving_bank_spec()
+    spec = serving_bank_spec(backend=backend)
     events = serving_traffic(num_requests)
     return measure_serving_latency(
         spec.build,
@@ -102,7 +112,9 @@ def serving_report(
     )
 
 
-def serving_record(report, kill_worker_at: int | None) -> dict:
+def serving_record(
+    report, kill_worker_at: int | None, backend: str | None = None
+) -> dict:
     """Machine-readable record of one serving profile (run_all.py shape)."""
     d = report.as_dict()
     return {
@@ -113,6 +125,7 @@ def serving_record(report, kill_worker_at: int | None) -> dict:
             "max_batch_size": SERVING_MAX_BATCH_SIZE,
             "process": "bursty",
             "classes": ["fp32", "int12"],
+            "kernel_backend": backend or "default",
             "kill_worker_at": kill_worker_at,
         },
         "p50_ms": d["p50_ms"],

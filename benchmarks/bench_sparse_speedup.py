@@ -17,7 +17,12 @@ frozen-row semantics.  The fused-kernel backend (PR 5) adds a *backend*
 dimension to the encoder measurement: the block-sparse encoder is timed on
 the ``"reference"`` backend (the PR 4 execution) and on the ``"fused"``
 backend (single-pass kernels + execution-plan buffer reuse), which must win
-by >= 1.15x with bit-identical outputs.  The sweep is written to ``BENCH_sparse.json``
+by >= 1.15x with bit-identical outputs.  The compiled C backend (PR 7), when
+its extension is built, is timed as a third backend point and gated
+bit-identical to the fused backend (its own ``COMPILED_EQUIVALENCE_TOL``
+tier); on hosts without a C toolchain the compiled fields are simply absent
+and ``compare_bench.py --allow-missing`` tolerates the gap.  The sweep is
+written to ``BENCH_sparse.json``
 at the repo root so the perf trajectory is tracked PR-over-PR
 (``benchmarks/run_all.py`` regenerates the same record and
 ``benchmarks/compare_bench.py`` gates it in CI).
@@ -39,6 +44,7 @@ from repro.eval.profiler import (
     measure_encoder_sparse_speedup,
     sweep_sparse_speedup,
 )
+from repro.kernels.compiled_backend import COMPILED_EQUIVALENCE_TOL
 from repro.workloads.specs import get_workload
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -188,6 +194,16 @@ def sweep_record(
         record["summary"]["encoder_speedup"] = encoder_report.speedup
         record["summary"]["encoder_ffn_speedup"] = encoder_report.ffn_speedup
         record["summary"]["encoder_fused_speedup"] = encoder_report.fused_speedup
+        if encoder_report.sparse_compiled_s is not None:
+            # The compiled backend ran: track its speedup and gate its drift
+            # against the fused backend under the compiled tolerance tier.
+            record["summary"]["encoder_compiled_speedup"] = (
+                encoder_report.compiled_speedup
+            )
+            record["compiled"] = {
+                "max_abs_diff": encoder_report.compiled_max_abs_diff,
+                "equivalence_tol": COMPILED_EQUIVALENCE_TOL,
+            }
     if blockwise is not None:
         record["encoder_blockwise"] = blockwise
     return record
@@ -221,6 +237,13 @@ def _print_sweep(
         )
     if encoder_report is not None:
         e = encoder_report
+        compiled = ""
+        if e.sparse_compiled_s is not None:
+            compiled = (
+                f", compiled {1e3 * e.sparse_compiled_s:.1f}ms "
+                f"({e.compiled_speedup:.2f}x over fused, "
+                f"|diff| {e.compiled_max_abs_diff:.1e})"
+            )
         print(
             f"\nencoder ({e.num_layers} layers, pix_red {e.pixel_reduction:.3f}): "
             f"dense {1e3 * e.dense_s:.1f}ms, sparse+dense-ffn "
@@ -228,7 +251,7 @@ def _print_sweep(
             f"fused {1e3 * e.sparse_fused_s:.1f}ms "
             f"=> {e.speedup:.2f}x total, {e.ffn_speedup:.2f}x over the PR 3 profile, "
             f"{e.fused_speedup:.2f}x over the PR 4 path "
-            f"(fused |diff| {e.fused_max_abs_diff:.1e})"
+            f"(fused |diff| {e.fused_max_abs_diff:.1e}){compiled}"
         )
 
 
@@ -254,6 +277,15 @@ def check_encoder_report(
         f"fused backend drifted from the reference backend by "
         f"{encoder_report.fused_max_abs_diff:.1e} (must be bit-identical)"
     )
+    # The compiled C kernels replicate the fused backend's float op order
+    # exactly (see repro/kernels/compiled_backend.py), so when the extension
+    # is built the compiled run is held to its own zero-drift tier.
+    if encoder_report.compiled_max_abs_diff is not None:
+        assert encoder_report.compiled_max_abs_diff <= COMPILED_EQUIVALENCE_TOL, (
+            f"compiled backend drifted from the fused backend by "
+            f"{encoder_report.compiled_max_abs_diff:.1e} "
+            f"(tolerance {COMPILED_EQUIVALENCE_TOL:.0e})"
+        )
     # The end-to-end diff is only a path-drift measure while both runs prune
     # the same pixels; once a threshold decision flips the trajectories are
     # different algorithmic runs and only the lockstep probe gates drift.

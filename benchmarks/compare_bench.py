@@ -75,7 +75,7 @@ def extract_speedups(record: dict) -> dict[str, float]:
     speedups: dict[str, float] = {}
     for bench in _benchmarks(record):
         name = bench.get("name", "benchmark")
-        for key in ("speedup", "ffn_speedup", "fused_speedup"):
+        for key in ("speedup", "ffn_speedup", "fused_speedup", "compiled_speedup"):
             if isinstance(bench.get(key), (int, float)):
                 speedups[f"{name}.{key}"] = float(bench[key])
         summary = bench.get("summary", {})
@@ -85,6 +85,7 @@ def extract_speedups(record: dict) -> dict[str, float]:
             "encoder_speedup",
             "encoder_ffn_speedup",
             "encoder_fused_speedup",
+            "encoder_compiled_speedup",
         ):
             if isinstance(summary.get(key), (int, float)):
                 speedups[f"{name}.{key}"] = float(summary[key])
@@ -125,8 +126,14 @@ def extract_equivalence_probes(record: dict) -> list[dict]:
         # carries a tolerance when both runs kept the same mask trajectory —
         # a record without one is diagnostic, not a probe.  The lockstep
         # block-wise sub-probes under "encoder_blockwise" are always gated
-        # (identical block inputs make them machine-independent).
-        embedded = [(f"{name}.encoder", bench.get("encoder"))]
+        # (identical block inputs make them machine-independent).  The
+        # "compiled" sub-probe carries the compiled backend's own tolerance
+        # tier (compiled-vs-fused drift; absent on hosts without the built
+        # extension, which --allow-missing / the embedded-probe skip covers).
+        embedded = [
+            (f"{name}.encoder", bench.get("encoder")),
+            (f"{name}.compiled", bench.get("compiled")),
+        ]
         blockwise = bench.get("encoder_blockwise")
         if isinstance(blockwise, dict):
             embedded += [

@@ -33,7 +33,8 @@ from repro.eval.profiler import (
     measure_sparse_speedup,
     sweep_sparse_speedup,
 )
-from repro.kernels import KERNEL_BACKENDS, get_backend, set_backend
+from repro.kernels import COMPILED_AVAILABLE, KERNEL_BACKENDS, get_backend, set_backend
+from repro.kernels.compiled_backend import COMPILED_EQUIVALENCE_TOL
 from repro.nn.encoder import DeformableEncoder
 from repro.utils.shapes import make_level_shapes
 from repro.workloads.specs import get_workload
@@ -41,7 +42,11 @@ from repro.workloads.specs import get_workload
 KERNEL_FUSION_EQUIVALENCE_TOL = 0.0
 """Fused-vs-reference backend drift bound: the fused backend performs the
 same float operations in the same order, so the two are bit-identical —
-any drift at all is an execution bug, hence the exact-zero tolerance."""
+any drift at all is an execution bug, hence the exact-zero tolerance.
+The compiled backend has its *own* tier (``COMPILED_EQUIVALENCE_TOL``,
+currently also 0.0) gated as a separate probe — a platform where the C
+kernels cannot match numpy bit for bit would widen that tier explicitly
+instead of loosening this gate."""
 
 ENGINE_EQUIVALENCE_TOL = 1e-5
 """Batched-vs-serial engine outputs are float32-path only: strict tolerance."""
@@ -147,6 +152,13 @@ def run_encoder_sparse_benchmark(sparse_scale: str, repeats: int) -> dict:
         "max_abs_diff": report.max_abs_diff,
         "mask_trajectory_matched": report.mask_trajectory_matched,
     }
+    if report.sparse_compiled_s is not None:
+        record["timings_ms"]["sparse_compiled"] = 1e3 * report.sparse_compiled_s
+        record["compiled_speedup"] = report.compiled_speedup
+        record["compiled"] = {
+            "max_abs_diff": report.compiled_max_abs_diff,
+            "equivalence_tol": COMPILED_EQUIVALENCE_TOL,
+        }
     if report.mask_trajectory_matched:
         record["equivalence_tol"] = ENCODER_INT12_TOL
     return record
@@ -211,9 +223,13 @@ def run_kernel_fusion_benchmark(sparse_scale: str, repeats: int) -> dict:
     # clocks jitter more than the bench-regression fence; a best-of-3 floor
     # keeps the probe stable at negligible cost (the block runs in ~30 ms).
     report = measure_kernel_fusion(workload, repeats=max(repeats, 3), rng=0)
-    return {
+    record = {
         "name": "kernel_fusion",
-        "config": {"workload": workload.name, "backends": list(KERNEL_BACKENDS)},
+        "config": {
+            "workload": workload.name,
+            "backends": list(KERNEL_BACKENDS),
+            "compiled_available": COMPILED_AVAILABLE,
+        },
         "speedup": report.speedup,
         "section_speedups": report.section_speedups(),
         "timings_ms": {
@@ -223,6 +239,17 @@ def run_kernel_fusion_benchmark(sparse_scale: str, repeats: int) -> dict:
         "max_abs_diff": report.max_abs_diff,
         "equivalence_tol": KERNEL_FUSION_EQUIVALENCE_TOL,
     }
+    if report.compiled_s is not None:
+        record["timings_ms"]["compiled"] = 1e3 * report.compiled_s
+        record["compiled_speedup"] = report.compiled_speedup
+        # The compiled backend's own equivalence tier, gated as a separate
+        # embedded probe (kernel_fusion.compiled) so a diverging platform
+        # would widen this tier explicitly, never the fused-vs-reference 0.0.
+        record["compiled"] = {
+            "max_abs_diff": report.compiled_max_abs_diff,
+            "equivalence_tol": COMPILED_EQUIVALENCE_TOL,
+        }
+    return record
 
 
 def run_sparse_fp32_equivalence(sparse_scale: str, repeats: int) -> dict:
@@ -265,14 +292,19 @@ def run_serving_benchmark(serving_requests: int, repeats: int) -> dict:
     """
     from bench_serving import serving_record, serving_report
 
+    # Pin the harness backend into the per-class configs: the bank spec is
+    # rebuilt inside worker *processes*, which otherwise use their own
+    # process default rather than this process's --backend selection.
+    backend = get_backend().name
     kill_at = serving_requests // 3
     report = serving_report(
         num_workers=1,
         num_requests=serving_requests,
         kill_worker_at=kill_at,
         repeats=repeats,
+        backend=backend,
     )
-    return serving_record(report, kill_worker_at=kill_at)
+    return serving_record(report, kill_worker_at=kill_at, backend=backend)
 
 
 def equivalence_probes(record: dict) -> list[dict]:
@@ -321,8 +353,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="override best-of-N repeats of every benchmark")
     parser.add_argument("--backend", choices=KERNEL_BACKENDS, default=None,
                         help="kernel backend every probe executes with (default: the "
-                             "process default — REPRO_KERNEL_BACKEND or 'fused'); the "
-                             "kernel_fusion probe always times both backends")
+                             "process default — REPRO_KERNEL_BACKEND or 'fused'; "
+                             "'compiled' falls back to 'fused' with a warning when the "
+                             "extension is not built); the kernel_fusion probe always "
+                             "times every available backend")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if sparse/dense or batched/serial equivalence "
                              "drifts, with a per-probe summary")

@@ -69,7 +69,10 @@ class DEFAConfig:
         Kernel backend executing the compact-trace MSGS hot path and the
         execution-plan machinery (see :mod:`repro.kernels`): ``"reference"``
         reproduces the PR 4 kernels byte for byte, ``"fused"`` runs the
-        bit-identical single-pass kernels with buffer-arena reuse.  ``None``
+        bit-identical single-pass kernels with buffer-arena reuse, and
+        ``"compiled"`` runs the C implementations of the same kernels when
+        the extension is built (falling back to ``"fused"`` with a warning
+        when it is not — see :mod:`repro.kernels.compiled_backend`).  ``None``
         (the default) follows the process default (``REPRO_KERNEL_BACKEND``
         environment variable, or ``"fused"``); a per-call ``backend=`` on
         ``forward_detailed`` overrides both.

@@ -212,7 +212,7 @@ class DEFAEncoderRunner:
             self._plans.popitem(last=False)
         return plan
 
-    def plan_stats(self) -> dict[str, int]:
+    def plan_stats(self) -> dict[str, int | str]:
         """Aggregate arena accounting over all cached execution plans.
 
         ``hits``/``grows`` follow :class:`~repro.kernels.ExecutionPlan`
@@ -220,8 +220,13 @@ class DEFAEncoderRunner:
         steady-state arena footprint.  The serving engine reports this per
         worker as evidence that the warm-arena regime survives across
         requests (hits keep climbing, grows plateau once the plans are warm).
+        ``backend`` names the kernel backend the runner *actually* executes
+        with right now — after registry fallback, so a worker that requested
+        ``"compiled"`` on a host without the built extension reports
+        ``"fused"`` here.
         """
         return {
+            "backend": self.resolved_backend().name,
             "plans": len(self._plans),
             "hits": sum(p.hits for p in self._plans.values()),
             "grows": sum(p.grows for p in self._plans.values()),

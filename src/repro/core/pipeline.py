@@ -509,6 +509,7 @@ class DEFAAttention:
         value_input: np.ndarray,
         fmap_mask: np.ndarray | None,
         plan: ExecutionPlan | None = None,
+        backend=None,
     ) -> tuple[np.ndarray, bool]:
         """Single-image value projection ``V = X W^V`` under the FWP mask.
 
@@ -525,9 +526,9 @@ class DEFAAttention:
         proj = self._value_proj
         if not self._use_sparse_projection(fmap_mask, n_in):
             if plan is not None:
-                value = project_into(proj, value_input, plan, "value_proj").reshape(
-                    n_in, attn.num_heads, attn.d_head
-                )
+                value = project_into(
+                    proj, value_input, plan, "value_proj", backend=backend
+                ).reshape(n_in, attn.num_heads, attn.d_head)
                 if fmap_mask is not None and not fmap_mask.all():
                     value[~fmap_mask] = 0  # plan buffer: zero in place, no copy
                 return value, False
@@ -538,7 +539,7 @@ class DEFAAttention:
             value = plan.zeros("value", (n_in, attn.d_model))
             if kept.size:
                 value[kept] = project_rows_into(
-                    proj, value_input, kept, plan, "value_proj"
+                    proj, value_input, kept, plan, "value_proj", backend=backend
                 )
             return value.reshape(n_in, attn.num_heads, attn.d_head), True
         value = np.zeros((n_in, attn.d_model), dtype=FLOAT_DTYPE)
@@ -554,6 +555,7 @@ class DEFAAttention:
         value_input: np.ndarray,
         fmap_mask: np.ndarray | None,
         plan: ExecutionPlan | None = None,
+        backend=None,
     ) -> tuple[np.ndarray, bool]:
         """Batched value projection under per-image FWP masks.
 
@@ -569,7 +571,7 @@ class DEFAAttention:
         if not self._use_sparse_projection(fmap_mask, n_in, batched=True):
             if plan is not None:
                 value = project_batched_into(
-                    proj, value_input, plan, "value_proj"
+                    proj, value_input, plan, "value_proj", backend=backend
                 ).reshape(batch, n_in, attn.num_heads, attn.d_head)
                 if fmap_mask is not None and not fmap_mask.all():
                     value[~fmap_mask] = 0  # plan buffer: zero in place, no copy
@@ -586,7 +588,7 @@ class DEFAAttention:
             value = plan.zeros("value", (batch * n_in, attn.d_model))
             if kept.size:
                 value[kept] = project_rows_batched_into(
-                    proj, value_input, kept, plan, "value_proj"
+                    proj, value_input, kept, plan, "value_proj", backend=backend
                 )
             return value.reshape(batch, n_in, attn.num_heads, attn.d_head), True
         value = np.zeros((batch * n_in, attn.d_model), dtype=FLOAT_DTYPE)
@@ -697,12 +699,19 @@ class DEFAAttention:
             if sparse_query:
                 if plan is not None:
                     logits = project_rows_into(
-                        self._attention_weights, query, kept_q, plan, "attn_logits"
+                        self._attention_weights,
+                        query,
+                        kept_q,
+                        plan,
+                        "attn_logits",
+                        backend=backend,
                     )
                 else:
                     logits = self._project_rows(self._attention_weights, query, kept_q)
             elif plan is not None:
-                logits = project_into(self._attention_weights, query, plan, "attn_logits")
+                logits = project_into(
+                    self._attention_weights, query, plan, "attn_logits", backend=backend
+                )
             else:
                 logits = self._attention_weights(query)
             logits = logits.reshape(-1, attn.num_heads, attn.num_levels * attn.num_points)
@@ -744,7 +753,12 @@ class DEFAAttention:
                     offsets = plan.zeros("offsets", points_shape + (2,))
                     if kept_q.size:
                         offsets[kept_q] = project_rows_into(
-                            self._sampling_offsets, query, kept_q, plan, "offsets_rows"
+                            self._sampling_offsets,
+                            query,
+                            kept_q,
+                            plan,
+                            "offsets_rows",
+                            backend=backend,
                         ).reshape((kept_q.size,) + points_shape[1:] + (2,))
                 else:
                     offsets = np.zeros(points_shape + (2,), dtype=FLOAT_DTYPE)
@@ -754,7 +768,7 @@ class DEFAAttention:
             else:
                 if plan is not None:
                     offsets = project_into(
-                        self._sampling_offsets, query, plan, "offsets"
+                        self._sampling_offsets, query, plan, "offsets", backend=backend
                     ).reshape(points_shape + (2,))
                     if query_keep is not None:
                         # Dense path under query pruning: zero the pruned rows
@@ -790,7 +804,9 @@ class DEFAAttention:
         # Step 3: value projection with the FWP mask from the previous block
         # (compacted to the kept rows when the sparse path is active).
         with kernel_section("value_proj"):
-            value, sparse_projection = self._project_values(value_input, fmap_mask, plan)
+            value, sparse_projection = self._project_values(
+                value_input, fmap_mask, plan, backend=backend
+            )
 
         # Step 4: fused MSGS + aggregation, with frequency counting for FWP.
         # The sparse path builds the compacted trace — neighbour indices,
@@ -844,7 +860,12 @@ class DEFAAttention:
                         output += bias
                     if kept_q.size:
                         output[kept_q] = project_rows_into(
-                            self._output_proj, head_outputs, kept_q, plan, "output_rows"
+                            self._output_proj,
+                            head_outputs,
+                            kept_q,
+                            plan,
+                            "output_rows",
+                            backend=backend,
                         )
                 else:
                     output = np.zeros((n_q, attn.d_model), dtype=FLOAT_DTYPE)
@@ -857,7 +878,9 @@ class DEFAAttention:
                         )
                     output = output.astype(FLOAT_DTYPE)
             elif plan is not None:
-                output = project_into(self._output_proj, head_outputs, plan, "output")
+                output = project_into(
+                    self._output_proj, head_outputs, plan, "output", backend=backend
+                )
             else:
                 output = self._output_proj(head_outputs).astype(FLOAT_DTYPE)
 
@@ -951,7 +974,12 @@ class DEFAAttention:
             if sparse_query:
                 if plan is not None:
                     logits = project_rows_batched_into(
-                        self._attention_weights, query, kept_q, plan, "attn_logits"
+                        self._attention_weights,
+                        query,
+                        kept_q,
+                        plan,
+                        "attn_logits",
+                        backend=backend,
                     )
                 else:
                     logits = self._project_rows_batched(
@@ -959,7 +987,7 @@ class DEFAAttention:
                     )
             elif plan is not None:
                 logits = project_batched_into(
-                    self._attention_weights, query, plan, "attn_logits"
+                    self._attention_weights, query, plan, "attn_logits", backend=backend
                 )
             else:
                 logits = self._project_batched(self._attention_weights, query)
@@ -1016,7 +1044,12 @@ class DEFAAttention:
                     offsets_flat = plan.zeros("offsets", grid_shape + (2,))
                     if kept_q.size:
                         offsets_flat[kept_q] = project_rows_batched_into(
-                            self._sampling_offsets, query, kept_q, plan, "offsets_rows"
+                            self._sampling_offsets,
+                            query,
+                            kept_q,
+                            plan,
+                            "offsets_rows",
+                            backend=backend,
                         ).reshape((kept_q.size,) + grid_shape[1:] + (2,))
                 else:
                     offsets_flat = np.zeros(grid_shape + (2,), dtype=FLOAT_DTYPE)
@@ -1027,7 +1060,7 @@ class DEFAAttention:
             else:
                 if plan is not None:
                     offsets = project_batched_into(
-                        self._sampling_offsets, query, plan, "offsets"
+                        self._sampling_offsets, query, plan, "offsets", backend=backend
                     ).reshape((batch, n_q) + grid_shape[1:] + (2,))
                     if query_keep is not None:
                         # In place — the offsets live in a plan buffer.
@@ -1068,7 +1101,7 @@ class DEFAAttention:
         # across the batch when the sparse path is active).
         with kernel_section("value_proj"):
             value, sparse_projection = self._project_values_batched(
-                value_input, fmap_mask, plan
+                value_input, fmap_mask, plan, backend=backend
             )
 
         # Step 4: fused MSGS + aggregation over the whole batch, then
@@ -1133,6 +1166,7 @@ class DEFAAttention:
                             kept_q,
                             plan,
                             "output_rows",
+                            backend=backend,
                         )
                     output = out_flat.reshape(batch, n_q, attn.d_model)
                 else:
@@ -1151,6 +1185,7 @@ class DEFAAttention:
                     head_outputs.reshape(batch, n_q, attn.d_model),
                     plan,
                     "output",
+                    backend=backend,
                 )
             else:
                 output = self._project_batched(self._output_proj, head_outputs).astype(

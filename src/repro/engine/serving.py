@@ -109,9 +109,15 @@ class ModelBank:
             )
         return self.forwards[request_class](features, list(spatial_shapes))
 
-    def plan_stats(self) -> dict[str, dict[str, int]]:
-        """Per-class execution-plan arena accounting of the registered runners."""
-        stats: dict[str, dict[str, int]] = {}
+    def plan_stats(self) -> dict[str, dict[str, int | str]]:
+        """Per-class arena accounting (and active kernel backend) per runner.
+
+        Each class entry carries the runner's plan counters plus the
+        ``backend`` it resolves to at call time (post registry fallback), so
+        ``ServingEngine.worker_stats()`` shows which kernel implementation
+        each request class is actually served with on each worker.
+        """
+        stats: dict[str, dict[str, int | str]] = {}
         for name, runner in self.runners.items():
             plan_stats = getattr(runner, "plan_stats", None)
             if callable(plan_stats):

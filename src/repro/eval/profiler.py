@@ -24,7 +24,7 @@ from repro.baselines.gpu import GPUCostModel, GPUSpec, RTX_3090TI
 from repro.core.config import DEFAConfig
 from repro.core.encoder_runner import DEFAEncoderRunner
 from repro.core.pipeline import DEFAAttention
-from repro.kernels import ExecutionPlan
+from repro.kernels import COMPILED_AVAILABLE, ExecutionPlan
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.msdeform_attn import MSDeformAttn
 from repro.nn.positional import make_reference_points, sine_positional_encoding
@@ -484,6 +484,15 @@ class EncoderSparseSpeedupReport:
     sparse_kernels: dict[str, float]
     """Per-section seconds of one block-sparse encoder forward."""
 
+    sparse_compiled_s: float | None = None
+    """Best-of-repeats wall clock of the compiled-backend block-sparse run
+    (``None`` when the compiled kernel library is not built on this host)."""
+
+    compiled_max_abs_diff: float | None = None
+    """Max elementwise deviation of the compiled-backend memory from the
+    fused-backend memory; gated at the compiled backend's tolerance tier
+    (:data:`repro.kernels.compiled_backend.COMPILED_EQUIVALENCE_TOL`, 0.0)."""
+
     @property
     def speedup(self) -> float:
         """Dense-over-block-sparse encoder wall-clock ratio."""
@@ -501,6 +510,18 @@ class EncoderSparseSpeedupReport:
         over the PR 4 block-sparse path (the reference backend)."""
         return (
             self.sparse_s / self.sparse_fused_s if self.sparse_fused_s > 0 else float("inf")
+        )
+
+    @property
+    def compiled_speedup(self) -> float | None:
+        """Additional end-to-end win of the compiled C kernels over the fused
+        numpy backend (``None`` when the compiled backend was not measured)."""
+        if self.sparse_compiled_s is None:
+            return None
+        return (
+            self.sparse_fused_s / self.sparse_compiled_s
+            if self.sparse_compiled_s > 0
+            else float("inf")
         )
 
     def as_dict(self) -> dict[str, object]:
@@ -525,6 +546,15 @@ class EncoderSparseSpeedupReport:
             "mask_trajectory_matched": self.mask_trajectory_matched,
             "dense_kernels_ms": {k: 1e3 * v for k, v in self.dense_kernels.items()},
             "sparse_kernels_ms": {k: 1e3 * v for k, v in self.sparse_kernels.items()},
+            **(
+                {
+                    "sparse_compiled_ms": 1e3 * self.sparse_compiled_s,
+                    "compiled_speedup": self.compiled_speedup,
+                    "compiled_max_abs_diff": self.compiled_max_abs_diff,
+                }
+                if self.sparse_compiled_s is not None
+                else {}
+            ),
         }
 
 
@@ -594,6 +624,13 @@ def measure_encoder_sparse_speedup(
     fused_res = run("sparse", True, backend="fused")  # also warms the plan arena
     max_abs_diff = float(np.max(np.abs(dense_res.memory - sparse_res.memory)))
     fused_max_abs_diff = float(np.max(np.abs(sparse_res.memory - fused_res.memory)))
+    compiled_max_abs_diff = None
+    if COMPILED_AVAILABLE:
+        compiled_res = run("sparse", True, backend="compiled")
+        compiled_max_abs_diff = float(
+            np.max(np.abs(fused_res.memory - compiled_res.memory))
+        )
+        del compiled_res
     pixel_reduction = sparse_res.mean_pixel_reduction
     dense_pixels_kept = tuple(s.pixels_kept for s in dense_res.layer_stats)
     sparse_pixels_kept = tuple(s.pixels_kept for s in sparse_res.layer_stats)
@@ -609,11 +646,16 @@ def measure_encoder_sparse_speedup(
     pr3_times: list[float] = []
     sparse_times: list[float] = []
     fused_times: list[float] = []
+    compiled_times: list[float] = []
     for _ in range(repeats):
         dense_times.append(_timed(lambda: run("dense", False)))
         pr3_times.append(_timed(lambda: run("sparse", False)))
         sparse_times.append(_timed(lambda: run("sparse", True)))
         fused_times.append(_timed(lambda: run("sparse", True, backend="fused")))
+        if COMPILED_AVAILABLE:
+            compiled_times.append(
+                _timed(lambda: run("sparse", True, backend="compiled"))
+            )
 
     with collect_kernel_timings() as dense_kernels:
         run("dense", False)
@@ -631,6 +673,8 @@ def measure_encoder_sparse_speedup(
         sparse_dense_ffn_s=min(pr3_times),
         sparse_s=min(sparse_times),
         sparse_fused_s=min(fused_times),
+        sparse_compiled_s=min(compiled_times) if compiled_times else None,
+        compiled_max_abs_diff=compiled_max_abs_diff,
         fused_max_abs_diff=fused_max_abs_diff,
         max_abs_diff=max_abs_diff,
         dense_pixels_kept=dense_pixels_kept,
@@ -745,10 +789,31 @@ class KernelFusionReport:
     fused_kernels: dict[str, float]
     """Per-section seconds of one fused-backend forward."""
 
+    compiled_s: float | None = None
+    """Best-of-repeats wall clock of the compiled-backend block forward
+    (steady-state, own warmed plan; ``None`` when the compiled kernel library
+    is not built on this host)."""
+
+    compiled_max_abs_diff: float | None = None
+    """Max elementwise deviation of the compiled-backend output from the
+    fused-backend output; gated at the compiled backend's tolerance tier
+    (:data:`repro.kernels.compiled_backend.COMPILED_EQUIVALENCE_TOL`, 0.0)."""
+
+    compiled_kernels: dict[str, float] | None = None
+    """Per-section seconds of one compiled-backend forward."""
+
     @property
     def speedup(self) -> float:
         """Reference-over-fused wall-clock ratio (> 1 means fusion wins)."""
         return self.reference_s / self.fused_s if self.fused_s > 0 else float("inf")
+
+    @property
+    def compiled_speedup(self) -> float | None:
+        """Fused-over-compiled wall-clock ratio (> 1 means the C kernels
+        win); ``None`` when the compiled backend was not measured."""
+        if self.compiled_s is None:
+            return None
+        return self.fused_s / self.compiled_s if self.compiled_s > 0 else float("inf")
 
     def section_speedups(self) -> dict[str, float]:
         """Reference/fused ratio per kernel section (where both measured)."""
@@ -769,6 +834,18 @@ class KernelFusionReport:
             "section_speedups": self.section_speedups(),
             "reference_kernels_ms": {k: 1e3 * v for k, v in self.reference_kernels.items()},
             "fused_kernels_ms": {k: 1e3 * v for k, v in self.fused_kernels.items()},
+            **(
+                {
+                    "compiled_ms": 1e3 * self.compiled_s,
+                    "compiled_speedup": self.compiled_speedup,
+                    "compiled_max_abs_diff": self.compiled_max_abs_diff,
+                    "compiled_kernels_ms": {
+                        k: 1e3 * v for k, v in (self.compiled_kernels or {}).items()
+                    },
+                }
+                if self.compiled_s is not None
+                else {}
+            ),
         }
 
 
@@ -814,6 +891,7 @@ def measure_kernel_fusion(
     del first
 
     plan = ExecutionPlan()
+    compiled_plan = ExecutionPlan()  # separate arena: steady state per backend
 
     def run_reference():
         return defa.forward_detailed(
@@ -827,26 +905,49 @@ def measure_kernel_fusion(
             fmap_mask=fmap_mask, backend="fused", plan=plan,
         )
 
+    def run_compiled():
+        return defa.forward_detailed(
+            query, reference_points, features, shapes,
+            fmap_mask=fmap_mask, backend="compiled", plan=compiled_plan,
+        )
+
     ref_out = run_reference()  # warm-up + reference output
     fused_out = run_fused()  # warms the plan arena
     max_abs_diff = float(np.max(np.abs(ref_out.output - fused_out.output)))
+    compiled_max_abs_diff = None
+    if COMPILED_AVAILABLE:
+        compiled_out = run_compiled()  # warms the compiled arena
+        compiled_max_abs_diff = float(
+            np.max(np.abs(fused_out.output - compiled_out.output))
+        )
+        del compiled_out
     del ref_out, fused_out
 
-    ref_times, fused_times = [], []
+    ref_times, fused_times, compiled_times = [], [], []
     for _ in range(repeats):  # interleaved, as in measure_sparse_speedup
         ref_times.append(_timed(run_reference))
         fused_times.append(_timed(run_fused))
+        if COMPILED_AVAILABLE:
+            compiled_times.append(_timed(run_compiled))
 
     with collect_kernel_timings() as reference_kernels:
         run_reference()
     with collect_kernel_timings() as fused_kernels:
         run_fused()
+    compiled_kernels = None
+    if COMPILED_AVAILABLE:
+        with collect_kernel_timings() as compiled_timings:
+            run_compiled()
+        compiled_kernels = dict(compiled_timings.seconds)
 
     return KernelFusionReport(
         workload=workload.name,
         num_tokens=n_in,
         reference_s=min(ref_times),
         fused_s=min(fused_times),
+        compiled_s=min(compiled_times) if compiled_times else None,
+        compiled_max_abs_diff=compiled_max_abs_diff,
+        compiled_kernels=compiled_kernels,
         max_abs_diff=max_abs_diff,
         reference_kernels=dict(reference_kernels.seconds),
         fused_kernels=dict(fused_kernels.seconds),

@@ -5,7 +5,12 @@ Public surface:
 * :func:`get_backend` / :func:`set_backend` / :func:`resolve_backend` /
   :func:`use_backend` — backend selection (``"reference"`` = the PR 4
   kernels unchanged, ``"fused"`` = bit-identical single-pass kernels with
-  buffer reuse), initialised from ``REPRO_KERNEL_BACKEND``.
+  buffer reuse, ``"compiled"`` = the fused hot loops as C kernels when the
+  optional extension is built, falling back to ``"fused"`` otherwise),
+  initialised from ``REPRO_KERNEL_BACKEND``.
+* :data:`COMPILED_AVAILABLE` — whether the compiled kernel library loaded;
+  gate for tests/benchmarks that exercise the ``"compiled"`` backend
+  specifically rather than its fallback.
 * :class:`ExecutionPlan` — the named-buffer arena that makes steady-state
   encoder forwards allocation-free (see :mod:`repro.kernels.plan` for the
   lifetime rules).
@@ -13,6 +18,7 @@ Public surface:
   fake-quantize helpers used by the pipeline when a plan is active.
 """
 
+from repro.kernels.compiled_backend import COMPILED_AVAILABLE
 from repro.kernels.plan import ExecutionPlan
 from repro.kernels.registry import (
     DEFAULT_BACKEND_ENV,
@@ -24,6 +30,7 @@ from repro.kernels.registry import (
 )
 
 __all__ = [
+    "COMPILED_AVAILABLE",
     "DEFAULT_BACKEND_ENV",
     "ExecutionPlan",
     "KERNEL_BACKENDS",

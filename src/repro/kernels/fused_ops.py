@@ -22,6 +22,13 @@ Every helper is **bit-identical** to the module method it replaces:
 Per-channel activation specs fall back to the module's own scale computation
 (no configuration in this repo uses them for activations, but correctness
 must not depend on that).
+
+Every helper accepts ``backend=None``: a backend exposing
+``fake_quantize_into`` (the ``"compiled"`` backend's single-pass C chain)
+takes over the quantize step when it supports the input, bit-identically;
+otherwise — unsupported layout, numpy-only backend — the in-place numpy
+chain runs as before, and the float64 scratch is only allocated on that
+path.
 """
 
 from __future__ import annotations
@@ -63,9 +70,15 @@ def _quantize_into(
     scale_max_abs,
     plan: ExecutionPlan,
     name: str,
+    backend=None,
 ) -> np.ndarray:
     """Fake-quantized activations of *x* in a reused float32 buffer."""
     x_q = plan.buffer(f"{name}.xq", x.shape, FLOAT_DTYPE)
+    fq_into = getattr(backend, "fake_quantize_into", None)
+    if fq_into is not None:
+        result = fq_into(x, proj.activation_spec, scale_max_abs, x_q)
+        if result is not None:
+            return result
     scratch = plan.buffer(f"{name}.q64", x.shape, np.float64)
     fake_quantize(x, proj.activation_spec, max_abs=scale_max_abs, out=x_q, scratch=scratch)
     return x_q
@@ -94,7 +107,11 @@ def _full_array_scale(proj: QuantizedLinear, x: np.ndarray):
 
 
 def project_into(
-    proj: Linear | QuantizedLinear, x: np.ndarray, plan: ExecutionPlan, name: str
+    proj: Linear | QuantizedLinear,
+    x: np.ndarray,
+    plan: ExecutionPlan,
+    name: str,
+    backend=None,
 ) -> np.ndarray:
     """``proj(x)`` into a plan buffer — the full-array (dense) projection."""
     out = plan.buffer(f"{name}.out", x.shape[:-1] + (proj.out_features,), FLOAT_DTYPE)
@@ -103,7 +120,7 @@ def project_into(
         if scale is None:  # per-channel activations: defer to the module
             out[...] = proj.forward(x)
             return out
-        x_q = _quantize_into(proj, x, scale, plan, name)
+        x_q = _quantize_into(proj, x, scale, plan, name, backend=backend)
         return _matmul_bias_into(proj.quantized_weight, proj.inner.bias, x_q, out)
     return _matmul_bias_into(proj.weight, proj.bias, x, out)
 
@@ -114,6 +131,7 @@ def project_rows_into(
     rows: np.ndarray,
     plan: ExecutionPlan,
     name: str,
+    backend=None,
 ) -> np.ndarray:
     """``proj.forward_rows(x, rows)`` into a plan buffer (single image).
 
@@ -128,14 +146,18 @@ def project_rows_into(
             out[...] = proj.forward_rows(x, rows)
             return out
         x_rows = plan.take(f"{name}.rows", x, rows, axis=0)
-        x_q = _quantize_into(proj, x_rows, scale, plan, name)
+        x_q = _quantize_into(proj, x_rows, scale, plan, name, backend=backend)
         return _matmul_bias_into(proj.quantized_weight, proj.inner.bias, x_q, out)
     x_rows = plan.take(f"{name}.rows", x, rows, axis=0)
     return _matmul_bias_into(proj.weight, proj.bias, x_rows, out)
 
 
 def project_batched_into(
-    proj: Linear | QuantizedLinear, x: np.ndarray, plan: ExecutionPlan, name: str
+    proj: Linear | QuantizedLinear,
+    x: np.ndarray,
+    plan: ExecutionPlan,
+    name: str,
+    backend=None,
 ) -> np.ndarray:
     """``proj.forward_batched(x)`` / ``proj(x)`` into a plan buffer.
 
@@ -152,7 +174,7 @@ def project_batched_into(
         if scale is None:
             reduce_axes = tuple(range(1, x.ndim))
             scale = max_abs(x, axis=reduce_axes, keepdims=True)
-        x_q = _quantize_into(proj, x, scale, plan, name)
+        x_q = _quantize_into(proj, x, scale, plan, name, backend=backend)
         return _matmul_bias_into(proj.quantized_weight, proj.inner.bias, x_q, out)
     return _matmul_bias_into(proj.weight, proj.bias, x, out)
 
@@ -163,6 +185,7 @@ def project_rows_batched_into(
     flat_rows: np.ndarray,
     plan: ExecutionPlan,
     name: str,
+    backend=None,
 ) -> np.ndarray:
     """``proj.forward_rows_batched(x, flat_rows)`` into a plan buffer.
 
@@ -183,7 +206,7 @@ def project_rows_batched_into(
             per_image = max_abs(x, axis=(1, 2))  # (B,)
             scale = per_image[image][:, None]
         x_rows = plan.take(f"{name}.rows", flat, flat_rows, axis=0)
-        x_q = _quantize_into(proj, x_rows, scale, plan, name)
+        x_q = _quantize_into(proj, x_rows, scale, plan, name, backend=backend)
         return _matmul_bias_into(proj.quantized_weight, proj.inner.bias, x_q, out)
     x_rows = plan.take(f"{name}.rows", flat, flat_rows, axis=0)
     return _matmul_bias_into(proj.weight, proj.bias, x_rows, out)

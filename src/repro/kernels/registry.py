@@ -14,18 +14,24 @@ Selection, from lowest to highest precedence:
 
 ``"reference"`` reproduces the PR 4 execution byte for byte (no execution
 plans, per-chunk allocation); ``"fused"`` is bit-identical in results but
-single-pass and zero-allocation in steady state.
+single-pass and zero-allocation in steady state; ``"compiled"`` runs the
+fused hot loops as C kernels (bit-identical again) and requires the optional
+extension built by ``setup.py build_ext`` — when the library is absent the
+name resolves to ``"fused"`` with a :class:`RuntimeWarning`, never an
+ImportError, so configs and environment variables naming ``"compiled"``
+stay valid on toolchain-less hosts.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
 from typing import Iterator
 
 from repro.kernels.backends import FusedBackend, ReferenceBackend
 
-KERNEL_BACKENDS = ("reference", "fused")
+KERNEL_BACKENDS = ("reference", "fused", "compiled")
 """Valid kernel-backend names, in increasing order of fusion."""
 
 DEFAULT_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
@@ -36,6 +42,24 @@ _current = None
 
 
 def _lookup(name: str):
+    if name == "compiled":
+        # Availability is re-checked on every lookup (not cached at import)
+        # so a test monkeypatching COMPILED_AVAILABLE exercises the real
+        # fallback path, and so the warning fires per resolution site.
+        from repro.kernels import compiled_backend
+
+        if not compiled_backend.COMPILED_AVAILABLE:
+            warnings.warn(
+                "kernel backend 'compiled' requested but the compiled kernel "
+                "library is not available (build it with `python setup.py "
+                "build_ext --inplace`); falling back to 'fused'",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return _BACKENDS["fused"]
+        if "compiled" not in _BACKENDS:
+            _BACKENDS["compiled"] = compiled_backend.CompiledBackend()
+        return _BACKENDS["compiled"]
     try:
         return _BACKENDS[name]
     except KeyError:

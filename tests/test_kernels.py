@@ -2,9 +2,13 @@
 
 Covers the selection machinery (env var / config / per-call override), the
 :class:`~repro.kernels.ExecutionPlan` buffer-reuse semantics, bit-identity of
-the fused backend against the reference backend at the kernel and encoder
-level, the no-aliasing-corruption guarantee across consecutive plan-reusing
-forwards, and the steady-state allocation budget (via ``tracemalloc``).
+the fused and compiled backends against the reference backend at the kernel
+and encoder level, the no-aliasing-corruption guarantee across consecutive
+plan-reusing forwards, and the steady-state allocation budget (via
+``tracemalloc``).  The compiled C backend (PR 7) joins every bit-identity
+suite when its extension is built (``COMPILED_AVAILABLE``); on hosts without
+it the registry fallback itself is tested instead (``"compiled"`` must
+resolve to ``"fused"`` with a ``RuntimeWarning``, never an ImportError).
 """
 
 from __future__ import annotations
@@ -17,13 +21,16 @@ import pytest
 from repro.core.config import DEFAConfig
 from repro.core.encoder_runner import DEFAEncoderRunner
 from repro.kernels import (
+    COMPILED_AVAILABLE,
     KERNEL_BACKENDS,
     ExecutionPlan,
+    compiled_backend,
     get_backend,
     resolve_backend,
     set_backend,
     use_backend,
 )
+from repro.quant.quantizer import QuantSpec, fake_quantize
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.grid_sample import (
     ms_deform_attn_from_compact_trace,
@@ -35,6 +42,10 @@ from repro.utils.shapes import LevelShape, make_level_shapes
 SHAPES = [LevelShape(8, 12), LevelShape(4, 6), LevelShape(2, 3)]
 N_IN = sum(s.num_pixels for s in SHAPES)
 N_Q, N_H, N_L, N_P, D_H = 29, 4, 3, 2, 8
+
+#: Backends held to bit-identity against "reference" — the compiled backend
+#: joins only where its extension is actually built.
+FAST_BACKENDS = ("fused",) + (("compiled",) if COMPILED_AVAILABLE else ())
 
 
 def _kernel_inputs(seed=0):
@@ -67,9 +78,11 @@ def _encoder_fixture(num_layers=3, seed=0):
 
 class TestRegistry:
     def test_known_backends(self):
-        assert KERNEL_BACKENDS == ("reference", "fused")
-        for name in KERNEL_BACKENDS:
+        assert KERNEL_BACKENDS == ("reference", "fused", "compiled")
+        for name in ("reference", "fused"):
             assert resolve_backend(name).name == name
+        if COMPILED_AVAILABLE:
+            assert resolve_backend("compiled").name == "compiled"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="kernel backend"):
@@ -141,12 +154,13 @@ class TestExecutionPlan:
 
 
 class TestFusedBitIdentity:
-    def test_compact_kernel_backends_bit_identical(self):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_compact_kernel_backends_bit_identical(self, backend):
         value, locs, attn, mask = _kernel_inputs()
         trace = multi_scale_neighbors_sparse(SHAPES, locs, point_mask=mask)
         ref = ms_deform_attn_from_compact_trace(value, trace, attn, backend="reference")
-        fused = ms_deform_attn_from_compact_trace(value, trace, attn, backend="fused")
-        assert np.array_equal(ref, fused)
+        fast = ms_deform_attn_from_compact_trace(value, trace, attn, backend=backend)
+        assert np.array_equal(ref, fast)
 
     def test_fused_trace_construction_bit_identical(self):
         _, locs, _, mask = _kernel_inputs(seed=3)
@@ -157,30 +171,32 @@ class TestFusedBitIdentity:
         for field in ("kept", "levels", "flat_indices", "weights", "valid"):
             assert np.array_equal(getattr(ref, field), getattr(fused, field)), field
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("sparse_mode", ["dense", "sparse", "auto"])
-    def test_encoder_backends_bit_identical(self, sparse_mode):
+    def test_encoder_backends_bit_identical(self, sparse_mode, backend):
         shapes, encoder, features, pos, reference_points = _encoder_fixture()
         config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
         ref_runner = DEFAEncoderRunner(
             encoder, config, sparse_mode=sparse_mode, backend="reference"
         )
-        fused_runner = DEFAEncoderRunner(
-            encoder, config, sparse_mode=sparse_mode, backend="fused"
+        fast_runner = DEFAEncoderRunner(
+            encoder, config, sparse_mode=sparse_mode, backend=backend
         )
         ref = ref_runner.forward(features, pos, reference_points, shapes)
-        fused = fused_runner.forward(features, pos, reference_points, shapes)
-        assert np.array_equal(ref.memory, fused.memory)
-        for a, b in zip(ref.fmap_masks, fused.fmap_masks):
+        fast = fast_runner.forward(features, pos, reference_points, shapes)
+        assert np.array_equal(ref.memory, fast.memory)
+        for a, b in zip(ref.fmap_masks, fast.fmap_masks):
             assert np.array_equal(a, b)
 
-    def test_batched_encoder_backends_bit_identical(self):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_batched_encoder_backends_bit_identical(self, backend):
         shapes, encoder, features, pos, reference_points = _encoder_fixture()
         batch = np.stack([features, features * 0.5, features + 0.1])
         config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
         ref = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="reference")
-        fused = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend="fused")
+        fast = DEFAEncoderRunner(encoder, config, sparse_mode="sparse", backend=backend)
         a = ref.forward_batched(batch, pos, reference_points, shapes)
-        b = fused.forward_batched(batch, pos, reference_points, shapes)
+        b = fast.forward_batched(batch, pos, reference_points, shapes)
         assert np.array_equal(a.memory, b.memory)
 
 
@@ -301,4 +317,115 @@ class TestAllocationBudget:
         )
         assert fused_peak < reference_peak / 2, (
             f"fused peak {fused_peak} not well below reference peak {reference_peak}"
+        )
+
+
+class TestCompiledFallback:
+    """The no-toolchain path: ``"compiled"`` must resolve to ``"fused"`` with
+    a ``RuntimeWarning`` at every selection layer — never an ImportError —
+    so configs and environment variables naming it stay valid everywhere."""
+
+    def test_resolve_falls_back_to_fused_with_warning(self, monkeypatch):
+        monkeypatch.setattr(compiled_backend, "COMPILED_AVAILABLE", False)
+        with pytest.warns(RuntimeWarning, match="falling back to 'fused'"):
+            backend = resolve_backend("compiled")
+        assert backend.name == "fused"
+
+    def test_set_backend_falls_back(self, monkeypatch):
+        from repro.kernels import registry
+
+        monkeypatch.setattr(compiled_backend, "COMPILED_AVAILABLE", False)
+        before = registry.get_backend()
+        try:
+            with pytest.warns(RuntimeWarning, match="not available"):
+                assert set_backend("compiled").name == "fused"
+            assert get_backend().name == "fused"
+        finally:
+            registry._current = before
+
+    def test_runner_with_compiled_config_serves_via_fused(self, monkeypatch):
+        monkeypatch.setattr(compiled_backend, "COMPILED_AVAILABLE", False)
+        config = DEFAConfig(kernel_backend="compiled")  # name stays valid
+        shapes, encoder, features, pos, reference_points = _encoder_fixture(
+            num_layers=1
+        )
+        runner = DEFAEncoderRunner(encoder, config, sparse_mode="sparse")
+        with pytest.warns(RuntimeWarning, match="falling back to 'fused'"):
+            assert runner.resolved_backend().name == "fused"
+            assert runner.plan_stats()["backend"] == "fused"
+            result = runner.forward(features, pos, reference_points, shapes)
+        assert result.memory.shape == features.shape
+
+    @pytest.mark.skipif(not COMPILED_AVAILABLE, reason="compiled library not built")
+    def test_plan_stats_report_the_compiled_backend_when_available(self):
+        shapes, encoder, features, pos, reference_points = _encoder_fixture(
+            num_layers=1
+        )
+        runner = DEFAEncoderRunner(
+            encoder, DEFAConfig(kernel_backend="compiled"), sparse_mode="sparse"
+        )
+        assert runner.plan_stats()["backend"] == "compiled"
+        runner.forward(features, pos, reference_points, shapes)
+        stats = runner.plan_stats()
+        assert stats["backend"] == "compiled" and stats["plans"] >= 1
+
+
+@pytest.mark.skipif(not COMPILED_AVAILABLE, reason="compiled library not built")
+class TestCompiledFakeQuantize:
+    """Unit coverage of the C fake-quantize dispatch in the projection
+    helpers: every supported scale layout is bit-identical to the numpy
+    in-place chain; unsupported layouts return ``None`` (numpy fallback)."""
+
+    SPEC = QuantSpec(num_bits=12)
+
+    def _numpy_chain(self, x, max_abs):
+        out = np.empty_like(x)
+        scratch = np.empty(x.shape, dtype=np.float64)
+        fake_quantize(x, self.SPEC, max_abs=max_abs, out=out, scratch=scratch)
+        return out
+
+    def _compiled_chain(self, x, max_abs):
+        backend = resolve_backend("compiled")
+        out = np.empty_like(x)
+        return backend.fake_quantize_into(x, self.SPEC, max_abs, out)
+
+    @pytest.mark.parametrize(
+        "shape,axis",
+        [
+            ((13, 7), None),  # scalar full-array scale
+            ((3, 11, 5), (1, 2)),  # per-image (B, 1, 1) keepdims scale
+            ((17, 6), (1,)),  # per-row (rows, 1) scale
+        ],
+    )
+    def test_supported_layouts_bit_identical(self, shape, axis):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(shape).astype(np.float32) * 3.0
+        if axis is None:
+            max_abs = float(np.max(np.abs(x)))
+        else:
+            max_abs = np.max(np.abs(x), axis=axis, keepdims=True)
+        expected = self._numpy_chain(x, max_abs)
+        got = self._compiled_chain(x, max_abs)
+        assert got is not None
+        assert np.array_equal(
+            expected.view(np.uint32), got.view(np.uint32)
+        )  # bitwise, ±0.0 included
+
+    def test_unsupported_layouts_decline(self):
+        rng = np.random.default_rng(6)
+        backend = resolve_backend("compiled")
+        # Middle-axis broadcast (per-channel-like) scale: not row-wise.
+        x = rng.standard_normal((3, 4, 6)).astype(np.float32)
+        max_abs = np.max(np.abs(x), axis=1, keepdims=True)  # (3, 1, 6)
+        assert backend.fake_quantize_into(x, self.SPEC, max_abs, np.empty_like(x)) is None
+        # Non-contiguous input.
+        base = rng.standard_normal((8, 10)).astype(np.float32)
+        strided = base[:, ::2]
+        out = np.empty(strided.shape, dtype=np.float32)
+        assert backend.fake_quantize_into(strided, self.SPEC, 1.0, out) is None
+        # Wrong dtype.
+        x64 = rng.standard_normal((4, 4))
+        assert (
+            backend.fake_quantize_into(x64, self.SPEC, 1.0, np.empty((4, 4), np.float32))
+            is None
         )

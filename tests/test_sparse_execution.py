@@ -24,6 +24,7 @@ from repro.core.config import DEFAConfig
 from repro.core.encoder_runner import DEFAEncoderRunner
 from repro.core.fwp import apply_fmap_mask
 from repro.core.pipeline import SPARSE_MODES, DEFAAttention
+from repro.kernels import COMPILED_AVAILABLE
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.grid_sample import (
     ms_deform_attn_core,
@@ -46,15 +47,20 @@ from repro.utils.shapes import LevelShape
 TOL = 1e-5
 """Strict float32-path equivalence tolerance (unquantized configs)."""
 
+_BACKEND_PARAMS = ["reference", "fused"] + (
+    ["compiled"] if COMPILED_AVAILABLE else []
+)
 
-@pytest.fixture(autouse=True, params=["reference", "fused"])
+
+@pytest.fixture(autouse=True, params=_BACKEND_PARAMS)
 def kernel_backend(request):
-    """Run every golden-equivalence test under both kernel backends.
+    """Run every golden-equivalence test under every kernel backend.
 
     The backends are bit-identical by construction, so each test's
-    tolerances must hold identically under either; parametrizing the whole
-    module keeps the fused backend (the production default) and the PR 4
-    reference path covered by the same assertions.
+    tolerances must hold identically under any of them; parametrizing the
+    whole module keeps the fused backend (the production default), the PR 4
+    reference path and — where its extension is built — the PR 7 compiled C
+    path covered by the same assertions.
     """
     from repro.kernels import use_backend
 
