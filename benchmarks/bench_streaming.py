@@ -1,0 +1,238 @@
+"""Benchmark of streaming video sessions: steady-state vs cold-start rate.
+
+A low-motion synthetic video stream is encoded twice at paper scale, by two
+:class:`~repro.engine.streaming.StreamingEncoderSession` instances over the
+same encoder: a *cold* session with ``keyframe_interval=1`` (every frame is a
+full forward) and a *warm* session with the interval beyond the stream length
+(every frame after the first reuses cross-frame state).  Both sessions keep
+their execution-plan arenas warm across frames, so the reported speedup
+isolates *temporal reuse* — warm-started FWP masks, cross-frame frozen rows,
+the exact static-frame fast path — from the PR 5 arena effects.
+
+Gates follow the PR 4 trajectory-sensitivity discipline: warm frames prune
+differently than cold ones *by design*, so the warm-vs-cold end-to-end diff
+is reported as a diagnostic (with its pixels-kept context), while the gated
+equivalence probe replays each warm frame's recorded per-block masks through
+the dense and sparse execution paths in lockstep
+(:func:`repro.eval.profiler.measure_streaming_blockwise_equivalence`).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.config import DEFAConfig
+from repro.engine.streaming import StreamingConfig, StreamingEncoderSession
+from repro.eval.profiler import measure_streaming_blockwise_equivalence
+from repro.nn.encoder import DeformableEncoder
+from repro.workloads.specs import get_workload
+from repro.workloads.video import SyntheticVideoStream, VideoStreamSpec
+
+STREAMING_TARGET_SPEEDUP = 1.3
+"""Steady-state frames/sec must beat the cold-start per-frame rate by at
+least this factor on the low-motion paper-scale stream (the acceptance
+criterion).  Calibrated ~1.8x here: the default stream computes well under
+half of the rows on a typical warm frame, so the fence carries real headroom
+and catches structural regressions (warm frames silently recomputing
+everything), not scheduler jitter.  Note the win shrinks at *smaller* scales:
+the dilation radii are fixed in cells, so on coarse grids the dependency cone
+of even a small dirty set covers most of the frame — which is why the gate
+runs at paper scale."""
+
+STREAMING_FP32_TOL = 1e-5
+"""Lockstep dense/sparse drift bound for fp32 streaming replays (the PR 4
+fp32 tier)."""
+
+STREAMING_INT12_TOL = 2e-2
+"""Lockstep drift bound for INT12 streaming replays — the encoder blockwise
+tier (a few quantization steps compounded through the block's LayerNorm/FFN
+stage)."""
+
+STREAMING_NUM_LAYERS = 4
+"""Encoder depth of the timing measurement: deep enough that three of the
+four blocks run masked (mask evolution and cross-frame freezing both
+exercised) while keeping the paper-scale cold baseline affordable."""
+
+
+def streaming_video_spec(num_frames: int) -> VideoStreamSpec:
+    """The benchmark's low-motion stream: default motion (~1/4 finest-level
+    cell per frame) quantizes many frames to bit-identical and keeps warm
+    frames' dirty sets near the object boundaries."""
+    return VideoStreamSpec(num_frames=num_frames, seed=11)
+
+
+def build_sessions(scale: str = "paper", num_frames: int = 8):
+    """The cold/warm session pair and their shared stream at ``scale``."""
+    workload = get_workload("deformable_detr", scale)
+    model = workload.model
+    encoder = DeformableEncoder(
+        num_layers=STREAMING_NUM_LAYERS,
+        d_model=model.d_model,
+        num_heads=model.num_heads,
+        num_levels=model.num_levels,
+        num_points=model.num_points,
+        ffn_dim=model.ffn_dim,
+        activation=model.activation,
+        rng=0,
+    )
+    config = DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+    cold = StreamingEncoderSession(
+        encoder, config, workload.spatial_shapes, StreamingConfig(keyframe_interval=1)
+    )
+    warm = StreamingEncoderSession(
+        encoder,
+        config,
+        workload.spatial_shapes,
+        StreamingConfig(keyframe_interval=num_frames + 1),
+    )
+    stream = SyntheticVideoStream(
+        workload.spatial_shapes, model.d_model, streaming_video_spec(num_frames)
+    )
+    return cold, warm, stream
+
+
+def run_streaming_benchmark(
+    scale: str = "paper", num_frames: int = 8, repeats: int = 2
+) -> dict:
+    """Measure steady-state frames/sec against the cold-start rate.
+
+    Frame 0 warms both sessions (and their arenas) untimed; frames 1..N-1
+    are timed per frame, per session, ``repeats`` times (sessions reset and
+    replay between repeats), and the per-frame cost is the best repeat's
+    mean — frames legitimately differ in dirtiness, so the mean over the
+    stream is the steady-state rate, while min-of-repeats drops scheduler
+    noise.  Returns the machine-readable benchmark record.
+    """
+    import time
+
+    cold, warm, stream = build_sessions(scale, num_frames)
+    frames = [stream.frame(i) for i in range(num_frames)]
+
+    cold_means = []
+    warm_means = []
+    diagnostics = []
+    stats_snapshots = []
+    for repeat in range(repeats):
+        cold.reset()
+        warm.reset()
+        cold.process(frames[0], 0)
+        warm.process(frames[0], 0)
+        if repeat == 0:
+            stats_snapshots.append(dict(warm.plan_stats()))
+        cold_times = []
+        warm_times = []
+        for i in range(1, num_frames):
+            start = time.perf_counter()
+            cold_result = cold.process(frames[i], i)
+            cold_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            warm_result = warm.process(frames[i], i)
+            warm_times.append(time.perf_counter() - start)
+            if repeat == 0:
+                diagnostics.append(
+                    {
+                        "frame": i,
+                        "kind": warm_result.kind,
+                        "pixels_kept": warm_result.pixels_kept,
+                        "warm_vs_cold_max_abs_diff": float(
+                            np.max(np.abs(warm_result.memory - cold_result.memory))
+                        ),
+                    }
+                )
+        if repeat == 0:
+            stats_snapshots.append(dict(warm.plan_stats()))
+        cold_means.append(sum(cold_times) / len(cold_times))
+        warm_means.append(sum(warm_times) / len(warm_times))
+
+    cold_s = min(cold_means)
+    warm_s = min(warm_means)
+    speedup = cold_s / warm_s
+    workload = get_workload("deformable_detr", scale)
+    fp32 = measure_streaming_blockwise_equivalence(
+        workload,
+        config=DEFAConfig(fwp_k=1.0, quant_bits=None, enable_query_pruning=True),
+        num_layers=3,
+        num_frames=4,
+        rng=0,
+    )
+    int12 = measure_streaming_blockwise_equivalence(
+        workload, num_layers=3, num_frames=4, rng=0
+    )
+    return {
+        "name": "streaming",
+        "generated_by": "benchmarks/bench_streaming.py",
+        "config": {
+            "workload": workload.name,
+            "num_layers": STREAMING_NUM_LAYERS,
+            "num_frames": num_frames,
+            "repeats": repeats,
+            "motion": streaming_video_spec(num_frames).motion,
+            "target_speedup": STREAMING_TARGET_SPEEDUP,
+        },
+        "speedup": speedup,
+        "cold_frame_s": cold_s,
+        "warm_frame_s": warm_s,
+        "cold_fps": 1.0 / cold_s,
+        "steady_state_fps": 1.0 / warm_s,
+        "mean_pixels_kept": (
+            sum(d["pixels_kept"] for d in diagnostics) / len(diagnostics)
+        ),
+        "frame_kinds": [d["kind"] for d in diagnostics],
+        "warm_vs_cold": diagnostics,
+        "plan_stats": {"after_first_frame": stats_snapshots[0], "final": stats_snapshots[1]},
+        "encoder_blockwise": {
+            "fp32": {"max_abs_diff": fp32, "equivalence_tol": STREAMING_FP32_TOL},
+            "int12": {"max_abs_diff": int12, "equivalence_tol": STREAMING_INT12_TOL},
+        },
+    }
+
+
+def check_streaming_record(record: dict) -> None:
+    """The acceptance gates, shared by the benchmark test and run_all.py."""
+    assert record["speedup"] >= STREAMING_TARGET_SPEEDUP, (
+        f"steady-state speedup {record['speedup']:.2f}x below the "
+        f"{STREAMING_TARGET_SPEEDUP}x fence"
+    )
+    for tier in ("fp32", "int12"):
+        probe = record["encoder_blockwise"][tier]
+        assert probe["max_abs_diff"] <= probe["equivalence_tol"], (
+            f"{tier} lockstep streaming drift {probe['max_abs_diff']:.2e} over "
+            f"{probe['equivalence_tol']:.0e}"
+        )
+    first, final = (
+        record["plan_stats"]["after_first_frame"],
+        record["plan_stats"]["final"],
+    )
+    # Warm arenas: a streaming session has one pyramid signature, so hits
+    # climb frame over frame while the arena footprint plateaus.
+    assert final["hits"] > first["hits"]
+    assert final["bytes"] == first["bytes"]
+    # Temporal reuse must actually fire: at least one frame after the first
+    # must be warm or reused, and the stream must skip rows overall.
+    assert any(kind in ("warm", "reused") for kind in record["frame_kinds"])
+    assert record["mean_pixels_kept"] < 1.0
+
+
+def _print_record(record: dict) -> None:
+    print(
+        f"streaming @ {record['config']['workload']}: "
+        f"{record['steady_state_fps']:.2f} fps steady-state vs "
+        f"{record['cold_fps']:.2f} fps cold ({record['speedup']:.2f}x), "
+        f"mean pixels kept {record['mean_pixels_kept']:.1%}, "
+        f"kinds {record['frame_kinds']}"
+    )
+    blockwise = record["encoder_blockwise"]
+    print(
+        f"  lockstep drift: fp32 {blockwise['fp32']['max_abs_diff']:.2e}, "
+        f"int12 {blockwise['int12']['max_abs_diff']:.2e}; "
+        f"plan hits {record['plan_stats']['after_first_frame']['hits']} -> "
+        f"{record['plan_stats']['final']['hits']}, "
+        f"bytes {record['plan_stats']['final']['bytes']}"
+    )
+
+
+def test_streaming_steady_state_speedup(benchmark):
+    """The gated paper-scale streaming profile."""
+    record = run_once(benchmark, run_streaming_benchmark, scale="paper")
+    print()
+    _print_record(record)
+    check_streaming_record(record)

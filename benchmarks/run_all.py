@@ -59,11 +59,27 @@ SPARSE_INT12_EQUIVALENCE_TOL = 5e-3
 rounding difference can be amplified to a full quantization step by the
 dynamically scaled output projection, so the bound is a few steps wide."""
 
-#: Sparse-sweep scale, repeats and serving-stream length per harness preset.
+#: Sparse-sweep scale, repeats, serving-stream and video-stream length per
+#: harness preset.
 SCALE_PRESETS = {
-    "compact": {"sparse_scale": "small", "repeats": 2, "serving_requests": 40},
-    "medium": {"sparse_scale": "medium", "repeats": 3, "serving_requests": 64},
-    "paper": {"sparse_scale": "paper", "repeats": 3, "serving_requests": 96},
+    "compact": {
+        "sparse_scale": "small",
+        "repeats": 2,
+        "serving_requests": 40,
+        "streaming_frames": 6,
+    },
+    "medium": {
+        "sparse_scale": "medium",
+        "repeats": 3,
+        "serving_requests": 64,
+        "streaming_frames": 8,
+    },
+    "paper": {
+        "sparse_scale": "paper",
+        "repeats": 3,
+        "serving_requests": 96,
+        "streaming_frames": 8,
+    },
 }
 
 
@@ -307,6 +323,26 @@ def run_serving_benchmark(serving_requests: int, repeats: int) -> dict:
     return serving_record(report, kill_worker_at=kill_at, backend=backend)
 
 
+def run_streaming_benchmark(sparse_scale: str, streaming_frames: int, repeats: int) -> dict:
+    """The streaming-session probe (see ``bench_streaming.py``): a low-motion
+    synthetic video encoded by a warm session against an every-frame-cold one.
+
+    The tracked quantity is the steady-state vs cold-start per-frame speedup
+    (temporal reuse, isolated from arena effects — both sessions keep warm
+    arenas); the gated quantities are the lockstep replay drifts of the
+    recorded warm masks under the usual fp32/INT12 tiers
+    (``streaming.encoder_blockwise.*`` in ``--check``).  Note the speedup
+    legitimately shrinks below the paper-scale fence at compact scales, where
+    the cell-denominated dilation radii cover most of the coarse grids — the
+    1.3x acceptance gate lives in ``bench_streaming.py`` at paper scale.
+    """
+    from bench_streaming import run_streaming_benchmark as run_streaming
+
+    return run_streaming(
+        scale=sparse_scale, num_frames=streaming_frames, repeats=repeats
+    )
+
+
 def equivalence_probes(record: dict) -> list[dict]:
     """Flatten every equivalence probe of a harness record.
 
@@ -387,6 +423,9 @@ def main(argv: list[str] | None = None) -> int:
             run_encoder_fp32_equivalence(preset["sparse_scale"], repeats),
             run_encoder_int12_equivalence(preset["sparse_scale"], repeats),
             run_serving_benchmark(preset["serving_requests"], repeats),
+            run_streaming_benchmark(
+                preset["sparse_scale"], preset["streaming_frames"], repeats
+            ),
         ],
     }
 

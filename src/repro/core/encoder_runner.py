@@ -40,7 +40,13 @@ from repro.core.pipeline import (
     DEFALayerStats,
     use_sparse_rows,
 )
-from repro.kernels import ExecutionPlan, resolve_backend
+from repro.kernels import (
+    ExecutionOptions,
+    ExecutionPlan,
+    normalize_execution_options,
+    resolve_backend,
+)
+from repro.kernels.options import _UNSET
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.shapes import LevelShape
@@ -121,47 +127,71 @@ class DEFAEncoderRunner:
         The full-precision encoder whose weights are reused.
     config:
         DEFA algorithm configuration.
-    sparse_mode:
-        Execution switch forwarded to every :class:`DEFAAttention` block (see
-        :data:`repro.core.pipeline.SPARSE_MODES`): ``"auto"`` (default) runs
-        the compacted gather/scatter kernels whenever the FWP/PAP reduction
-        ratio makes them profitable, ``"dense"``/``"sparse"`` force one path.
-        The same switch governs the inter-block FFN/LayerNorm stage under
-        query pruning (thresholds :data:`~repro.core.pipeline.
+    options:
+        :class:`~repro.kernels.ExecutionOptions` bundling the execution
+        knobs (PR 8); the legacy ``sparse_mode=`` / ``backend=`` keywords
+        are deprecated shims through
+        :func:`~repro.kernels.normalize_execution_options`.
+
+        ``sparse_mode`` is the execution switch forwarded to every
+        :class:`DEFAAttention` block (see :data:`repro.core.pipeline.
+        SPARSE_MODES`; ``None`` means ``"auto"``): ``"auto"`` runs the
+        compacted gather/scatter kernels whenever the FWP/PAP reduction
+        ratio makes them profitable, ``"dense"``/``"sparse"`` force one
+        path.  The same switch governs the inter-block FFN/LayerNorm stage
+        under query pruning (thresholds :data:`~repro.core.pipeline.
         SPARSE_AUTO_FFN_KEEP_MAX` / :data:`~repro.core.pipeline.
         SPARSE_AUTO_FFN_MIN_TOKENS` in ``"auto"``).
-    enable_sparse_ffn:
-        Escape hatch for benchmarking: ``False`` pins the FFN stage to the
-        masked-dense execution even in ``"sparse"`` mode, which reproduces
-        the PR 3 cost profile (sparse attention, dense inter-block work)
-        under the *same* frozen-row semantics.  Numerics are unaffected.
-    backend:
-        Kernel-backend specification (name, backend object, or ``None`` to
-        follow ``config.kernel_backend`` and then the process default; the
-        attribute is settable, so a benchmark can flip one runner between
+
+        ``kernel_backend`` is the kernel-backend specification (name,
+        backend object, or ``None`` to follow ``config.kernel_backend`` and
+        then the process default; the runner's ``kernel_backend`` attribute
+        stays settable, so a benchmark can flip one runner between
         backends).  ``"reference"`` reproduces the PR 4 execution exactly —
         no execution plans, per-block allocation; ``"fused"`` runs the
         bit-identical fused kernels *and* allocates every per-block
         intermediate from a per-shape-signature :class:`ExecutionPlan`
         (see :meth:`execution_plan`), reused across blocks and across
         :class:`~repro.engine.batching.BatchRunner` work items.
+
+        ``collect_details`` sets the runner-wide default for
+        :meth:`forward`'s ``collect_details`` argument, and
+        ``enable_query_pruning`` overrides the config's flag at
+        construction time (the pruning projections are baked in here, so it
+        cannot be re-toggled per call).
+    enable_sparse_ffn:
+        Escape hatch for benchmarking: ``False`` pins the FFN stage to the
+        masked-dense execution even in ``"sparse"`` mode, which reproduces
+        the PR 3 cost profile (sparse attention, dense inter-block work)
+        under the *same* frozen-row semantics.  Numerics are unaffected.
     """
 
     def __init__(
         self,
         encoder: DeformableEncoder,
         config: DEFAConfig,
-        sparse_mode: str = "auto",
+        options: ExecutionOptions | None = None,
         enable_sparse_ffn: bool = True,
-        backend=None,
+        *,
+        sparse_mode=_UNSET,
+        backend=_UNSET,
     ) -> None:
+        options = normalize_execution_options(
+            options, owner="DEFAEncoderRunner", sparse_mode=sparse_mode, backend=backend
+        )
+        if options.enable_query_pruning is not None:
+            config = config.with_overrides(
+                enable_query_pruning=options.enable_query_pruning
+            )
         self.encoder = encoder
         self.config = config
         self.enable_sparse_ffn = enable_sparse_ffn
-        self.kernel_backend = backend
+        self.kernel_backend = options.kernel_backend
+        self.collect_details_default = options.collect_details
         self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+        block_options = ExecutionOptions(sparse_mode=options.sparse_mode or "auto")
         self.defa_layers = [
-            DEFAAttention(layer.self_attn, config, sparse_mode=sparse_mode)
+            DEFAAttention(layer.self_attn, config, block_options)
             for layer in encoder.layers
         ]
 
@@ -336,19 +366,39 @@ class DEFAEncoderRunner:
         pos: np.ndarray,
         reference_points: np.ndarray,
         spatial_shapes: list[LevelShape],
-        collect_details: bool = False,
+        collect_details: bool | None = None,
+        fmap_masks: list[np.ndarray | None] | None = None,
     ) -> DEFAEncoderResult | DEFAEncoderBatchResult:
         """Run all encoder layers, propagating the FWP mask block to block.
 
         ``src`` may be a single image ``(N_in, D)`` or a batch ``(B, N_in,
         D)``; batched inputs dispatch to :meth:`forward_batched` and return a
-        :class:`DEFAEncoderBatchResult`.
+        :class:`DEFAEncoderBatchResult`.  ``collect_details`` defaults to the
+        runner's :class:`~repro.kernels.ExecutionOptions` value.
+
+        ``fmap_masks`` overrides the *incoming* FWP mask of every block
+        (entry ``j`` feeds block ``j``; ``None`` entries mean dense, matching
+        the first-block convention), instead of the mask evolving from block
+        ``i`` to block ``i+1``.  The masks each block *generates* are still
+        recorded in the result.  A :class:`~repro.engine.streaming.
+        StreamingEncoderSession` uses this to warm-start a frame from the
+        previous frame's prune trajectory intersected with its
+        temporally-dirty set; single-image forwards only.
         """
         x = np.asarray(src, dtype=FLOAT_DTYPE)
         if x.ndim == 3:
+            if fmap_masks is not None:
+                raise ValueError("fmap_masks overrides support single-image forwards only")
             return self.forward_batched(
                 x, pos, reference_points, spatial_shapes, collect_details=collect_details
             )
+        if fmap_masks is not None and len(fmap_masks) != len(self.encoder.layers):
+            raise ValueError(
+                f"fmap_masks must have one entry per encoder layer "
+                f"({len(self.encoder.layers)}), got {len(fmap_masks)}"
+            )
+        if collect_details is None:
+            collect_details = self.collect_details_default
         pos = np.asarray(pos, dtype=FLOAT_DTYPE)
         backend = self.resolved_backend()
         # collect_details hands the per-block outputs to the caller, so they
@@ -361,11 +411,14 @@ class DEFAEncoderRunner:
         fmap_mask: np.ndarray | None = None
         layer_stats: list[DEFALayerStats] = []
         layer_outputs: list[DEFAAttentionOutput] = []
-        fmap_masks: list[np.ndarray] = []
+        generated_masks: list[np.ndarray] = []
 
+        call_options = ExecutionOptions(kernel_backend=backend)
         for index, (layer, defa_attn) in enumerate(
             zip(self.encoder.layers, self.defa_layers)
         ):
+            if fmap_masks is not None:
+                fmap_mask = fmap_masks[index]
             # Pre-attention query add, skipped for FWP-pruned pixels under
             # query pruning (their rows never act as queries).
             q_keep, q_compact = self.query_stage_plan(fmap_mask, x.shape[0])
@@ -376,7 +429,7 @@ class DEFAEncoderRunner:
                 x,
                 spatial_shapes,
                 fmap_mask=fmap_mask,
-                backend=backend,
+                options=call_options,
                 plan=plan,
             )
             layer_stats.append(attn_out.stats)
@@ -401,7 +454,7 @@ class DEFAEncoderRunner:
             )
             attn_out.stats.sparse_ffn = compact
             fmap_mask = attn_out.fmap_mask_next
-            fmap_masks.append(fmap_mask)
+            generated_masks.append(fmap_mask)
 
         # The final memory escapes to the caller, so it must not alias the
         # arena (the next forward would overwrite it) — one copy per forward.
@@ -409,7 +462,7 @@ class DEFAEncoderRunner:
             memory=x.copy() if plan is not None else x,
             layer_stats=layer_stats,
             layer_outputs=layer_outputs,
-            fmap_masks=fmap_masks,
+            fmap_masks=generated_masks,
         )
 
     def forward_batched(
@@ -418,7 +471,7 @@ class DEFAEncoderRunner:
         pos: np.ndarray,
         reference_points: np.ndarray,
         spatial_shapes: list[LevelShape],
-        collect_details: bool = False,
+        collect_details: bool | None = None,
     ) -> DEFAEncoderBatchResult:
         """Run all layers on an image batch, threading per-image FWP masks.
 
@@ -430,6 +483,8 @@ class DEFAEncoderRunner:
         x = np.asarray(src, dtype=FLOAT_DTYPE)
         if x.ndim != 3:
             raise ValueError("src must have shape (B, N_in, D)")
+        if collect_details is None:
+            collect_details = self.collect_details_default
         batch = x.shape[0]
         pos = np.asarray(pos, dtype=FLOAT_DTYPE)
         backend = self.resolved_backend()
@@ -443,6 +498,7 @@ class DEFAEncoderRunner:
         per_image_outputs: list[list[DEFAAttentionOutput]] = [[] for _ in range(batch)]
         per_image_masks: list[list[np.ndarray]] = [[] for _ in range(batch)]
 
+        call_options = ExecutionOptions(kernel_backend=backend)
         for index, (layer, defa_attn) in enumerate(
             zip(self.encoder.layers, self.defa_layers)
         ):
@@ -454,7 +510,7 @@ class DEFAEncoderRunner:
                 x,
                 spatial_shapes,
                 fmap_mask=fmap_mask,
-                backend=backend,
+                options=call_options,
                 plan=plan,
             )
             # Inter-block stage on the incoming (per-image) masks — before

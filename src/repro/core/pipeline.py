@@ -57,7 +57,13 @@ from repro.core.fwp import (
     compute_fmap_mask_batched,
     normalize_mask,
 )
-from repro.kernels import ExecutionPlan, resolve_backend
+from repro.kernels import (
+    ExecutionOptions,
+    ExecutionPlan,
+    normalize_execution_options,
+    resolve_backend,
+)
+from repro.kernels.options import _UNSET
 from repro.kernels.fused_ops import (
     project_batched_into,
     project_into,
@@ -341,33 +347,48 @@ class DEFAAttention:
         The wrapped full-precision attention module (its weights are reused).
     config:
         The :class:`DEFAConfig` describing which techniques are enabled.
-    sparse_mode:
-        One of :data:`SPARSE_MODES`.  Controls whether FWP/PAP masks are
-        executed with the compacted gather/scatter kernels (actual wall-clock
-        savings) or the masked-dense kernels (pruning simulated by zeroing).
-        Both paths are equivalence-tested to 1e-5.
-    backend:
-        Kernel-backend specification for the compact-trace kernels (name,
-        backend object, or ``None`` to follow ``config.kernel_backend`` and
-        then the process default — resolved per call, so
-        :func:`repro.kernels.set_backend` takes effect immediately).  The
-        backends are bit-identical; ``"fused"`` additionally consumes the
-        ``plan`` buffer arena passed into :meth:`forward_detailed`.
+    options:
+        :class:`~repro.kernels.ExecutionOptions` bundling the execution
+        knobs: ``sparse_mode`` (one of :data:`SPARSE_MODES`; ``None`` means
+        ``"auto"``) controls whether FWP/PAP masks are executed with the
+        compacted gather/scatter kernels (actual wall-clock savings) or the
+        masked-dense kernels (pruning simulated by zeroing) — both paths are
+        equivalence-tested to 1e-5; ``kernel_backend`` names the kernel
+        backend for the compact-trace kernels (``None`` follows
+        ``config.kernel_backend`` and then the process default — resolved
+        per call, so :func:`repro.kernels.set_backend` takes effect
+        immediately; the backends are bit-identical, ``"fused"``
+        additionally consumes the ``plan`` buffer arena passed into
+        :meth:`forward_detailed`); ``enable_query_pruning`` overrides the
+        config's flag at construction.  The legacy ``sparse_mode=`` /
+        ``backend=`` keywords still work via
+        :func:`~repro.kernels.normalize_execution_options` but are
+        deprecated.
     """
 
     def __init__(
         self,
         attn: MSDeformAttn,
         config: DEFAConfig,
-        sparse_mode: str = "auto",
-        backend=None,
+        options: ExecutionOptions | None = None,
+        *,
+        sparse_mode=_UNSET,
+        backend=_UNSET,
     ) -> None:
-        if sparse_mode not in SPARSE_MODES:
-            raise ValueError(f"sparse_mode must be one of {SPARSE_MODES}, got {sparse_mode!r}")
+        options = normalize_execution_options(
+            options, owner="DEFAAttention", sparse_mode=sparse_mode, backend=backend
+        )
+        mode = options.sparse_mode or "auto"
+        if mode not in SPARSE_MODES:
+            raise ValueError(f"sparse_mode must be one of {SPARSE_MODES}, got {mode!r}")
+        if options.enable_query_pruning is not None:
+            config = config.with_overrides(
+                enable_query_pruning=options.enable_query_pruning
+            )
         self.attn = attn
         self.config = config
-        self.sparse_mode = sparse_mode
-        self.kernel_backend = backend
+        self.sparse_mode = mode
+        self.kernel_backend = options.kernel_backend
         self.range_narrowing: RangeNarrowing | None = None
         if config.enable_range_narrowing:
             self.range_narrowing = RangeNarrowing(config.effective_ranges(attn.num_levels))
@@ -608,8 +629,10 @@ class DEFAAttention:
         value_input: np.ndarray,
         spatial_shapes: list[LevelShape],
         fmap_mask: np.ndarray | None = None,
-        backend=None,
+        options: ExecutionOptions | None = None,
         plan: ExecutionPlan | None = None,
+        *,
+        backend=_UNSET,
     ) -> DEFAAttentionOutput | DEFAAttentionBatchOutput:
         """Run one DEFA attention block.
 
@@ -634,10 +657,14 @@ class DEFAAttention:
             batch, a ``(B, N_in)`` array of per-image masks.  Integer masks
             are normalized to boolean once, here at the pipeline boundary
             (non-zero means *keep*); every downstream stage sees ``bool``.
-        backend:
-            Per-call kernel-backend override (``None`` follows the block's
-            ``backend`` and then ``config.kernel_backend`` / the process
-            default).  The backends are bit-identical.
+        options:
+            Per-call :class:`~repro.kernels.ExecutionOptions`.  Only
+            ``kernel_backend`` is meaningful per call (``None`` follows the
+            block's options and then ``config.kernel_backend`` / the
+            process default; the backends are bit-identical) — the other
+            knobs are per-block/per-construction properties, so a non-
+            ``None`` ``sparse_mode`` or ``enable_query_pruning`` here is an
+            error.  The legacy ``backend=`` keyword is a deprecated shim.
         plan:
             Optional :class:`~repro.kernels.ExecutionPlan` buffer arena.
             When given (the encoder runner passes one per shape signature),
@@ -651,6 +678,14 @@ class DEFAAttention:
         Batched inputs return a :class:`DEFAAttentionBatchOutput` whose
         per-image records match single-image execution.
         """
+        options = normalize_execution_options(
+            options, owner="DEFAAttention.forward_detailed", backend=backend
+        )
+        if options.sparse_mode is not None or options.enable_query_pruning is not None:
+            raise ValueError(
+                "sparse_mode and enable_query_pruning are per-block properties; "
+                "set them when constructing the DEFAAttention, not per call"
+            )
         query = np.asarray(query, dtype=FLOAT_DTYPE)
         value_input = np.asarray(value_input, dtype=FLOAT_DTYPE)
         if query.ndim == 3:
@@ -660,11 +695,11 @@ class DEFAAttention:
                 value_input,
                 spatial_shapes,
                 fmap_mask,
-                backend=backend,
+                backend=options.kernel_backend,
                 plan=plan,
             )
         attn = self.attn
-        backend = self._resolve_backend(backend)
+        backend = self._resolve_backend(options.kernel_backend)
         if plan is not None and not backend.fused:
             plan = None  # the reference backend runs exactly the PR 4 path
         n_q = query.shape[0]

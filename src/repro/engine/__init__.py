@@ -11,8 +11,17 @@ This package is the scaling layer on top of the single-image reproduction:
 * :mod:`repro.engine.serving` — :class:`ServingEngine`, the long-running
   scheduler that streams requests into persistent warm workers with a
   degraded in-process fallback;
+* :mod:`repro.engine.streaming` — :class:`StreamingEncoderSession`, per-stream
+  temporal reuse (warm-started FWP masks, cross-frame frozen rows, exact
+  trace-reuse fast path) over the PR 5 warm execution-plan arenas;
 * :mod:`repro.engine.traffic` — synthetic serving traffic (uniform / bursty /
-  diurnal arrivals over mixed pyramid shapes and request classes).
+  diurnal arrivals over mixed pyramid shapes and request classes, plus
+  stream-affine ``video`` sessions).
+
+The names re-exported here (see ``__all__``) are the package's supported
+public surface — import them as ``from repro.engine import ServingEngine``.
+Anything reachable only through a submodule path (leading-underscore helpers,
+worker internals) is implementation detail and may change between PRs.
 """
 
 from repro.engine.batching import (
@@ -32,6 +41,13 @@ from repro.engine.serving import (
     ServingConfig,
     ServingEngine,
     ServingStats,
+    StreamingClassServer,
+    WorkerError,
+)
+from repro.engine.streaming import (
+    StreamingConfig,
+    StreamingEncoderSession,
+    StreamingFrameResult,
 )
 from repro.engine.trace_cache import DEFAULT_TRACE_CACHE, TraceCache, TraceCacheStats
 from repro.engine.traffic import (
@@ -39,6 +55,8 @@ from repro.engine.traffic import (
     ReplayResult,
     TrafficEvent,
     generate_traffic,
+    generate_video_traffic,
+    merge_traffic,
     replay_traffic,
     serial_reference_outputs,
 )
@@ -62,10 +80,17 @@ __all__ = [
     "ServingConfig",
     "ServingEngine",
     "ServingStats",
+    "StreamingClassServer",
+    "WorkerError",
+    "StreamingConfig",
+    "StreamingEncoderSession",
+    "StreamingFrameResult",
     "ARRIVAL_PROCESSES",
     "ReplayResult",
     "TrafficEvent",
     "generate_traffic",
+    "generate_video_traffic",
+    "merge_traffic",
     "replay_traffic",
     "serial_reference_outputs",
 ]

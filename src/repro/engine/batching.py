@@ -23,6 +23,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.kernels import ExecutionOptions, normalize_execution_options
+from repro.kernels.options import _UNSET
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.shapes import LevelShape
 
@@ -57,6 +59,18 @@ class WorkItem:
 
     spatial_shapes: tuple[LevelShape, ...]
     """Pyramid level shapes whose pixel counts sum to ``N_in``."""
+
+    stream_id: str | None = None
+    """Video-stream identity for stream-affine request classes (PR 8).
+    ``None`` for ordinary stateless requests.  Items of one stream must be
+    processed in ``frame_index`` order by one
+    :class:`~repro.engine.streaming.StreamingEncoderSession`, so the serving
+    engine routes a stream stickily to a single worker."""
+
+    frame_index: int = 0
+    """Position of this item within its stream (ignored without a
+    ``stream_id``).  A gap or restart in the sequence forces the session to
+    resynchronize with a cold frame."""
 
     def __post_init__(self) -> None:
         features = np.asarray(self.features)
@@ -198,24 +212,44 @@ def encoder_forward_fn(encoder) -> BatchForward:
 
 
 def defa_forward_fn(
-    runner, sparse_mode: str | None = None, backend: str | None = None
+    runner,
+    options: ExecutionOptions | None = None,
+    *,
+    sparse_mode=_UNSET,
+    backend=_UNSET,
 ) -> BatchForward:
     """Adapt a :class:`~repro.core.encoder_runner.DEFAEncoderRunner`.
 
     Runs the full DEFA algorithm (per-image FWP/PAP mask threading) on each
-    batch and returns the batched encoder memory.  ``sparse_mode`` (one of
-    ``"auto"``/``"dense"``/``"sparse"``) sets the runner's execution switch
-    around every batch dispatched through this adapter, so each adapter
-    always runs in its own mode even when several adapters share one runner;
-    the runner's previous mode is restored afterwards (the adapter must not
-    leak its mode into other adapters or later direct calls on the shared
-    runner).  ``None`` keeps the runner's current mode.  ``backend`` does the
-    same for the runner's kernel backend (``"reference"``/``"fused"``); under
-    the fused backend the runner's per-shape-signature
-    :class:`~repro.kernels.ExecutionPlan` arenas are reused across every work
-    item this adapter dispatches, so a steady stream of same-shape items
-    executes with zero large allocations.
+    batch and returns the batched encoder memory.  ``options.sparse_mode``
+    (one of ``"auto"``/``"dense"``/``"sparse"``) sets the runner's execution
+    switch around every batch dispatched through this adapter, so each
+    adapter always runs in its own mode even when several adapters share one
+    runner; the runner's previous mode is restored afterwards (the adapter
+    must not leak its mode into other adapters or later direct calls on the
+    shared runner).  ``None`` keeps the runner's current mode.
+    ``options.kernel_backend`` does the same for the runner's kernel backend
+    (``"reference"``/``"fused"``); under the fused backend the runner's
+    per-shape-signature :class:`~repro.kernels.ExecutionPlan` arenas are
+    reused across every work item this adapter dispatches, so a steady
+    stream of same-shape items executes with zero large allocations.
+    ``options.enable_query_pruning`` and ``options.collect_details`` are
+    rejected — the pruning projections are baked into the runner at
+    construction, and the adapter only ever returns the batched memory.  The
+    legacy ``sparse_mode=`` / ``backend=`` keywords are deprecated shims.
     """
+    options = normalize_execution_options(
+        options, owner="defa_forward_fn", sparse_mode=sparse_mode, backend=backend
+    )
+    if options.enable_query_pruning is not None:
+        raise ValueError(
+            "enable_query_pruning cannot be set per adapter: the pruning "
+            "projections are baked into the runner at construction"
+        )
+    if options.collect_details:
+        raise ValueError("defa_forward_fn only returns the batched memory")
+    sparse_mode = options.sparse_mode
+    backend = options.kernel_backend
     cache: dict[ShapeKey, tuple[np.ndarray, np.ndarray]] = {}
 
     def forward(features: np.ndarray, spatial_shapes: list[LevelShape]) -> np.ndarray:

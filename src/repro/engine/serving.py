@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.config import DEFAConfig
 from repro.engine.batching import BatchForward, ShapeKey, WorkItem, defa_forward_fn
+from repro.engine.streaming import StreamingConfig, StreamingEncoderSession
 
 __all__ = [
     "DEFAULT_REQUEST_CLASS",
@@ -63,11 +64,80 @@ __all__ = [
     "ServingConfig",
     "ServingEngine",
     "ServingStats",
+    "StreamingClassServer",
     "BatchRecord",
 ]
 
 DEFAULT_REQUEST_CLASS = "default"
 """Request class used when a caller does not distinguish request classes."""
+
+
+class StreamingClassServer:
+    """Per-request-class pool of :class:`StreamingEncoderSession`\\ s (PR 8).
+
+    A stream-affine request class serves *video streams*: each distinct
+    ``stream_id`` gets its own session (created lazily on first frame, with
+    that frame's pyramid as the stream's fixed signature) and keeps it for
+    the server's lifetime, carrying warm FWP masks, the previous frame's
+    memory and the warm :class:`~repro.kernels.ExecutionPlan` arenas between
+    requests.  Batches are executed frame by frame — the session state is
+    inherently sequential — relying on the engine's per-stream sticky
+    routing to deliver each stream's frames in order to one server.
+    """
+
+    def __init__(
+        self,
+        encoder,
+        config: DEFAConfig,
+        streaming: StreamingConfig | None = None,
+    ) -> None:
+        self.encoder = encoder
+        self.config = config
+        self.streaming = streaming or StreamingConfig()
+        self.sessions: dict[str, StreamingEncoderSession] = {}
+
+    def session(self, stream_id: str, spatial_shapes) -> StreamingEncoderSession:
+        session = self.sessions.get(stream_id)
+        if session is None:
+            session = self.sessions[stream_id] = StreamingEncoderSession(
+                self.encoder, self.config, spatial_shapes, self.streaming
+            )
+        return session
+
+    def forward(self, features: np.ndarray, spatial_shapes, meta) -> np.ndarray:
+        """Run one batch of frames through their per-stream sessions.
+
+        ``meta`` pairs each batch element with its ``(stream_id,
+        frame_index)`` — the engine forwards it alongside the stacked
+        features.  Frames of one stream must arrive in index order; an
+        out-of-order index deterministically resynchronizes that session
+        with a cold frame (see :meth:`StreamingEncoderSession.process`).
+        """
+        if meta is None or len(meta) != features.shape[0]:
+            raise ValueError(
+                "a stream-affine request class needs (stream_id, frame_index) "
+                "meta for every batch element"
+            )
+        outputs = np.empty_like(features)
+        for index, (stream_id, frame_index) in enumerate(meta):
+            if stream_id is None:
+                raise ValueError(
+                    "items of a stream-affine request class must carry a stream_id"
+                )
+            session = self.session(stream_id, spatial_shapes)
+            outputs[index] = session.process(features[index], frame_index).memory
+        return outputs
+
+    def plan_stats(self) -> dict[str, int | str]:
+        """Arena accounting aggregated over the class's live sessions."""
+        merged: dict[str, int | str] = {"plans": 0, "hits": 0, "grows": 0, "bytes": 0}
+        for session in self.sessions.values():
+            stats = session.plan_stats()
+            merged["backend"] = stats["backend"]
+            for key in ("plans", "hits", "grows", "bytes"):
+                merged[key] += stats[key]
+        merged["sessions"] = len(self.sessions)
+        return merged
 
 
 class ModelBank:
@@ -86,11 +156,19 @@ class ModelBank:
         self,
         forwards: dict[str, BatchForward],
         runners: dict[str, object] | None = None,
+        streaming: dict[str, StreamingClassServer] | None = None,
     ) -> None:
-        if not forwards:
+        if not forwards and not streaming:
             raise ValueError("a ModelBank needs at least one request class")
         self.forwards = dict(forwards)
         self.runners = dict(runners or {})
+        self.streaming = dict(streaming or {})
+        overlap = set(self.forwards) & set(self.streaming)
+        if overlap:
+            raise ValueError(
+                f"request classes cannot be both stateless and stream-affine: "
+                f"{sorted(overlap)}"
+            )
 
     @classmethod
     def coerce(cls, obj: "ModelBank | dict[str, BatchForward]") -> "ModelBank":
@@ -99,13 +177,26 @@ class ModelBank:
 
     @property
     def request_classes(self) -> tuple[str, ...]:
-        return tuple(self.forwards)
+        return tuple(self.forwards) + tuple(self.streaming)
 
-    def forward(self, request_class: str, features: np.ndarray, spatial_shapes) -> np.ndarray:
+    def forward(
+        self,
+        request_class: str,
+        features: np.ndarray,
+        spatial_shapes,
+        meta=None,
+    ) -> np.ndarray:
+        """Run one batch.  ``meta`` carries per-element ``(stream_id,
+        frame_index)`` pairs for stream-affine classes (ignored by
+        stateless ones)."""
+        if request_class in self.streaming:
+            return self.streaming[request_class].forward(
+                features, list(spatial_shapes), meta
+            )
         if request_class not in self.forwards:
             raise KeyError(
                 f"unknown request class {request_class!r}; "
-                f"known classes: {sorted(self.forwards)}"
+                f"known classes: {sorted(self.request_classes)}"
             )
         return self.forwards[request_class](features, list(spatial_shapes))
 
@@ -122,6 +213,8 @@ class ModelBank:
             plan_stats = getattr(runner, "plan_stats", None)
             if callable(plan_stats):
                 stats[name] = plan_stats()
+        for name, server in self.streaming.items():
+            stats[name] = server.plan_stats()
         return stats
 
 
@@ -147,6 +240,13 @@ class ModelBankSpec:
     ffn_dim: int = 128
     rng_seed: int = 0
     classes: tuple[tuple[str, DEFAConfig], ...] = ((DEFAULT_REQUEST_CLASS, DEFAConfig()),)
+    streams: tuple[tuple[str, DEFAConfig, StreamingConfig], ...] = ()
+    """Stream-affine request classes ``(name, config, streaming_policy)``:
+    each is served by a :class:`StreamingClassServer` over the shared
+    encoder, one :class:`StreamingEncoderSession` per ``stream_id``.  All
+    components are frozen dataclasses of primitives, so the spec stays
+    picklable (use backend *names* in any embedded
+    :class:`~repro.kernels.ExecutionOptions`)."""
 
     def build(self) -> ModelBank:
         from repro.core.encoder_runner import DEFAEncoderRunner
@@ -167,7 +267,11 @@ class ModelBankSpec:
             runner = DEFAEncoderRunner(encoder, config)
             runners[name] = runner
             forwards[name] = defa_forward_fn(runner)
-        return ModelBank(forwards, runners)
+        streaming = {
+            name: StreamingClassServer(encoder, config, policy)
+            for name, config, policy in self.streams
+        }
+        return ModelBank(forwards, runners, streaming)
 
 
 @dataclass
@@ -326,9 +430,9 @@ def _worker_main(conn, model_bank_factory) -> None:
             return  # parent went away
         kind = message[0]
         if kind == "batch":
-            _, batch_id, request_class, features, shapes = message
+            _, batch_id, request_class, features, shapes, meta = message
             try:
-                output = bank.forward(request_class, features, shapes)
+                output = bank.forward(request_class, features, shapes, meta)
                 conn.send(("ok", batch_id, output))
             except Exception:  # noqa: BLE001 - reported to the parent verbatim
                 conn.send(("err", batch_id, traceback.format_exc()))
@@ -395,6 +499,11 @@ class ServingEngine:
         self._stop = threading.Event()
         self._shut_down = False
         self._last_mode: str | None = None
+        self._stream_routes: dict[str, int] = {}
+        """Sticky ``stream_id -> worker index`` routing.  Streaming sessions
+        live inside a worker's bank, so all frames of a stream must hit the
+        same worker to stay warm; a route is only rebuilt when its worker
+        dies or retires (the replacement's fresh session cold-starts)."""
 
     # ------------------------------------------------------------ lifecycle
 
@@ -695,9 +804,13 @@ class ServingEngine:
 
     def _dispatch(self, now: float) -> None:
         while self._pending:
-            groups: dict[tuple[str, ShapeKey], list[_Pending]] = {}
+            groups: dict[tuple[str, ShapeKey, str | None], list[_Pending]] = {}
             for pending in self._pending:  # deque stays seq-ordered
-                key = (pending.request_class, pending.item.shape_key)
+                key = (
+                    pending.request_class,
+                    pending.item.shape_key,
+                    pending.item.stream_id,
+                )
                 groups.setdefault(key, []).append(pending)
             due = []
             for key, group in groups.items():
@@ -709,7 +822,11 @@ class ServingEngine:
             progressed = False
             for key, group, reason in due:
                 chunk = group[: self.config.max_batch_size]
-                worker = self._idle_worker()
+                stream_id = key[2]
+                if stream_id is not None:
+                    worker = self._stream_worker(stream_id)
+                else:
+                    worker = self._idle_worker()
                 if worker is not None:
                     self._remove_pending(chunk)
                     self._dispatch_to_worker(worker, key, chunk, reason, now)
@@ -720,6 +837,8 @@ class ServingEngine:
                     progressed = True
                 # else: workers exist but are busy/starting — bounded
                 # queueing: the batch dispatches as soon as one frees.
+                # Stream-affine batches additionally wait for their *routed*
+                # worker specifically, preserving per-stream frame order.
             if not progressed:
                 return
 
@@ -729,6 +848,27 @@ class ServingEngine:
                 return handle
         return None
 
+    def _stream_worker(self, stream_id: str) -> _WorkerHandle | None:
+        """Sticky routing for stream-affine batches.
+
+        Returns the stream's routed worker only when it is idle — a busy
+        routed worker means *wait* (frames of one stream never interleave
+        across workers).  A dead or retired routed worker triggers a reroute
+        to any idle worker: the new worker's session has no state for this
+        stream, so its next frame cold-starts (deterministic resync via the
+        session's frame-index discontinuity rule).
+        """
+        index = self._stream_routes.get(stream_id)
+        if index is not None:
+            handle = self._workers[index]
+            if handle.alive and handle.ready:
+                return handle if handle.busy is None else None
+            # Routed worker is gone — fall through and reroute.
+        handle = self._idle_worker()
+        if handle is not None:
+            self._stream_routes[stream_id] = handle.index
+        return handle
+
     def _remove_pending(self, chunk: list[_Pending]) -> None:
         taken = set(id(p) for p in chunk)
         self._pending = deque(p for p in self._pending if id(p) not in taken)
@@ -736,15 +876,25 @@ class ServingEngine:
     def _stack(self, chunk: list[_Pending]) -> np.ndarray:
         return np.stack([p.item.features for p in chunk])
 
+    @staticmethod
+    def _meta(
+        key: tuple[str, ShapeKey, str | None], chunk: list[_Pending]
+    ) -> tuple[tuple[str, int], ...] | None:
+        """Per-request ``(stream_id, frame_index)`` for stream-affine batches
+        (``None`` for stateless classes)."""
+        if key[2] is None:
+            return None
+        return tuple((p.item.stream_id, p.item.frame_index) for p in chunk)
+
     def _dispatch_to_worker(
         self,
         handle: _WorkerHandle,
-        key: tuple[str, ShapeKey],
+        key: tuple[str, ShapeKey, str | None],
         chunk: list[_Pending],
         reason: str,
         now: float,
     ) -> None:
-        request_class, shape_key = key
+        request_class, shape_key = key[0], key[1]
         batch = _Batch(
             batch_id=self._batch_seq,
             request_class=request_class,
@@ -755,7 +905,14 @@ class ServingEngine:
         shapes = tuple(chunk[0].item.spatial_shapes)
         try:
             handle.conn.send(
-                ("batch", batch.batch_id, request_class, self._stack(chunk), shapes)
+                (
+                    "batch",
+                    batch.batch_id,
+                    request_class,
+                    self._stack(chunk),
+                    shapes,
+                    self._meta(key, chunk),
+                )
             )
         except (BrokenPipeError, OSError):
             # The worker died between reap and dispatch: requeue and let the
@@ -782,14 +939,21 @@ class ServingEngine:
 
     def _run_inproc(
         self,
-        key: tuple[str, ShapeKey],
+        key: tuple[str, ShapeKey, str | None],
         chunk: list[_Pending],
         reason: str,
         now: float,
     ) -> None:
         """Degraded/in-process execution: same forwards, same batching, so
-        the outputs are bit-equal to what a worker would have served."""
-        request_class, shape_key = key
+        the outputs are bit-equal to what a worker would have served.
+
+        Stream-affine classes run in the *local* bank's sessions here; if a
+        stream previously ran on a now-dead worker, the local session sees a
+        frame-index discontinuity and cold-resyncs deterministically (warm
+        state is per-process, so outputs may differ from an uninterrupted
+        run — the bit-equality gate therefore only covers kill-free runs).
+        """
+        request_class, shape_key = key[0], key[1]
         bank = self._ensure_local_bank()
         shapes = list(chunk[0].item.spatial_shapes)
         self.stats.batches.append(
@@ -802,7 +966,9 @@ class ServingEngine:
             )
         )
         try:
-            output = bank.forward(request_class, self._stack(chunk), shapes)
+            output = bank.forward(
+                request_class, self._stack(chunk), shapes, self._meta(key, chunk)
+            )
         except Exception as error:  # noqa: BLE001 - delivered via the futures
             for pending in chunk:
                 if not pending.future.done():

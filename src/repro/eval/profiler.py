@@ -24,7 +24,7 @@ from repro.baselines.gpu import GPUCostModel, GPUSpec, RTX_3090TI
 from repro.core.config import DEFAConfig
 from repro.core.encoder_runner import DEFAEncoderRunner
 from repro.core.pipeline import DEFAAttention
-from repro.kernels import COMPILED_AVAILABLE, ExecutionPlan
+from repro.kernels import COMPILED_AVAILABLE, ExecutionOptions, ExecutionPlan
 from repro.nn.encoder import DeformableEncoder
 from repro.nn.msdeform_attn import MSDeformAttn
 from repro.nn.positional import make_reference_points, sine_positional_encoding
@@ -353,7 +353,7 @@ def measure_sparse_speedup(
     reference_points = make_reference_points(shapes)
     query = features + pos
 
-    defa = DEFAAttention(attn, config, sparse_mode="dense")
+    defa = DEFAAttention(attn, config, ExecutionOptions(sparse_mode="dense"))
     first = defa.forward_detailed(query, reference_points, features, shapes)
     fmap_mask = first.fmap_mask_next.copy()
     del first  # release the first block's trace before timing
@@ -611,7 +611,7 @@ def measure_encoder_sparse_speedup(
     pos = sine_positional_encoding(shapes, model.d_model)
     reference_points = make_reference_points(shapes)
 
-    runner = DEFAEncoderRunner(encoder, config, sparse_mode="dense")
+    runner = DEFAEncoderRunner(encoder, config, ExecutionOptions(sparse_mode="dense"))
 
     def run(mode: str, sparse_ffn: bool, backend: str = "reference"):
         runner.sparse_mode = mode
@@ -725,8 +725,8 @@ def measure_encoder_blockwise_equivalence(
     features = rng.standard_normal((n_in, model.d_model)).astype(FLOAT_DTYPE)
     pos = sine_positional_encoding(shapes, model.d_model)
     reference_points = make_reference_points(shapes)
-    dense = DEFAEncoderRunner(encoder, config, sparse_mode="dense")
-    sparse = DEFAEncoderRunner(encoder, config, sparse_mode="sparse")
+    dense = DEFAEncoderRunner(encoder, config, ExecutionOptions(sparse_mode="dense"))
+    sparse = DEFAEncoderRunner(encoder, config, ExecutionOptions(sparse_mode="sparse"))
 
     def step(runner: DEFAEncoderRunner, index: int, x: np.ndarray, fmap_mask):
         layer = runner.encoder.layers[index]
@@ -752,6 +752,97 @@ def measure_encoder_blockwise_equivalence(
         if not np.array_equal(mask_next, sparse_mask_next):
             return float("inf")
         x, fmap_mask = out_dense, mask_next
+    return max_drift
+
+
+def measure_streaming_blockwise_equivalence(
+    workload: WorkloadSpec,
+    config: DEFAConfig | None = None,
+    num_layers: int = 3,
+    num_frames: int = 4,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Max dense/sparse drift replaying a streaming session's warm masks.
+
+    Warm frames are trajectory-sensitive squared: their incoming masks mix a
+    cached keyframe FWP trajectory with a temporally-dirty set, so warm-vs-
+    cold end-to-end diffs are algorithm diagnostics (PR 4 rules), not
+    execution gates.  This probe applies the same lockstep discipline as
+    :func:`measure_encoder_blockwise_equivalence` to the *recorded* streaming
+    masks: a session runs a synthetic video, and for every non-reused frame
+    the per-block ``incoming_masks`` it executed with are replayed through a
+    dense and a sparse runner in lockstep (both paths get the dense block
+    input and the recorded mask; dense is carried forward).  Identical inputs
+    and pinned masks leave only execution-path drift, gated at the usual
+    tolerances (fp32 1e-5, INT12 a few quantization steps).  Mask
+    disagreement on the *generated* next-block masks returns ``inf``.
+    """
+    from repro.engine.streaming import StreamingConfig, StreamingEncoderSession
+    from repro.workloads.video import SyntheticVideoStream, VideoStreamSpec
+
+    if num_layers < 2:
+        raise ValueError("num_layers must be >= 2 (the first block is never masked)")
+    config = config or DEFAConfig(fwp_k=1.0, enable_query_pruning=True)
+    rng = as_rng(rng)
+    shapes = workload.spatial_shapes
+    model = workload.model
+    encoder = DeformableEncoder(
+        num_layers=num_layers,
+        d_model=model.d_model,
+        num_heads=model.num_heads,
+        num_levels=model.num_levels,
+        num_points=model.num_points,
+        ffn_dim=model.ffn_dim,
+        activation=model.activation,
+        rng=rng,
+    )
+    session = StreamingEncoderSession(
+        encoder,
+        config,
+        shapes,
+        StreamingConfig(keyframe_interval=max(num_frames, 2)),
+    )
+    stream = SyntheticVideoStream(
+        shapes,
+        model.d_model,
+        VideoStreamSpec(num_frames=num_frames, seed=int(rng.integers(1 << 31))),
+    )
+    pos = sine_positional_encoding(shapes, model.d_model)
+    reference_points = make_reference_points(shapes)
+    # Sessions force query pruning on; mirror that for the replay runners so
+    # all three agree on the frozen-row convention.
+    config = session.config
+    dense = DEFAEncoderRunner(encoder, config, ExecutionOptions(sparse_mode="dense"))
+    sparse = DEFAEncoderRunner(encoder, config, ExecutionOptions(sparse_mode="sparse"))
+
+    def step(runner: DEFAEncoderRunner, index: int, x: np.ndarray, fmap_mask):
+        layer = runner.encoder.layers[index]
+        attn_out = runner.defa_layers[index].forward_detailed(
+            x + pos, reference_points, x, shapes, fmap_mask=fmap_mask
+        )
+        keep_mask, compact = runner.ffn_stage_plan(fmap_mask, x.shape[0])
+        out = layer.forward_ffn_stage(
+            x, attn_out.output, keep_mask=keep_mask, compact=compact
+        )
+        return out, attn_out.fmap_mask_next
+
+    max_drift = 0.0
+    for frame_index in range(num_frames):
+        features = stream.frame(frame_index)
+        result = session.process(features, frame_index)
+        if result.kind == "reused":
+            continue  # no forward ran; nothing to replay
+        x = features
+        for index in range(num_layers):
+            fmap_mask = result.incoming_masks[index]
+            out_dense, mask_next = step(dense, index, x, fmap_mask)
+            out_sparse, sparse_mask_next = step(sparse, index, x, fmap_mask)
+            max_drift = max(
+                max_drift, float(np.max(np.abs(out_dense - out_sparse)))
+            )
+            if not np.array_equal(mask_next, sparse_mask_next):
+                return float("inf")
+            x = out_dense
     return max_drift
 
 
@@ -883,9 +974,9 @@ def measure_kernel_fusion(
     reference_points = make_reference_points(shapes)
     query = features + pos
 
-    defa = DEFAAttention(attn, config, sparse_mode="sparse")
+    defa = DEFAAttention(attn, config, ExecutionOptions(sparse_mode="sparse"))
     first = defa.forward_detailed(
-        query, reference_points, features, shapes, backend="reference"
+        query, reference_points, features, shapes, options=ExecutionOptions(kernel_backend="reference")
     )
     fmap_mask = first.fmap_mask_next.copy()
     del first
@@ -896,19 +987,19 @@ def measure_kernel_fusion(
     def run_reference():
         return defa.forward_detailed(
             query, reference_points, features, shapes,
-            fmap_mask=fmap_mask, backend="reference",
+            fmap_mask=fmap_mask, options=ExecutionOptions(kernel_backend="reference"),
         )
 
     def run_fused():
         return defa.forward_detailed(
             query, reference_points, features, shapes,
-            fmap_mask=fmap_mask, backend="fused", plan=plan,
+            fmap_mask=fmap_mask, options=ExecutionOptions(kernel_backend="fused"), plan=plan,
         )
 
     def run_compiled():
         return defa.forward_detailed(
             query, reference_points, features, shapes,
-            fmap_mask=fmap_mask, backend="compiled", plan=compiled_plan,
+            fmap_mask=fmap_mask, options=ExecutionOptions(kernel_backend="compiled"), plan=compiled_plan,
         )
 
     ref_out = run_reference()  # warm-up + reference output

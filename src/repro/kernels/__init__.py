@@ -16,9 +16,19 @@ Public surface:
   lifetime rules).
 * :mod:`repro.kernels.fused_ops` — plan-aware fused projection / LayerNorm /
   fake-quantize helpers used by the pipeline when a plan is active.
+* :class:`ExecutionOptions` / :func:`normalize_execution_options` — the one
+  frozen object bundling the execution knobs (``sparse_mode``, kernel
+  backend, detail collection, query-pruning enablement) threaded through
+  the whole stack since PR 8, and its single legacy-keyword normalization
+  point (see :mod:`repro.kernels.options`).
 """
 
 from repro.kernels.compiled_backend import COMPILED_AVAILABLE
+from repro.kernels.options import (
+    ExecutionOptions,
+    normalize_execution_options,
+    reset_deprecation_warnings,
+)
 from repro.kernels.plan import ExecutionPlan
 from repro.kernels.registry import (
     DEFAULT_BACKEND_ENV,
@@ -32,9 +42,12 @@ from repro.kernels.registry import (
 __all__ = [
     "COMPILED_AVAILABLE",
     "DEFAULT_BACKEND_ENV",
+    "ExecutionOptions",
     "ExecutionPlan",
     "KERNEL_BACKENDS",
     "get_backend",
+    "normalize_execution_options",
+    "reset_deprecation_warnings",
     "resolve_backend",
     "set_backend",
     "use_backend",

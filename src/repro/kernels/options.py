@@ -1,0 +1,184 @@
+"""One object for the execution knobs threaded through the stack (PR 8).
+
+Across PRs 2-7 the execution switches grew ad hoc as per-call keywords:
+``sparse_mode=`` on :class:`~repro.core.pipeline.DEFAAttention` and
+:class:`~repro.core.encoder_runner.DEFAEncoderRunner`, ``backend=`` /
+``kernel_backend`` in four different spots, ``collect_details=`` on the
+runner, ``enable_query_pruning`` on the config.  :class:`ExecutionOptions`
+bundles them into one frozen object that travels the whole stack —
+``DEFAAttention`` / ``MSDeformAttn.forward_detailed`` /
+``DEFAEncoderRunner`` / ``defa_forward_fn`` / ``ModelBankSpec`` — and
+:func:`normalize_execution_options` is the *single* point where the legacy
+keywords are accepted, warned about and converted (the PR 5
+``normalize_mask`` precedent: coerce once at the boundary, everything
+downstream sees one type).
+
+The one-object rule for future knobs: a new execution switch is a new
+``ExecutionOptions`` field, never a new loose keyword.  Internal code under
+``src/repro/`` must pass ``options=`` only — ``tools/check_deprecated_kwargs.py``
+(run in CI and by the tier-1 tests) fails on any internal use of the
+deprecated keywords, keeping the old surface external-only.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.kernels.registry import KERNEL_BACKENDS
+
+#: Execution-path switch values (mirrors ``repro.core.pipeline.SPARSE_MODES``;
+#: duplicated here as plain data so the options module stays import-cycle-free
+#: below the pipeline).
+_SPARSE_MODES = ("auto", "dense", "sparse")
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from an explicit ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How a DEFA pipeline executes — independent of *what* it computes.
+
+    Every field defaults to "inherit": ``None`` means the consuming layer
+    keeps its own default (``sparse_mode`` ``"auto"``, backend resolution
+    chain unchanged, the wrapped config's query-pruning flag).  The object is
+    frozen, hashable and picklable (pass backend *names*, not backend
+    objects, when it must cross a process boundary, e.g. inside a
+    :class:`~repro.engine.serving.ModelBankSpec`).
+
+    Parameters
+    ----------
+    sparse_mode:
+        ``"auto"`` / ``"dense"`` / ``"sparse"`` execution-path switch (see
+        :data:`repro.core.pipeline.SPARSE_MODES`), or ``None`` to keep the
+        consumer's default (``"auto"``).
+    kernel_backend:
+        Kernel-backend specification — a name from
+        :data:`repro.kernels.KERNEL_BACKENDS`, a backend object, or ``None``
+        to follow the ``config.kernel_backend`` → process-default resolution
+        chain.
+    collect_details:
+        Keep per-block attention outputs (:class:`~repro.core.encoder_runner.
+        DEFAEncoderRunner` forwards) / the integer sampling trace
+        (``MSDeformAttn.forward_detailed``).  Detail collection disables the
+        execution-plan arenas, since the details must outlive the forward.
+    enable_query_pruning:
+        Override :attr:`~repro.core.config.DEFAConfig.enable_query_pruning`
+        at construction time (``None`` keeps the config's value).  Only
+        layers that *own* a config honor it — per-call surfaces
+        (``MSDeformAttn.forward_detailed``, :func:`~repro.engine.batching.
+        defa_forward_fn`) reject it, because the pruning projections are
+        baked in when the runner is built.
+    """
+
+    sparse_mode: str | None = None
+    kernel_backend: object | None = None
+    collect_details: bool = False
+    enable_query_pruning: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.sparse_mode is not None and self.sparse_mode not in _SPARSE_MODES:
+            raise ValueError(
+                f"sparse_mode must be one of {_SPARSE_MODES} or None, "
+                f"got {self.sparse_mode!r}"
+            )
+        if isinstance(self.kernel_backend, str) and (
+            self.kernel_backend not in KERNEL_BACKENDS
+        ):
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, a backend "
+                f"object or None, got {self.kernel_backend!r}"
+            )
+
+    def with_overrides(self, **kwargs) -> "ExecutionOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Call sites already warned about, keyed ``(filename, lineno, owner)`` — the
+#: deprecation fires exactly once per site so a shim inside a hot loop does
+#: not flood the log.  :func:`reset_deprecation_warnings` clears it (tests).
+_WARNED_CALL_SITES: set[tuple[str, int, str]] = set()
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which call sites were warned (test helper)."""
+    _WARNED_CALL_SITES.clear()
+
+
+def _warn_deprecated(owner: str, keywords: list[str], stacklevel: int) -> None:
+    frame = sys._getframe(stacklevel - 1)
+    site = (frame.f_code.co_filename, frame.f_lineno, owner)
+    if site in _WARNED_CALL_SITES:
+        return
+    _WARNED_CALL_SITES.add(site)
+    warnings.warn(
+        f"passing {', '.join(sorted(keywords))} to {owner} is deprecated; "
+        f"pass options=ExecutionOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def normalize_execution_options(
+    options: ExecutionOptions | str | None = None,
+    *,
+    owner: str,
+    sparse_mode=_UNSET,
+    backend=_UNSET,
+    collect_details=_UNSET,
+    stacklevel: int = 3,
+) -> ExecutionOptions:
+    """Coerce the (options, legacy keywords) surface into one object.
+
+    The single normalization point of the execution-options API (the
+    ``normalize_mask`` precedent): every shimmed signature calls this first
+    and only ever sees an :class:`ExecutionOptions` afterwards.
+
+    * ``options`` may be an :class:`ExecutionOptions` (the supported path),
+      ``None`` (all defaults), or — for backward compatibility with the old
+      positional signatures — a bare ``sparse_mode`` string.
+    * The legacy keywords (``sparse_mode=``, ``backend=``, and where the old
+      signature had it, ``collect_details=``) still work but emit a
+      :class:`DeprecationWarning` once per call site, and cannot be combined
+      with an explicit ``options`` object.
+    """
+    legacy = {}
+    if isinstance(options, str):
+        legacy["sparse_mode"] = options
+        options = None
+    if sparse_mode is not _UNSET:
+        legacy["sparse_mode"] = sparse_mode
+    if backend is not _UNSET:
+        legacy["backend"] = backend
+    if collect_details is not _UNSET:
+        legacy["collect_details"] = collect_details
+    if options is not None:
+        if legacy:
+            raise TypeError(
+                f"{owner}: cannot combine options= with the deprecated "
+                f"keyword(s) {sorted(legacy)}"
+            )
+        if not isinstance(options, ExecutionOptions):
+            raise TypeError(
+                f"{owner}: options must be an ExecutionOptions, "
+                f"got {type(options).__name__}"
+            )
+        return options
+    if not legacy:
+        return ExecutionOptions()
+    _warn_deprecated(owner, list(legacy), stacklevel + 1)
+    return ExecutionOptions(
+        sparse_mode=legacy.get("sparse_mode"),
+        kernel_backend=legacy.get("backend"),
+        collect_details=bool(legacy.get("collect_details", False)),
+    )

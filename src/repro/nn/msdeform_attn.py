@@ -41,6 +41,8 @@ from repro.nn.grid_sample import (
     multi_scale_neighbors_batched,
     use_sparse_gather,
 )
+from repro.kernels import ExecutionOptions, normalize_execution_options
+from repro.kernels.options import _UNSET
 from repro.nn.modules import Linear, Module
 from repro.nn.tensor_utils import FLOAT_DTYPE, softmax
 from repro.utils.rng import as_rng
@@ -231,8 +233,10 @@ class MSDeformAttn(Module):
         with_trace: bool = False,
         point_mask: np.ndarray | None = None,
         query_mask: np.ndarray | None = None,
-        sparse_mode: str = "auto",
-        backend=None,
+        options: ExecutionOptions | None = None,
+        *,
+        sparse_mode=_UNSET,
+        backend=_UNSET,
     ) -> MSDeformAttnOutput:
         """Full forward pass returning intermediates.
 
@@ -265,23 +269,41 @@ class MSDeformAttn(Module):
             ``sampling_offsets`` rows of pruned queries are zero-filled (the
             dense path records their true projections; outputs agree either
             way since every pruned point contributes nothing).
-        sparse_mode:
-            ``"auto"`` (default), ``"dense"`` or ``"sparse"`` — whether a
+        options:
+            Per-call :class:`~repro.kernels.ExecutionOptions`.
+            ``sparse_mode`` (``None`` means ``"auto"``) controls whether a
             supplied ``point_mask`` executes through the compacted
-            (pruned-points-dropped-before-gather) kernels.  Under ``"auto"``
+            (pruned-points-dropped-before-gather) kernels — under ``"auto"``
             the dense kernels always run when no mask is given, so existing
-            callers are unchanged; ``"sparse"`` forces the compacted kernels
-            even without a mask (all points kept — useful for testing and
-            benchmarking the kernels themselves).
-        backend:
-            Per-call kernel-backend override for the compacted kernels (see
-            :mod:`repro.kernels`); ``None`` follows the process default.  The
-            backends are bit-identical, so this only affects wall clock.
+            callers are unchanged, and ``"sparse"`` forces the compacted
+            kernels even without a mask (all points kept — useful for
+            testing and benchmarking the kernels themselves).
+            ``kernel_backend`` overrides the kernel backend for the
+            compacted kernels (see :mod:`repro.kernels`); ``None`` follows
+            the process default; the backends are bit-identical, so this
+            only affects wall clock.  ``collect_details=True`` implies
+            ``with_trace``.  ``enable_query_pruning`` is rejected — this
+            module has no DEFA config to apply it to.  The legacy
+            ``sparse_mode=`` / ``backend=`` keywords are deprecated shims.
 
         Batched inputs take the fully vectorized kernels (no per-image Python
         loop); every field of the result gains a leading batch axis and the
         trace becomes a :class:`~repro.nn.grid_sample.BatchedSamplingTrace`.
         """
+        options = normalize_execution_options(
+            options,
+            owner="MSDeformAttn.forward_detailed",
+            sparse_mode=sparse_mode,
+            backend=backend,
+        )
+        if options.enable_query_pruning is not None:
+            raise ValueError(
+                "enable_query_pruning does not apply to a bare MSDeformAttn; "
+                "set it on the DEFAConfig of the wrapping DEFAAttention"
+            )
+        sparse_mode = options.sparse_mode or "auto"
+        backend = options.kernel_backend
+        with_trace = bool(with_trace) or options.collect_details
         query = np.asarray(query, dtype=FLOAT_DTYPE)
         value_input = np.asarray(value_input, dtype=FLOAT_DTYPE)
         if query.ndim not in (2, 3):

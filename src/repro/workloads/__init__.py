@@ -9,6 +9,7 @@ from repro.workloads.specs import (
 from repro.workloads.synthetic_images import SceneGenerator, SyntheticScene
 from repro.workloads.dataset import SyntheticDetectionDataset
 from repro.workloads.traces import LayerTrace, cached_layer_traces, generate_layer_traces
+from repro.workloads.video import SyntheticVideoStream, VideoStreamSpec
 
 __all__ = [
     "SCALE_PRESETS",
@@ -17,6 +18,8 @@ __all__ = [
     "list_workloads",
     "SceneGenerator",
     "SyntheticScene",
+    "SyntheticVideoStream",
+    "VideoStreamSpec",
     "SyntheticDetectionDataset",
     "LayerTrace",
     "cached_layer_traces",

@@ -1,0 +1,210 @@
+"""Tests for the one-object execution-knob surface (PR 8).
+
+``ExecutionOptions`` bundles ``sparse_mode`` / ``kernel_backend`` /
+``collect_details`` / ``enable_query_pruning``; the shimmed constructors and
+per-call surfaces accept the legacy loose keywords only through
+``normalize_execution_options``, which must (a) produce byte-identical
+behavior to the options object on both the fp32 and INT12 paths, and (b)
+emit exactly one ``DeprecationWarning`` per call *site*, not per call.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAConfig
+from repro.core.encoder_runner import DEFAEncoderRunner
+from repro.engine.batching import defa_forward_fn
+from repro.kernels import (
+    ExecutionOptions,
+    normalize_execution_options,
+    reset_deprecation_warnings,
+)
+from repro.nn.encoder import DeformableEncoder
+from repro.nn.positional import make_reference_points, sine_positional_encoding
+from repro.utils.shapes import LevelShape
+
+SHAPES = [LevelShape(8, 12), LevelShape(4, 6)]
+N_IN = sum(s.num_pixels for s in SHAPES)
+D_MODEL = 32
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_registry():
+    """Per-site dedup is process-global; isolate it per test."""
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _encoder(seed: int = 0) -> DeformableEncoder:
+    return DeformableEncoder(
+        num_layers=2,
+        d_model=D_MODEL,
+        num_heads=4,
+        num_levels=len(SHAPES),
+        num_points=2,
+        ffn_dim=64,
+        rng=seed,
+    )
+
+
+def _forward(runner: DEFAEncoderRunner) -> np.ndarray:
+    rng = np.random.default_rng(3)
+    src = rng.standard_normal((N_IN, D_MODEL)).astype(np.float32)
+    pos = sine_positional_encoding(SHAPES, D_MODEL)
+    reference_points = make_reference_points(SHAPES)
+    return runner.forward(src, pos, reference_points, SHAPES).memory
+
+
+class TestExecutionOptions:
+    def test_defaults_inherit(self):
+        options = ExecutionOptions()
+        assert options.sparse_mode is None
+        assert options.kernel_backend is None
+        assert options.collect_details is False
+        assert options.enable_query_pruning is None
+
+    def test_invalid_sparse_mode_rejected(self):
+        with pytest.raises(ValueError, match="sparse_mode"):
+            ExecutionOptions(sparse_mode="blocky")
+
+    def test_invalid_backend_name_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionOptions(kernel_backend="vulkan")
+
+    def test_with_overrides(self):
+        options = ExecutionOptions(sparse_mode="sparse")
+        updated = options.with_overrides(collect_details=True)
+        assert updated.sparse_mode == "sparse"
+        assert updated.collect_details is True
+        assert options.collect_details is False  # frozen: original unchanged
+
+    def test_picklable(self):
+        import pickle
+
+        options = ExecutionOptions(sparse_mode="dense", kernel_backend="fused")
+        assert pickle.loads(pickle.dumps(options)) == options
+
+
+class TestNormalization:
+    def test_options_plus_legacy_keyword_rejected(self):
+        with pytest.raises(TypeError, match="cannot combine"):
+            DEFAEncoderRunner(
+                _encoder(),
+                DEFAConfig(),
+                ExecutionOptions(sparse_mode="dense"),
+                sparse_mode="sparse",
+            )
+
+    def test_positional_string_coerced_as_sparse_mode(self):
+        # The legacy positional-string convention still works — and warns,
+        # because it is itself the deprecated surface.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            runner = DEFAEncoderRunner(_encoder(), DEFAConfig(), "dense")
+        assert runner.sparse_mode == "dense"
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+
+    def test_non_options_object_rejected(self):
+        with pytest.raises(TypeError, match="ExecutionOptions"):
+            DEFAEncoderRunner(_encoder(), DEFAConfig(), object())
+
+    def test_per_call_surfaces_reject_construction_knobs(self):
+        runner = DEFAEncoderRunner(_encoder(), DEFAConfig(enable_query_pruning=True))
+        src = np.zeros((N_IN, D_MODEL), dtype=np.float32)
+        pos = sine_positional_encoding(SHAPES, D_MODEL)
+        reference_points = make_reference_points(SHAPES)
+        with pytest.raises(ValueError, match="per-block"):
+            runner.defa_layers[0].forward_detailed(
+                src + pos,
+                reference_points,
+                src,
+                SHAPES,
+                options=ExecutionOptions(sparse_mode="sparse"),
+            )
+        with pytest.raises(ValueError, match="construction"):
+            defa_forward_fn(
+                runner, ExecutionOptions(enable_query_pruning=True)
+            )
+        with pytest.raises(ValueError, match="batched memory"):
+            defa_forward_fn(runner, ExecutionOptions(collect_details=True))
+
+
+class TestShimEquivalence:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            DEFAConfig(quant_bits=None, enable_query_pruning=True),
+            DEFAConfig(quant_bits=12, enable_query_pruning=True),
+        ],
+        ids=["fp32", "int12"],
+    )
+    def test_legacy_kwargs_bit_identical_to_options(self, config):
+        encoder = _encoder()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = DEFAEncoderRunner(
+                encoder, config, sparse_mode="sparse", backend="fused"
+            )
+        modern = DEFAEncoderRunner(
+            encoder,
+            config,
+            ExecutionOptions(sparse_mode="sparse", kernel_backend="fused"),
+        )
+        np.testing.assert_array_equal(_forward(legacy), _forward(modern))
+
+    def test_legacy_forward_fn_bit_identical(self):
+        encoder = _encoder()
+        runner = DEFAEncoderRunner(encoder, DEFAConfig(enable_query_pruning=True))
+        rng = np.random.default_rng(5)
+        batch = rng.standard_normal((2, N_IN, D_MODEL)).astype(np.float32)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_fn = defa_forward_fn(runner, sparse_mode="sparse")
+        modern_fn = defa_forward_fn(runner, ExecutionOptions(sparse_mode="sparse"))
+        np.testing.assert_array_equal(
+            legacy_fn(batch, SHAPES), modern_fn(batch, SHAPES)
+        )
+
+
+class TestDeprecationWarnings:
+    def test_shim_warns_once_per_call_site(self):
+        encoder = _encoder()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):  # same site, repeated: one warning
+                DEFAEncoderRunner(encoder, DEFAConfig(), sparse_mode="dense")
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert "ExecutionOptions" in str(caught[0].message)
+
+    def test_distinct_call_sites_each_warn(self):
+        encoder = _encoder()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DEFAEncoderRunner(encoder, DEFAConfig(), sparse_mode="dense")
+            DEFAEncoderRunner(encoder, DEFAConfig(), sparse_mode="dense")
+        assert len(caught) == 2
+
+    def test_options_path_never_warns(self):
+        encoder = _encoder()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            DEFAEncoderRunner(encoder, DEFAConfig(), ExecutionOptions())
+            defa_forward_fn(
+                DEFAEncoderRunner(encoder, DEFAConfig()), ExecutionOptions()
+            )
+
+    def test_normalize_reports_owner_and_keyword(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            normalize_execution_options(owner="MySurface", backend="fused")
+        assert len(caught) == 1
+        message = str(caught[0].message)
+        assert "MySurface" in message
+        assert "backend" in message

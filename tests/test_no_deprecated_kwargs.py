@@ -1,0 +1,41 @@
+"""Tier-1 guard: internal code must not use the deprecated loose kwargs.
+
+Runs the same AST checker CI's lint job runs (``tools/
+check_deprecated_kwargs.py``): any call of a shimmed surface under
+``src/repro/`` passing ``sparse_mode=``/``backend=`` keywords fails —
+internal code carries its knobs in one ``ExecutionOptions`` object; the
+legacy keywords exist only for external callers (and warn).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_deprecated_kwargs import find_violations, main  # noqa: E402
+
+
+def test_internal_code_has_no_deprecated_kwargs(capsys):
+    assert main(str(REPO_ROOT / "src" / "repro")) == 0, capsys.readouterr().out
+
+
+def test_checker_flags_deprecated_keyword(tmp_path):
+    offender = tmp_path / "offender.py"
+    offender.write_text(
+        "runner = DEFAEncoderRunner(encoder, config, sparse_mode='dense')\n"
+        "out = layer.forward_detailed(q, r, v, shapes, backend='fused')\n"
+        "ok = DEFAEncoderRunner(encoder, config, options=options)\n"
+        "unrelated = use_sparse_rows(x, sparse_mode='auto')\n"
+    )
+    violations = find_violations(offender)
+    assert [(v[2], v[3]) for v in violations] == [
+        ("DEFAEncoderRunner", "sparse_mode"),
+        ("forward_detailed", "backend"),
+    ]
+
+
+def test_checker_errors_on_missing_directory(tmp_path):
+    assert main(str(tmp_path / "nope")) == 2

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fail if internal code passes the deprecated execution-knob keywords.
+
+Since PR 8 the execution knobs travel as one
+:class:`repro.kernels.ExecutionOptions` object; the legacy ``sparse_mode=`` /
+``backend=`` keywords on the shimmed surfaces (``DEFAAttention``,
+``DEFAEncoderRunner``, ``defa_forward_fn`` and the ``forward_detailed``
+methods) only remain for *external* callers, routed through
+``normalize_execution_options`` with a ``DeprecationWarning``.  This checker
+walks the ASTs under ``src/repro/`` and exits non-zero on any internal call
+that still uses them, keeping the old surface external-only.
+
+Run directly (CI lint job) or through ``tests/test_no_deprecated_kwargs.py``
+(tier-1).  Other functions are free to have their own ``sparse_mode``/
+``backend`` parameters (e.g. ``use_sparse_rows``) — only calls whose callee
+name is one of the shimmed surfaces are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Callee names whose calls must not pass the deprecated keywords.  Both
+#: plain names (``DEFAAttention(...)``) and attribute access
+#: (``runner.defa_layers[0].forward_detailed(...)``) are matched by the
+#: final name segment.
+SHIMMED_CALLEES = frozenset(
+    {"DEFAAttention", "DEFAEncoderRunner", "defa_forward_fn", "forward_detailed"}
+)
+
+#: The keywords that moved into ``ExecutionOptions``.
+DEPRECATED_KEYWORDS = frozenset({"sparse_mode", "backend"})
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def find_violations(path: Path) -> list[tuple[Path, int, str, str]]:
+    """``(file, line, callee, keyword)`` for every deprecated-keyword call."""
+    violations = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _callee_name(node)
+        if callee not in SHIMMED_CALLEES:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg in DEPRECATED_KEYWORDS:
+                violations.append((path, node.lineno, callee, keyword.arg))
+    return violations
+
+
+def main(root: str = "src/repro") -> int:
+    base = Path(root)
+    if not base.is_dir():
+        print(f"error: {base} is not a directory", file=sys.stderr)
+        return 2
+    violations = []
+    for path in sorted(base.rglob("*.py")):
+        violations.extend(find_violations(path))
+    for path, lineno, callee, keyword in violations:
+        print(
+            f"{path}:{lineno}: {callee}(... {keyword}=...) — internal code must "
+            f"pass options=ExecutionOptions(...) (see repro/kernels/options.py)"
+        )
+    if violations:
+        print(f"\n{len(violations)} deprecated-keyword call(s) under {base}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))
