@@ -33,7 +33,15 @@ from repro.eval.profiler import (
     measure_sparse_speedup,
     sweep_sparse_speedup,
 )
-from repro.kernels import COMPILED_AVAILABLE, KERNEL_BACKENDS, get_backend, set_backend
+from repro.kernels import (
+    COMPILED_AVAILABLE,
+    KERNEL_BACKENDS,
+    get_active_profile,
+    get_backend,
+    resolve_profile,
+    set_active_profile,
+    set_backend,
+)
 from repro.kernels.compiled_backend import COMPILED_EQUIVALENCE_TOL
 from repro.nn.encoder import DeformableEncoder
 from repro.utils.shapes import make_level_shapes
@@ -396,16 +404,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if sparse/dense or batched/serial equivalence "
                              "drifts, with a per-probe summary")
+    parser.add_argument("--profile", default=None, metavar="PROFILE",
+                        help="dispatch profile every probe runs under: 'reference' or a "
+                             "path to a calibrated MachineProfile JSON (see "
+                             "repro.kernels.calibration; default: the process default — "
+                             "REPRO_MACHINE_PROFILE or the committed reference profile). "
+                             "A calibrated profile moves the dense/sparse crossovers, so "
+                             "--check only accepts 'reference' (the committed constants "
+                             "the equivalence baselines were recorded under)")
     args = parser.parse_args(argv)
 
     preset = SCALE_PRESETS[args.scale]
     repeats = args.repeats if args.repeats is not None else preset["repeats"]
     if args.backend is not None:
         set_backend(args.backend)
+    if args.profile is not None:
+        if args.check and args.profile != "reference":
+            parser.error(
+                "--check requires the deterministic committed constants; "
+                "combine it only with --profile reference"
+            )
+        set_active_profile(resolve_profile(args.profile))
 
     print(
         f"running benchmarks (scale={args.scale}, repeats={repeats}, "
-        f"backend={get_backend().name}) ..."
+        f"backend={get_backend().name}, profile={get_active_profile().name}) ..."
     )
     record = {
         "name": "run_all",
@@ -413,6 +436,7 @@ def main(argv: list[str] | None = None) -> int:
             "scale": args.scale,
             "repeats": repeats,
             "kernel_backend": get_backend().name,
+            "machine_profile": get_active_profile().name,
         },
         "benchmarks": [
             run_engine_benchmark(repeats),

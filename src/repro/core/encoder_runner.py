@@ -29,10 +29,6 @@ from repro.core.config import DEFAConfig
 from repro.core.flops import FlopsBreakdown
 from repro.core.fwp import normalize_mask
 from repro.core.pipeline import (
-    SPARSE_AUTO_FFN_KEEP_MAX,
-    SPARSE_AUTO_FFN_MIN_TOKENS,
-    SPARSE_AUTO_MIN_QUERIES,
-    SPARSE_AUTO_QUERY_KEEP_MAX,
     SPARSE_MODES,
     DEFAAttention,
     DEFAAttentionBatchOutput,
@@ -45,6 +41,7 @@ from repro.kernels import (
     ExecutionPlan,
     normalize_execution_options,
     resolve_backend,
+    resolve_profile,
 )
 from repro.kernels.options import _UNSET
 from repro.nn.encoder import DeformableEncoder
@@ -188,8 +185,17 @@ class DEFAEncoderRunner:
         self.enable_sparse_ffn = enable_sparse_ffn
         self.kernel_backend = options.kernel_backend
         self.collect_details_default = options.collect_details
+        self.machine_profile = resolve_profile(options.machine_profile)
+        """The host dispatch profile (PR 9) governing every ``auto``
+        crossover threshold of this runner — the blocks' row dispatch, the
+        inter-block query/FFN stages and the point-gather rule — resolved
+        once at construction (``None`` followed the process-default active
+        profile) and forwarded to every block."""
         self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
-        block_options = ExecutionOptions(sparse_mode=options.sparse_mode or "auto")
+        block_options = ExecutionOptions(
+            sparse_mode=options.sparse_mode or "auto",
+            machine_profile=self.machine_profile,
+        )
         self.defa_layers = [
             DEFAAttention(layer.self_attn, config, block_options)
             for layer in encoder.layers
@@ -253,10 +259,12 @@ class DEFAEncoderRunner:
         ``backend`` names the kernel backend the runner *actually* executes
         with right now — after registry fallback, so a worker that requested
         ``"compiled"`` on a host without the built extension reports
-        ``"fused"`` here.
+        ``"fused"`` here.  ``profile`` names the active dispatch profile
+        (``"reference"`` unless a calibrated host profile was installed).
         """
         return {
             "backend": self.resolved_backend().name,
+            "profile": self.machine_profile.name,
             "plans": len(self._plans),
             "hits": sum(p.hits for p in self._plans.values()),
             "grows": sum(p.grows for p in self._plans.values()),
@@ -282,11 +290,12 @@ class DEFAEncoderRunner:
         if not self.config.enable_query_pruning or fmap_mask is None:
             return None, False
         fmap_mask = normalize_mask(fmap_mask)  # boundary: accept int masks
+        t = self.machine_profile.thresholds_for(self.resolved_backend().name)
         compact = use_sparse_rows(
             fmap_mask,
             queries_per_image,
-            SPARSE_AUTO_QUERY_KEEP_MAX,
-            SPARSE_AUTO_MIN_QUERIES,
+            t.query_keep_max,
+            t.min_queries,
             self.sparse_mode,
             batched=batched,
         )
@@ -350,11 +359,12 @@ class DEFAEncoderRunner:
         if not self.config.enable_query_pruning or fmap_mask is None:
             return None, False
         fmap_mask = normalize_mask(fmap_mask)  # boundary: accept int masks
+        t = self.machine_profile.thresholds_for(self.resolved_backend().name)
         compact = self.enable_sparse_ffn and use_sparse_rows(
             fmap_mask,
             tokens_per_image,
-            SPARSE_AUTO_FFN_KEEP_MAX,
-            SPARSE_AUTO_FFN_MIN_TOKENS,
+            t.ffn_keep_max,
+            t.ffn_min_tokens,
             self.sparse_mode,
             batched=batched,
         )

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.plan import ExecutionPlan
 from repro.nn.tensor_utils import FLOAT_DTYPE
 
 
@@ -72,6 +73,7 @@ def compute_point_mask(
     threshold: float,
     keep_top1: bool = True,
     renormalize: bool = False,
+    plan: ExecutionPlan | None = None,
 ) -> PAPResult:
     """Apply PAP to softmax attention probabilities.
 
@@ -89,6 +91,14 @@ def compute_point_mask(
     renormalize:
         If ``True``, re-normalize the surviving probabilities of every
         (query, head) to sum to one.  The paper keeps the raw values.
+    plan:
+        Optional :class:`~repro.kernels.ExecutionPlan` arena.  When given,
+        the mask and the pruned weights live in plan buffers (``pap.mask`` /
+        ``pap.weights``), so steady-state forwards allocate nothing here.
+        The returned :class:`PAPResult` then aliases the arena and is valid
+        only until the next same-shape PAP computation on the same plan —
+        callers that must retain it (detail collection) pass ``plan=None``.
+        Results are bit-identical either way (same ufuncs, ``out=`` only).
     """
     attention = np.asarray(attention_weights, dtype=FLOAT_DTYPE)
     if attention.ndim != 4:
@@ -96,7 +106,12 @@ def compute_point_mask(
     if not 0 <= threshold < 1:
         raise ValueError("threshold must be in [0, 1)")
 
-    mask = attention >= threshold
+    if plan is not None:
+        mask = np.greater_equal(
+            attention, threshold, out=plan.buffer("pap.mask", attention.shape, bool)
+        )
+    else:
+        mask = attention >= threshold
     if keep_top1:
         n_q, n_h, n_l, n_p = attention.shape
         flat = attention.reshape(n_q, n_h, n_l * n_p)
@@ -106,10 +121,21 @@ def compute_point_mask(
         flat_mask[q_idx, h_idx, top] = True
         mask = flat_mask.reshape(n_q, n_h, n_l, n_p)
 
-    pruned_weights = np.where(mask, attention, 0.0).astype(FLOAT_DTYPE)
+    if plan is not None:
+        # np.where(mask, attention, 0.0) without the temporary: zeros + masked
+        # copy writes the identical float32 values into the arena buffer.
+        pruned_weights = plan.zeros("pap.weights", attention.shape, FLOAT_DTYPE)
+        np.copyto(pruned_weights, attention, where=mask)
+    else:
+        pruned_weights = np.where(mask, attention, 0.0).astype(FLOAT_DTYPE)
     if renormalize:
         sums = pruned_weights.sum(axis=(-2, -1), keepdims=True)
-        pruned_weights = (pruned_weights / np.maximum(sums, 1e-12)).astype(FLOAT_DTYPE)
+        if plan is not None:
+            np.divide(pruned_weights, np.maximum(sums, 1e-12), out=pruned_weights)
+        else:
+            pruned_weights = (pruned_weights / np.maximum(sums, 1e-12)).astype(
+                FLOAT_DTYPE
+            )
     return PAPResult(point_mask=mask, attention_weights=pruned_weights, threshold=float(threshold))
 
 

@@ -58,10 +58,12 @@ from repro.core.fwp import (
     normalize_mask,
 )
 from repro.kernels import (
+    DispatchThresholds,
     ExecutionOptions,
     ExecutionPlan,
     normalize_execution_options,
     resolve_backend,
+    resolve_profile,
 )
 from repro.kernels.options import _UNSET
 from repro.kernels.fused_ops import (
@@ -98,30 +100,38 @@ from repro.quant.qmodules import QuantizedLinear, quantize_linear
 from repro.utils.shapes import LevelShape, total_pixels
 from repro.utils.timing import kernel_section
 
-SPARSE_AUTO_PIXEL_KEEP_MAX = 0.85
+# The hand-tuned reference-machine crossovers live as the field defaults of
+# repro.kernels.calibration.DispatchThresholds (single source of truth since
+# PR 9); these module constants are derived aliases kept for external callers
+# and for the reference-profile parity gate.  Construction-time profiles
+# (ExecutionOptions.machine_profile / REPRO_MACHINE_PROFILE) override them
+# per host and per backend without touching this module.
+_REFERENCE_THRESHOLDS = DispatchThresholds()
+
+SPARSE_AUTO_PIXEL_KEEP_MAX = _REFERENCE_THRESHOLDS.pixel_keep_max
 """``auto``: use the compacted value projection when at most this fraction of
 fmap pixels survives the incoming FWP mask."""
 
-SPARSE_AUTO_MIN_TOKENS = 512
+SPARSE_AUTO_MIN_TOKENS = _REFERENCE_THRESHOLDS.min_tokens
 """``auto``: minimum ``N_in`` (per image) before the compacted value
 projection can pay for its gather/scatter overhead."""
 
-SPARSE_AUTO_QUERY_KEEP_MAX = 0.85
+SPARSE_AUTO_QUERY_KEEP_MAX = _REFERENCE_THRESHOLDS.query_keep_max
 """``auto``: use the row-compacted query-side projections (attention /
 offset / output heads) when at most this fraction of queries survives the
 incoming FWP mask under query pruning."""
 
-SPARSE_AUTO_MIN_QUERIES = 512
+SPARSE_AUTO_MIN_QUERIES = _REFERENCE_THRESHOLDS.min_queries
 """``auto``: minimum ``N_q`` (per image) before the row-compacted query-side
 projections can pay for their gather/scatter overhead."""
 
-SPARSE_AUTO_FFN_KEEP_MAX = 0.85
+SPARSE_AUTO_FFN_KEEP_MAX = _REFERENCE_THRESHOLDS.ffn_keep_max
 """``auto``: run the inter-block FFN/LayerNorm stage row-compacted when at
 most this fraction of pixels survives the incoming FWP mask under query
 pruning (see :meth:`repro.nn.encoder.DeformableEncoderLayer.
 forward_ffn_stage`)."""
 
-SPARSE_AUTO_FFN_MIN_TOKENS = 512
+SPARSE_AUTO_FFN_MIN_TOKENS = _REFERENCE_THRESHOLDS.ffn_min_tokens
 """``auto``: minimum ``N_in`` (per image) before the row-compacted FFN stage
 can pay for its gather/scatter overhead."""
 
@@ -142,6 +152,16 @@ def use_sparse_rows(
     actually prune.  A batch uses the *maximum* per-image keep fraction
     (compact only when every image alone would go compact) so batched and
     single-image runs make the same decision wherever possible.
+
+    Boundary semantics (pinned by boundary-value tests; must match
+    :func:`~repro.nn.grid_sample.use_sparse_gather` so a calibrated profile
+    with equal crossover values cannot flip the batched-vs-single path
+    choice): the minimum size compares with ``<`` — ``rows_per_image ==
+    min_rows`` is sparse-eligible — and the keep ratio with ``<=`` —
+    ``keep_fraction == keep_max`` goes sparse.  The batched keep fraction of
+    a size-one batch equals the single-image fraction exactly (same
+    ``count / rows`` division), so equality at the threshold dispatches
+    identically on both paths.
     """
     if mask is None or sparse_mode == "dense":
         return False
@@ -389,6 +409,12 @@ class DEFAAttention:
         self.config = config
         self.sparse_mode = mode
         self.kernel_backend = options.kernel_backend
+        self.machine_profile = resolve_profile(options.machine_profile)
+        """The host dispatch profile governing this block's ``auto``
+        thresholds, resolved once at construction (``None`` followed the
+        process-default active profile).  Per-backend overrides are looked
+        up per forward, after backend resolution."""
+
         self.range_narrowing: RangeNarrowing | None = None
         if config.enable_range_narrowing:
             self.range_narrowing = RangeNarrowing(config.effective_ranges(attn.num_levels))
@@ -424,6 +450,14 @@ class DEFAAttention:
 
     # ------------------------------------------------------------ sparse path
 
+    def _thresholds(self, backend=None) -> DispatchThresholds:
+        """This block's dispatch thresholds under the given (resolved)
+        backend — the profile's per-backend override when one exists, the
+        machine-wide default otherwise (also when no backend context is
+        available)."""
+        name = backend.name if backend is not None else None
+        return self.machine_profile.thresholds_for(name)
+
     def _use_sparse_rows(
         self,
         mask: np.ndarray | None,
@@ -438,26 +472,36 @@ class DEFAAttention:
         )
 
     def _use_sparse_projection(
-        self, fmap_mask: np.ndarray | None, tokens_per_image: int, batched: bool = False
+        self,
+        fmap_mask: np.ndarray | None,
+        tokens_per_image: int,
+        batched: bool = False,
+        backend=None,
     ) -> bool:
         """Whether the value projection runs on compacted (kept-pixel) rows."""
+        thresholds = self._thresholds(backend)
         return self._use_sparse_rows(
             fmap_mask,
             tokens_per_image,
-            SPARSE_AUTO_PIXEL_KEEP_MAX,
-            SPARSE_AUTO_MIN_TOKENS,
+            thresholds.pixel_keep_max,
+            thresholds.min_tokens,
             batched=batched,
         )
 
     def _use_sparse_query(
-        self, query_keep: np.ndarray | None, queries_per_image: int, batched: bool = False
+        self,
+        query_keep: np.ndarray | None,
+        queries_per_image: int,
+        batched: bool = False,
+        backend=None,
     ) -> bool:
         """Whether the query-side projections run on compacted (kept-query) rows."""
+        thresholds = self._thresholds(backend)
         return self._use_sparse_rows(
             query_keep,
             queries_per_image,
-            SPARSE_AUTO_QUERY_KEEP_MAX,
-            SPARSE_AUTO_MIN_QUERIES,
+            thresholds.query_keep_max,
+            thresholds.min_queries,
             batched=batched,
         )
 
@@ -497,6 +541,7 @@ class DEFAAttention:
         points_shape: tuple[int, ...],
         query_keep: np.ndarray | None,
         kept_q: np.ndarray | None,
+        plan: ExecutionPlan | None = None,
     ) -> PAPResult:
         """Combine a PAP result with the query keep-mask of query pruning.
 
@@ -506,15 +551,34 @@ class DEFAAttention:
         kept rows (sparse query path) and is scattered back; otherwise it
         covers the full grid (dense path) and the pruned rows are zeroed.
         Either way the resulting masks, weights and counts are identical, so
-        the two paths stay equivalent.
+        the two paths stay equivalent.  With a ``plan`` the folded mask and
+        weights live in arena buffers (``fold.mask`` / ``fold.weights``) —
+        note ``row_pap`` may itself alias the ``pap.*`` buffers, so the fold
+        uses distinct names and only reads from the input.
         """
         if query_keep is None:
             return row_pap
         if kept_q is not None:
-            point_mask = np.zeros(points_shape, dtype=bool)
+            if plan is not None:
+                point_mask = plan.zeros("fold.mask", points_shape, bool)
+                weights = plan.zeros("fold.weights", points_shape, FLOAT_DTYPE)
+            else:
+                point_mask = np.zeros(points_shape, dtype=bool)
+                weights = np.zeros(points_shape, dtype=FLOAT_DTYPE)
             point_mask[kept_q] = row_pap.point_mask
-            weights = np.zeros(points_shape, dtype=FLOAT_DTYPE)
             weights[kept_q] = row_pap.attention_weights
+        elif plan is not None:
+            keep_rows = query_keep.reshape(query_keep.size, 1, 1, 1)
+            point_mask = np.logical_and(
+                row_pap.point_mask,
+                keep_rows,
+                out=plan.buffer("fold.mask", points_shape, bool),
+            )
+            weights = np.multiply(
+                row_pap.attention_weights,
+                keep_rows,
+                out=plan.buffer("fold.weights", points_shape, FLOAT_DTYPE),
+            )
         else:
             keep_rows = query_keep.reshape(query_keep.size, 1, 1, 1)
             point_mask = row_pap.point_mask & keep_rows
@@ -545,7 +609,7 @@ class DEFAAttention:
         attn = self.attn
         n_in = value_input.shape[0]
         proj = self._value_proj
-        if not self._use_sparse_projection(fmap_mask, n_in):
+        if not self._use_sparse_projection(fmap_mask, n_in, backend=backend):
             if plan is not None:
                 value = project_into(
                     proj, value_input, plan, "value_proj", backend=backend
@@ -589,7 +653,9 @@ class DEFAAttention:
         attn = self.attn
         batch, n_in = value_input.shape[0], value_input.shape[1]
         proj = self._value_proj
-        if not self._use_sparse_projection(fmap_mask, n_in, batched=True):
+        if not self._use_sparse_projection(
+            fmap_mask, n_in, batched=True, backend=backend
+        ):
             if plan is not None:
                 value = project_batched_into(
                     proj, value_input, plan, "value_proj", backend=backend
@@ -663,8 +729,9 @@ class DEFAAttention:
             block's options and then ``config.kernel_backend`` / the
             process default; the backends are bit-identical) — the other
             knobs are per-block/per-construction properties, so a non-
-            ``None`` ``sparse_mode`` or ``enable_query_pruning`` here is an
-            error.  The legacy ``backend=`` keyword is a deprecated shim.
+            ``None`` ``sparse_mode``, ``enable_query_pruning`` or
+            ``machine_profile`` here is an error.  The legacy ``backend=``
+            keyword is a deprecated shim.
         plan:
             Optional :class:`~repro.kernels.ExecutionPlan` buffer arena.
             When given (the encoder runner passes one per shape signature),
@@ -685,6 +752,12 @@ class DEFAAttention:
             raise ValueError(
                 "sparse_mode and enable_query_pruning are per-block properties; "
                 "set them when constructing the DEFAAttention, not per call"
+            )
+        if options.machine_profile is not None:
+            raise ValueError(
+                "machine_profile is a per-block property resolved at "
+                "construction; set it when constructing the DEFAAttention, "
+                "not per call"
             )
         query = np.asarray(query, dtype=FLOAT_DTYPE)
         value_input = np.asarray(value_input, dtype=FLOAT_DTYPE)
@@ -722,7 +795,9 @@ class DEFAAttention:
             self.config.enable_query_pruning and fmap_mask is not None and n_q == n_in
         )
         query_keep = fmap_mask if prune_queries else None
-        sparse_query = prune_queries and self._use_sparse_query(query_keep, n_q)
+        sparse_query = prune_queries and self._use_sparse_query(
+            query_keep, n_q, backend=backend
+        )
         kept_q = np.flatnonzero(query_keep) if sparse_query else None
 
         # Step 1: attention probabilities + PAP point mask (row-compacted to
@@ -772,14 +847,20 @@ class DEFAAttention:
                 threshold=self.config.pap_threshold,
                 keep_top1=self.config.pap_keep_top1,
                 renormalize=self.config.renormalize_after_pap,
+                plan=plan,
             )
         else:
+            if plan is not None:
+                all_kept = plan.buffer("pap.mask", probs.shape, bool)
+                all_kept.fill(True)
+            else:
+                all_kept = np.ones_like(probs, dtype=bool)
             row_pap = PAPResult(
-                point_mask=np.ones_like(probs, dtype=bool),
+                point_mask=all_kept,
                 attention_weights=probs,
                 threshold=0.0,
             )
-        pap = self._fold_query_mask(row_pap, points_shape, query_keep, kept_q)
+        pap = self._fold_query_mask(row_pap, points_shape, query_keep, kept_q, plan=plan)
 
         # Step 2: sampling offsets of the surviving points + range narrowing.
         with kernel_section("query_proj"):
@@ -852,7 +933,10 @@ class DEFAAttention:
             pap.point_mask if (self.config.enable_pap or prune_queries) else None
         )
         sparse_gather = use_sparse_gather(
-            effective_mask, pap.point_mask.size * 4, self.sparse_mode
+            effective_mask,
+            pap.point_mask.size * 4,
+            self.sparse_mode,
+            thresholds=self._thresholds(backend),
         )
         trace: SamplingTrace | CompactSamplingTrace
         if sparse_gather:
@@ -995,7 +1079,7 @@ class DEFAAttention:
         )
         query_keep = fmap_mask if prune_queries else None  # (B, N_q)
         sparse_query = prune_queries and self._use_sparse_query(
-            query_keep, n_q, batched=True
+            query_keep, n_q, batched=True, backend=backend
         )
         kept_q = np.flatnonzero(query_keep.reshape(-1)) if sparse_query else None
 
@@ -1047,10 +1131,16 @@ class DEFAAttention:
                 threshold=self.config.pap_threshold,
                 keep_top1=self.config.pap_keep_top1,
                 renormalize=self.config.renormalize_after_pap,
+                plan=plan,
             )
         else:
+            if plan is not None:
+                all_kept = plan.buffer("pap.mask", probs.shape, bool)
+                all_kept.fill(True)
+            else:
+                all_kept = np.ones_like(probs, dtype=bool)
             row_pap = PAPResult(
-                point_mask=np.ones_like(probs, dtype=bool),
+                point_mask=all_kept,
                 attention_weights=probs,
                 threshold=0.0,
             )
@@ -1059,6 +1149,7 @@ class DEFAAttention:
             grid_shape,
             None if query_keep is None else query_keep.reshape(-1),
             kept_q,
+            plan=plan,
         )
         point_masks = pap_all.point_mask.reshape((batch, n_q) + grid_shape[1:])
         attn_weights = pap_all.attention_weights.reshape(point_masks.shape)
@@ -1152,6 +1243,7 @@ class DEFAAttention:
             point_masks[0].size * 4,  # per-image slots: keep batched == single
             self.sparse_mode,
             batched=True,
+            thresholds=self._thresholds(backend),
         )
         if sparse_gather:
             with kernel_section("neighbors"):

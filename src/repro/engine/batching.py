@@ -23,7 +23,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.kernels import ExecutionOptions, normalize_execution_options
+from repro.kernels import ExecutionOptions, ExecutionPlan, normalize_execution_options
 from repro.kernels.options import _UNSET
 from repro.nn.tensor_utils import FLOAT_DTYPE
 from repro.utils.shapes import LevelShape
@@ -143,6 +143,11 @@ class BatchRunner:
             raise ValueError("max_batch_size must be positive")
         self.forward_fn = forward_fn
         self.max_batch_size = max_batch_size
+        # Arena for the (B, N_in, D) stacking copies: the stacked batch is
+        # consumed synchronously by forward_fn and never escapes run() (the
+        # per-item outputs are fresh copies below), so one named buffer per
+        # shape keeps steady-state runs free of per-batch allocations.
+        self._stack_plan = ExecutionPlan()
 
     def plan(self, items: list[WorkItem]) -> dict[ShapeKey, list[int]]:
         """Group item indices by shape signature (insertion-ordered)."""
@@ -166,8 +171,14 @@ class BatchRunner:
             for start in range(0, len(indices), self.max_batch_size):
                 chunk = indices[start : start + self.max_batch_size]
                 # Items froze their features to FLOAT_DTYPE at construction,
-                # so the stack needs no per-item cast.
-                stacked = np.stack([items[i].features for i in chunk])
+                # so the stack needs no per-item cast; the rows are copied
+                # into a reused arena buffer instead of a fresh np.stack.
+                first = items[chunk[0]].features
+                stacked = self._stack_plan.buffer(
+                    "stack", (len(chunk),) + first.shape, FLOAT_DTYPE
+                )
+                for row, i in enumerate(chunk):
+                    np.copyto(stacked[row], items[i].features)
                 batched_out = self.forward_fn(stacked, shapes)
                 if batched_out.shape[0] != len(chunk):
                     raise ValueError(
@@ -248,6 +259,11 @@ def defa_forward_fn(
         )
     if options.collect_details:
         raise ValueError("defa_forward_fn only returns the batched memory")
+    if options.machine_profile is not None:
+        raise ValueError(
+            "machine_profile cannot be set per adapter: the dispatch profile "
+            "is resolved when the runner is constructed"
+        )
     sparse_mode = options.sparse_mode
     backend = options.kernel_backend
     cache: dict[ShapeKey, tuple[np.ndarray, np.ndarray]] = {}

@@ -48,7 +48,7 @@ import time
 import traceback
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -56,6 +56,8 @@ import numpy as np
 from repro.core.config import DEFAConfig
 from repro.engine.batching import BatchForward, ShapeKey, WorkItem, defa_forward_fn
 from repro.engine.streaming import StreamingConfig, StreamingEncoderSession
+from repro.kernels import ExecutionOptions, ExecutionPlan, MachineProfile
+from repro.nn.tensor_utils import FLOAT_DTYPE
 
 __all__ = [
     "DEFAULT_REQUEST_CLASS",
@@ -134,6 +136,7 @@ class StreamingClassServer:
         for session in self.sessions.values():
             stats = session.plan_stats()
             merged["backend"] = stats["backend"]
+            merged["profile"] = stats["profile"]
             for key in ("plans", "hits", "grows", "bytes"):
                 merged[key] += stats[key]
         merged["sessions"] = len(self.sessions)
@@ -248,6 +251,15 @@ class ModelBankSpec:
     picklable (use backend *names* in any embedded
     :class:`~repro.kernels.ExecutionOptions`)."""
 
+    machine_profile: "MachineProfile | str | None" = None
+    """Dispatch profile (PR 9) every runner of the bank is built with:
+    a :class:`~repro.kernels.MachineProfile` (frozen, picklable),
+    ``"reference"``, a path to a profile JSON — resolved *on the worker
+    host* at bank build, so each heterogeneous serving host can load its
+    own calibrated crossovers — or ``None`` to follow each worker's
+    process-default active profile (``REPRO_MACHINE_PROFILE``, else the
+    committed reference constants)."""
+
     def build(self) -> ModelBank:
         from repro.core.encoder_runner import DEFAEncoderRunner
         from repro.nn.encoder import DeformableEncoder
@@ -261,16 +273,21 @@ class ModelBankSpec:
             ffn_dim=self.ffn_dim,
             rng=self.rng_seed,
         )
+        options = ExecutionOptions(machine_profile=self.machine_profile)
         forwards: dict[str, BatchForward] = {}
         runners: dict[str, object] = {}
         for name, config in self.classes:
-            runner = DEFAEncoderRunner(encoder, config)
+            runner = DEFAEncoderRunner(encoder, config, options)
             runners[name] = runner
             forwards[name] = defa_forward_fn(runner)
-        streaming = {
-            name: StreamingClassServer(encoder, config, policy)
-            for name, config, policy in self.streams
-        }
+        streaming = {}
+        for name, config, policy in self.streams:
+            if self.machine_profile is not None:
+                session_options = (
+                    policy.options or ExecutionOptions()
+                ).with_overrides(machine_profile=self.machine_profile)
+                policy = replace(policy, options=session_options)
+            streaming[name] = StreamingClassServer(encoder, config, policy)
         return ModelBank(forwards, runners, streaming)
 
 
@@ -494,6 +511,10 @@ class ServingEngine:
         self._flush_all = False
         self._local_bank: ModelBank | None = None
         self._workers = [_WorkerHandle(i) for i in range(self.config.num_workers)]
+        self._stack_plan = ExecutionPlan()
+        """Arena for the per-dispatch ``(B, N_in, D)`` stacking copies (the
+        last steady-state allocation of the engine itself — see
+        :meth:`_stack` for why reuse is safe)."""
         self._mp = mp.get_context()
         self._pump: threading.Thread | None = None
         self._stop = threading.Event()
@@ -523,10 +544,13 @@ class ServingEngine:
                 self._ensure_local_bank()
             self._record_mode(now)
         if wait_ready and self._workers:
-            deadline = time.monotonic() + timeout
+            # Deadline math goes through the injected clock (like every other
+            # timing decision here) so FakeClock-driven tests never race real
+            # wall time.
+            deadline = self._clock() + timeout
             while not all(h.ready for h in self._workers if h.alive):
                 self.poll()
-                if time.monotonic() > deadline:
+                if self._clock() > deadline:
                     raise TimeoutError("workers did not report ready in time")
                 time.sleep(0.001)
         if self._pump is None:
@@ -615,7 +639,7 @@ class ServingEngine:
     def flush(self, timeout: float = 60.0) -> None:
         """Dispatch everything pending regardless of wait policy and block
         until every in-flight batch has completed."""
-        deadline = time.monotonic() + timeout
+        deadline = self._clock() + timeout
         self._flush_all = True
         try:
             while True:
@@ -626,7 +650,7 @@ class ServingEngine:
                     )
                 if drained:
                     return
-                if time.monotonic() > deadline:
+                if self._clock() > deadline:
                     raise TimeoutError("flush did not drain the engine in time")
                 time.sleep(0.0002)
         finally:
@@ -874,7 +898,20 @@ class ServingEngine:
         self._pending = deque(p for p in self._pending if id(p) not in taken)
 
     def _stack(self, chunk: list[_Pending]) -> np.ndarray:
-        return np.stack([p.item.features for p in chunk])
+        """Stack a chunk's features into the reused stacking arena.
+
+        Safe to reuse per dispatch: worker dispatch pickles the array inside
+        ``conn.send`` before returning, and the in-process paths consume it
+        synchronously (``_resolve`` hands out per-request *copies*), so the
+        buffer never escapes the dispatch that filled it.
+        """
+        first = chunk[0].item.features
+        stacked = self._stack_plan.buffer(
+            "stack", (len(chunk),) + first.shape, FLOAT_DTYPE
+        )
+        for row, pending in enumerate(chunk):
+            np.copyto(stacked[row], pending.item.features)
+        return stacked
 
     @staticmethod
     def _meta(

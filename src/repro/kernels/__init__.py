@@ -18,18 +18,24 @@ Public surface:
   fake-quantize helpers used by the pipeline when a plan is active.
 * :class:`ExecutionOptions` / :func:`normalize_execution_options` — the one
   frozen object bundling the execution knobs (``sparse_mode``, kernel
-  backend, detail collection, query-pruning enablement) threaded through
-  the whole stack since PR 8, and its single legacy-keyword normalization
-  point (see :mod:`repro.kernels.options`).
+  backend, detail collection, query-pruning enablement, machine profile)
+  threaded through the whole stack since PR 8, and its single
+  legacy-keyword normalization point (see :mod:`repro.kernels.options`).
+* :class:`MachineProfile` / :class:`DispatchThresholds` /
+  :func:`get_active_profile` / :func:`set_active_profile` /
+  :func:`resolve_profile` / :func:`use_profile` / :func:`calibrate` —
+  host-calibrated auto-dispatch profiles (PR 9): the ``SPARSE_AUTO_*``
+  crossover thresholds as versioned, schema-checked JSON data, with a sweep
+  harness to calibrate them per host and per backend, initialised from
+  ``REPRO_MACHINE_PROFILE`` (the committed reference profile when unset, so
+  dispatch stays bit-deterministic by default — see
+  :mod:`repro.kernels.calibration`).
 """
 
-from repro.kernels.compiled_backend import COMPILED_AVAILABLE
-from repro.kernels.options import (
-    ExecutionOptions,
-    normalize_execution_options,
-    reset_deprecation_warnings,
-)
-from repro.kernels.plan import ExecutionPlan
+# Import order is load-bearing: every leaf surface (registry, calibration,
+# options, plan) must bind into this namespace *before* compiled_backend,
+# whose import chain (quant -> nn.msdeform_attn) re-enters this package and
+# reads ExecutionOptions from the partially initialized module.
 from repro.kernels.registry import (
     DEFAULT_BACKEND_ENV,
     KERNEL_BACKENDS,
@@ -38,17 +44,46 @@ from repro.kernels.registry import (
     set_backend,
     use_backend,
 )
+from repro.kernels.calibration import (
+    PROFILE_ENV,
+    CalibrationGrid,
+    DispatchThresholds,
+    MachineProfile,
+    calibrate,
+    get_active_profile,
+    reference_profile,
+    resolve_profile,
+    set_active_profile,
+    use_profile,
+)
+from repro.kernels.options import (
+    ExecutionOptions,
+    normalize_execution_options,
+    reset_deprecation_warnings,
+)
+from repro.kernels.plan import ExecutionPlan
+from repro.kernels.compiled_backend import COMPILED_AVAILABLE
 
 __all__ = [
     "COMPILED_AVAILABLE",
     "DEFAULT_BACKEND_ENV",
+    "PROFILE_ENV",
+    "CalibrationGrid",
+    "DispatchThresholds",
     "ExecutionOptions",
     "ExecutionPlan",
     "KERNEL_BACKENDS",
+    "MachineProfile",
+    "calibrate",
+    "get_active_profile",
     "get_backend",
     "normalize_execution_options",
+    "reference_profile",
     "reset_deprecation_warnings",
     "resolve_backend",
+    "resolve_profile",
     "set_backend",
+    "set_active_profile",
     "use_backend",
+    "use_profile",
 ]

@@ -26,6 +26,7 @@ import sys
 import warnings
 from dataclasses import dataclass, replace
 
+from repro.kernels.calibration import MachineProfile
 from repro.kernels.registry import KERNEL_BACKENDS
 
 #: Execution-path switch values (mirrors ``repro.core.pipeline.SPARSE_MODES``;
@@ -78,12 +79,25 @@ class ExecutionOptions:
         (``MSDeformAttn.forward_detailed``, :func:`~repro.engine.batching.
         defa_forward_fn`) reject it, because the pruning projections are
         baked in when the runner is built.
+    machine_profile:
+        Host-calibrated auto-dispatch profile (PR 9): a
+        :class:`~repro.kernels.MachineProfile`, ``"reference"``, a path to a
+        profile JSON file, or ``None`` to follow the process-default active
+        profile (``REPRO_MACHINE_PROFILE``, falling back to the committed
+        reference constants).  Resolved once at construction by the owning
+        layer via :func:`~repro.kernels.resolve_profile`; per-call surfaces
+        reject it.  Profiles move *dispatch decisions* (which
+        equivalence-tested dense/sparse path runs), never the numerics of a
+        chosen path.  A new field, not a legacy keyword — there is no
+        ``machine_profile=`` shim, and ``tools/check_deprecated_kwargs.py``
+        keeps it that way.
     """
 
     sparse_mode: str | None = None
     kernel_backend: object | None = None
     collect_details: bool = False
     enable_query_pruning: bool | None = None
+    machine_profile: "MachineProfile | str | None" = None
 
     def __post_init__(self) -> None:
         if self.sparse_mode is not None and self.sparse_mode not in _SPARSE_MODES:
@@ -97,6 +111,14 @@ class ExecutionOptions:
             raise ValueError(
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, a backend "
                 f"object or None, got {self.kernel_backend!r}"
+            )
+        if self.machine_profile is not None and not isinstance(
+            self.machine_profile, (str, MachineProfile)
+        ):
+            raise TypeError(
+                "machine_profile must be a MachineProfile, 'reference', a "
+                "profile JSON path, or None, got "
+                f"{type(self.machine_profile).__name__}"
             )
 
     def with_overrides(self, **kwargs) -> "ExecutionOptions":

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.kernels.backends import _SPARSE_CONTRIB_BUDGET_BYTES, segment_sum_into
+from repro.kernels.calibration import DispatchThresholds, get_active_profile
 from repro.kernels.plan import ExecutionPlan
 from repro.kernels.registry import resolve_backend
 from repro.nn.tensor_utils import FLOAT_DTYPE
@@ -660,19 +661,29 @@ DEFAAttention`, the encoder runner and the engine adapters).
   and on tiny inputs, where compaction overhead dominates).
 """
 
-SPARSE_AUTO_POINT_KEEP_MAX = 0.70
+_REFERENCE_THRESHOLDS = DispatchThresholds()
+
+SPARSE_AUTO_POINT_KEEP_MAX = _REFERENCE_THRESHOLDS.point_keep_max
 """``auto`` sparse dispatch: use the sparse gather when at most this fraction
 of sampling points survives the PAP mask.  Above it, the compaction overhead
-(flatnonzero + segment bookkeeping) outweighs the avoided gather traffic."""
+(flatnonzero + segment bookkeeping) outweighs the avoided gather traffic.
 
-SPARSE_AUTO_MIN_SLOTS = 32768
+Since PR 9 this is an alias of the reference
+:class:`~repro.kernels.DispatchThresholds` — the committed hand-tuned value,
+kept for external readers; dispatch itself consults the active
+:class:`~repro.kernels.MachineProfile`."""
+
+SPARSE_AUTO_MIN_SLOTS = _REFERENCE_THRESHOLDS.min_slots
 """``auto`` sparse dispatch: minimum number of *per-image* gather slots
 (``N_q * N_h * N_l * N_p * 4``) before the sparse path can win — below it,
 fixed per-call overhead dominates and dense is faster.  Deliberately counted
 per image, not per batch: batched and single-image execution must make the
 same dense/sparse decision, otherwise quantized configs could amplify the
 float32 rounding difference between the two kernels into a full quantization
-step and break batched-vs-serial equivalence."""
+step and break batched-vs-serial equivalence.
+
+Alias of the reference :class:`~repro.kernels.DispatchThresholds` value
+since PR 9 (see :data:`SPARSE_AUTO_POINT_KEEP_MAX`)."""
 
 
 
@@ -681,14 +692,27 @@ def use_sparse_gather(
     slots_per_image: int,
     sparse_mode: str,
     batched: bool = False,
+    thresholds: DispatchThresholds | None = None,
 ) -> bool:
     """Shared dispatch rule of the ``sparse_mode`` switch for point gathering.
 
     ``sparse_mode`` is one of ``"dense"``, ``"sparse"`` or ``"auto"``; the
     auto rule compares the point keep-fraction against
-    :data:`SPARSE_AUTO_POINT_KEEP_MAX` and requires at least
-    :data:`SPARSE_AUTO_MIN_SLOTS` *per-image* gather slots
-    (``slots_per_image`` must not include the batch axis).
+    ``thresholds.point_keep_max`` and requires at least
+    ``thresholds.min_slots`` *per-image* gather slots (``slots_per_image``
+    must not include the batch axis).  ``thresholds`` defaults to the active
+    :class:`~repro.kernels.MachineProfile`'s machine-wide thresholds — the
+    committed reference constants unless a calibrated profile was installed.
+
+    Boundary semantics (pinned by the PR 9 boundary-value tests, shared with
+    :meth:`repro.core.pipeline.DEFAAttention` row dispatch): the minimum-size
+    comparison is *strict* (``slots_per_image < min_slots`` rejects, so a
+    problem exactly at ``min_slots`` is sparse-eligible) while the keep-ratio
+    comparison is *inclusive* (``keep_fraction <= point_keep_max`` accepts,
+    so a keep fraction exactly at the crossover goes sparse).  A calibrated
+    profile whose crossovers land exactly on a measured grid point therefore
+    dispatches deterministically, and batched vs single-image runs agree at
+    the boundary.
 
     With ``batched=True`` the leading axis of ``point_mask`` is the image
     axis and the keep-fraction test applies to the *maximum* per-image
@@ -704,7 +728,9 @@ def use_sparse_gather(
         return False
     if sparse_mode == "sparse":
         return True
-    if point_mask is None or slots_per_image < SPARSE_AUTO_MIN_SLOTS:
+    if thresholds is None:
+        thresholds = get_active_profile().thresholds_for(None)
+    if point_mask is None or slots_per_image < thresholds.min_slots:
         return False
     if batched:
         batch = point_mask.shape[0]
@@ -712,7 +738,7 @@ def use_sparse_gather(
         keep_fraction = float(per_image.max()) / max(point_mask[0].size, 1)
     else:
         keep_fraction = np.count_nonzero(point_mask) / max(point_mask.size, 1)
-    return keep_fraction <= SPARSE_AUTO_POINT_KEEP_MAX
+    return keep_fraction <= thresholds.point_keep_max
 
 
 @dataclass

@@ -67,6 +67,24 @@ class TestExecutionOptions:
         assert options.kernel_backend is None
         assert options.collect_details is False
         assert options.enable_query_pruning is None
+        assert options.machine_profile is None
+
+    def test_machine_profile_accepts_profile_spec_only(self):
+        from repro.kernels import MachineProfile
+
+        assert ExecutionOptions(machine_profile="reference").machine_profile == "reference"
+        profile = MachineProfile(name="opts")
+        assert ExecutionOptions(machine_profile=profile).machine_profile is profile
+        with pytest.raises(TypeError, match="machine_profile"):
+            ExecutionOptions(machine_profile=42)
+
+    def test_machine_profile_picklable_inside_options(self):
+        import pickle
+
+        from repro.kernels import MachineProfile
+
+        options = ExecutionOptions(machine_profile=MachineProfile(name="travels"))
+        assert pickle.loads(pickle.dumps(options)) == options
 
     def test_invalid_sparse_mode_rejected(self):
         with pytest.raises(ValueError, match="sparse_mode"):

@@ -372,6 +372,8 @@ class TestWorkerLifecycle:
             engine.flush()
             first = engine.worker_stats()[0]
             assert first is not None and first["fp32"]["plans"] >= 1
+            # PR 9: the worker reports which dispatch profile it serves with.
+            assert first["fp32"]["profile"] == "reference"
             for i in range(4, 8):
                 engine.submit(_item(i, SHAPES_A, i), request_class="fp32")
             engine.flush()
@@ -469,3 +471,210 @@ class TestTrafficGenerator:
             generate_traffic(4, class_mix=(("a", -1.0),))
         with pytest.raises(ValueError):
             generate_traffic(4, class_mix=())
+
+
+# ---------------------------------------------------------------------------
+# PR 9: injected-clock regressions, backoff edges, machine-profile threading.
+
+
+class SteppingClock:
+    """Fake monotonic clock advancing a fixed step on every read, so
+    deadline loops that consult only the clock terminate in a handful of
+    iterations of real time."""
+
+    def __init__(self, start: float = 1000.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class _StubConn:
+    """Pipe stand-in: never has a message, survives ``close()``."""
+
+    def poll(self, timeout: float | None = None) -> bool:
+        return False
+
+    def close(self) -> None:
+        pass
+
+
+class _StubProcess:
+    def __init__(self, alive: bool = True) -> None:
+        self._alive = alive
+
+    def is_alive(self) -> bool:
+        return self._alive
+
+    def join(self, timeout: float | None = None) -> None:
+        pass
+
+
+def _stub_worker(handle, ready=True, process_alive=True, busy=None) -> None:
+    """Wire a worker slot to fake pipe/process objects (no subprocesses)."""
+    handle.conn = _StubConn()
+    handle.process = _StubProcess(process_alive)
+    handle.alive = True
+    handle.ready = ready
+    handle.busy = busy
+
+
+def _idle_engine(clock, **config_kwargs) -> ServingEngine:
+    config = ServingConfig(**{"num_workers": 1, **config_kwargs})
+    return ServingEngine(lambda: {"default": lambda f, s: f}, config, clock=clock)
+
+
+class TestInjectedClock:
+    """Regression tests for the PR 9 clock bug: the deadline math in
+    ``start()``/``flush()`` read ``time.monotonic()`` directly instead of
+    the injected ``self._clock``, so fake-clock tests raced real wall time.
+    Advancing only the fake clock must trip both timeouts near-instantly —
+    the wall-time bound is what distinguishes the fixed code (fake-clock
+    deadline) from the bug (a full real-time ``timeout`` spin)."""
+
+    def test_flush_deadline_follows_injected_clock(self):
+        engine = _idle_engine(SteppingClock())
+        # A worker stuck busy forever: flush can never drain.
+        _stub_worker(engine._workers[0], busy=object())
+        begin = time.monotonic()
+        with pytest.raises(TimeoutError):
+            engine.flush(timeout=5.0)
+        assert time.monotonic() - begin < 2.0
+
+    def test_start_wait_ready_deadline_follows_injected_clock(self, monkeypatch):
+        engine = _idle_engine(SteppingClock())
+        # Spawn "workers" that never report ready.
+        monkeypatch.setattr(
+            engine, "_spawn", lambda handle: _stub_worker(handle, ready=False)
+        )
+        begin = time.monotonic()
+        with pytest.raises(TimeoutError):
+            engine.start(wait_ready=True, timeout=5.0)
+        assert time.monotonic() - begin < 2.0
+
+
+class TestBackoffEdges:
+    """Degraded-mode backoff boundary conditions (PR 9 satellite): the cap
+    binding exactly, a zero restart budget, and a death reaped in the same
+    poll that owes another slot its restart."""
+
+    def test_backoff_caps_exactly_at_max_backoff(self):
+        clock = FakeClock()
+        engine = _idle_engine(clock, restart_backoff_s=0.5, max_backoff_s=2.0)
+        handle = engine._workers[0]
+        # 0.5 * 2**(deaths-1): the third death lands exactly on the 2.0 cap,
+        # the fourth would exceed it and must clamp to exactly the cap.
+        for backoff in (0.5, 1.0, 2.0, 2.0):
+            _stub_worker(handle)
+            engine._handle_death(handle, now=100.0)
+            assert handle.restart_at == 100.0 + backoff
+        # The restart fires at exactly restart_at (<=, not <).
+        spawned = []
+
+        def fake_spawn(h):
+            spawned.append(h.index)
+            _stub_worker(h, ready=False)
+            h.restart_at = None
+
+        engine._spawn = fake_spawn
+        engine._restart_due(now=101.999)
+        assert spawned == []
+        engine._restart_due(now=102.0)
+        assert spawned == [0]
+        assert engine.stats.worker_restarts == 1
+
+    def test_max_restarts_zero_retires_before_first_restart(self):
+        clock = FakeClock()
+        engine = _idle_engine(clock, max_restarts=0)
+        handle = engine._workers[0]
+        _stub_worker(handle)
+        engine._handle_death(handle, now=clock())
+        assert handle.retired
+        assert handle.restart_at is None
+        assert engine.stats.worker_deaths == 1
+        spawned = []
+        engine._spawn = lambda h: spawned.append(h.index)
+        engine._restart_due(now=1e9)
+        assert spawned == []
+        assert engine.stats.worker_restarts == 0
+        assert engine.mode == "degraded"
+
+    def test_death_reaped_while_another_restart_is_due(self):
+        clock = FakeClock()
+        clock.now = 10.0
+        engine = _idle_engine(
+            clock, num_workers=2, restart_backoff_s=0.5, max_backoff_s=2.0
+        )
+        first, second = engine._workers
+        # The first slot died earlier; its restart became due at t=5.
+        first.deaths = 1
+        first.restart_at = 5.0
+        # The second slot's process dies right before this poll.
+        _stub_worker(second, process_alive=False)
+        spawned = []
+
+        def fake_spawn(h):
+            spawned.append(h.index)
+            _stub_worker(h, ready=False)
+            h.restart_at = None
+
+        engine._spawn = fake_spawn
+        engine.poll()
+        # One poll both reaps the fresh death and performs the due restart.
+        assert spawned == [0]
+        assert engine.stats.worker_restarts == 1
+        assert engine.stats.worker_deaths == 1
+        assert not second.alive
+        assert second.restart_at == 10.0 + 0.5
+        assert engine.mode == "primary"  # the restarted slot keeps us primary
+
+
+class TestMachineProfileThreading:
+    """ModelBankSpec.machine_profile reaches every runner (PR 9)."""
+
+    def test_bank_runners_resolve_spec_profile(self):
+        from dataclasses import replace
+
+        from repro.kernels import DispatchThresholds, MachineProfile
+
+        custom = MachineProfile(
+            name="serving-host", thresholds=DispatchThresholds(min_tokens=7)
+        )
+        bank = replace(_spec(), machine_profile=custom).build()
+        for runner in bank.runners.values():
+            assert runner.machine_profile == custom
+        stats = bank.plan_stats()
+        assert stats and all(s["profile"] == "serving-host" for s in stats.values())
+
+    def test_bank_default_follows_active_profile(self):
+        from repro.kernels import reference_profile
+
+        bank = _spec().build()
+        for runner in bank.runners.values():
+            assert runner.machine_profile == reference_profile()
+        assert all(s["profile"] == "reference" for s in bank.plan_stats().values())
+
+    def test_stream_policies_inherit_spec_profile(self):
+        from dataclasses import replace
+
+        from repro.engine import StreamingConfig
+
+        spec = replace(
+            _spec(),
+            machine_profile="reference",
+            streams=(("vid", DEFAConfig(), StreamingConfig()),),
+        )
+        bank = spec.build()
+        assert bank.streaming["vid"].streaming.options.machine_profile == "reference"
+
+    def test_spec_with_profile_is_picklable(self):
+        import pickle
+        from dataclasses import replace
+
+        from repro.kernels import MachineProfile
+
+        spec = replace(_spec(), machine_profile=MachineProfile(name="pickled"))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.build().runners["fp32"].machine_profile.name == "pickled"

@@ -14,6 +14,11 @@ Run directly (CI lint job) or through ``tests/test_no_deprecated_kwargs.py``
 (tier-1).  Other functions are free to have their own ``sparse_mode``/
 ``backend`` parameters (e.g. ``use_sparse_rows``) — only calls whose callee
 name is one of the shimmed surfaces are flagged.
+
+``machine_profile`` (PR 9) never had a loose-keyword shim — it is an
+``ExecutionOptions`` field only — and this checker keeps it that way: an
+internal ``machine_profile=`` keyword on a shimmed surface would be a new
+loose knob sneaking in, so it is flagged exactly like the legacy ones.
 """
 
 from __future__ import annotations
@@ -30,8 +35,9 @@ SHIMMED_CALLEES = frozenset(
     {"DEFAAttention", "DEFAEncoderRunner", "defa_forward_fn", "forward_detailed"}
 )
 
-#: The keywords that moved into ``ExecutionOptions``.
-DEPRECATED_KEYWORDS = frozenset({"sparse_mode", "backend"})
+#: The keywords that moved into ``ExecutionOptions`` — plus
+#: ``machine_profile``, which is options-only by construction (PR 9).
+DEPRECATED_KEYWORDS = frozenset({"sparse_mode", "backend", "machine_profile"})
 
 
 def _callee_name(call: ast.Call) -> str | None:
