@@ -16,6 +16,7 @@ processes on one core add IPC and serialization cost without adding compute.
 from conftest import run_once
 
 from repro.core.config import DEFAConfig
+from repro.engine.faults import FaultPlan
 from repro.engine.serving import ModelBankSpec, ServingConfig
 from repro.engine.traffic import generate_traffic
 from repro.eval.profiler import measure_serving_latency
@@ -137,10 +138,86 @@ def serving_record(
         "worker_restarts": report.worker_restarts,
         "primary_batches": report.primary_batches,
         "degraded_batches": report.degraded_batches,
+        # Request-lifecycle counters (PR 10): recorded so compare_bench.py
+        # fences them structurally — a record that silently stops carrying
+        # them fails the regression gate.
+        "num_shed": report.num_shed,
+        "num_expired": report.num_expired,
+        "num_retried": report.num_retried,
+        "num_quarantined": report.num_quarantined,
+        "watchdog_kills": report.watchdog_kills,
+        "num_failed": report.num_failed,
         "timings_ms": {"serial": d["serial_ms"], "replay": d["elapsed_ms"]},
         "max_abs_diff": report.max_abs_diff,
         "equivalence_tol": SERVING_EQUIVALENCE_TOL,
     }
+
+
+# --------------------------------------------------------------------------
+# Fault-plan probe (PR 10): scripted crash + hang + raise in one replay
+
+SERVING_FAULTS_BATCH_TIMEOUT_S = 0.75
+"""Watchdog bound of the fault probe — generous against single-core
+scheduling jitter, tiny against the scripted 30 s hang."""
+
+SERVING_FAULTS_PLAN = (
+    FaultPlan()
+    # Incarnation 0 hard-crashes on its third batch (mid-stream).
+    .with_crash(batch=2)
+    # Its replacement hangs 30 s on its first batch: only the engine-side
+    # watchdog can reclaim the slot.
+    .with_hang(seconds=30.0, batch=0, incarnation=1)
+    # The third incarnation raises a retryable fault once, then serves.
+    .with_raise(batch=1, incarnation=2)
+)
+"""One replay through all three recoverable fault kinds, chained across
+worker incarnations: crash -> watchdog-killed hang -> transient raise."""
+
+
+def serving_faults_config() -> ServingConfig:
+    return ServingConfig(
+        max_batch_size=SERVING_MAX_BATCH_SIZE,
+        num_workers=1,
+        restart_backoff_s=0.02,  # short: the probe rides through two restarts
+        batch_timeout_s=SERVING_FAULTS_BATCH_TIMEOUT_S,
+        # Requests can be in flight for several chained faults here; the
+        # probe asserts nothing was quarantined, so give headroom over the
+        # scripted worst case (crash + watchdog kill + raise = 3 retries).
+        max_retries=5,
+    )
+
+
+def serving_faults_report(num_requests: int = 48, repeats: int = 2, backend=None):
+    """Replay the benchmark stream through ``SERVING_FAULTS_PLAN``."""
+    return measure_serving_latency(
+        serving_bank_spec(backend=backend),
+        serving_traffic(num_requests),
+        config=serving_faults_config(),
+        speed=0.0,
+        repeats=repeats,
+        fault_plan=SERVING_FAULTS_PLAN,
+    )
+
+
+def serving_faults_record(report, backend: str | None = None) -> dict:
+    """Machine-readable record of the fault probe (run_all.py shape)."""
+    record = serving_record(report, kill_worker_at=None, backend=backend)
+    record["name"] = "serving_faults"
+    record["config"]["fault_plan"] = {
+        "faults": [
+            {
+                "kind": f.kind,
+                "batch": f.batch,
+                "worker": f.worker,
+                "incarnation": f.incarnation,
+                "seconds": f.seconds,
+            }
+            for f in SERVING_FAULTS_PLAN.faults
+        ],
+        "batch_timeout_s": SERVING_FAULTS_BATCH_TIMEOUT_S,
+    }
+    del record["config"]["kill_worker_at"]
+    return record
 
 
 def _print_report(label: str, report) -> None:
@@ -177,6 +254,27 @@ def test_serving_latency_under_fault(benchmark):
     # not jitter.  This benchmark is deliberately not part of the CI tier-1
     # run.
     assert report.overhead <= 8.0
+
+
+def test_serving_fault_plan_recovery(benchmark):
+    """The chaos profile: crash, watchdog-killed hang and transient raise in
+    one replay, every served output still bit-equal to the serial loop.
+
+    This is the acceptance gate of the PR 10 fault model: the injected
+    faults must actually have fired (two deaths, one of them the watchdog's
+    kill), nothing may be quarantined or lost, and the engine must end the
+    replay back in primary mode.
+    """
+    report = run_once(benchmark, serving_faults_report, num_requests=48)
+    print()
+    _print_report("crash+hang+raise plan", report)
+    assert report.max_abs_diff == SERVING_EQUIVALENCE_TOL
+    assert report.worker_deaths == 2  # scripted crash + watchdog kill
+    assert report.watchdog_kills == 1
+    assert report.num_retried >= 1  # the raise fault requeues its batch
+    assert report.num_quarantined == 0
+    assert report.num_failed == 0  # every request served despite the faults
+    assert report.mode == "primary"
 
 
 def test_serving_worker_sweep(benchmark):

@@ -15,7 +15,12 @@ main-branch artifact, or the committed reference under
   replay jitter more than best-of-N ratios, so their fence only catches
   structural regressions,
 * any **equivalence probe** of the current record drifts beyond its own
-  recorded tolerance (numerics are machine-independent, so this is exact), or
+  recorded tolerance (numerics are machine-independent, so this is exact),
+* a **request-lifecycle counter** (:data:`LIFECYCLE_COUNTERS`) tracked by the
+  baseline disappears from the current record — the values are workload-
+  dependent and purely informational, but a serving record that silently
+  stops carrying them has lost fault-model coverage, so the *presence* fence
+  is structural, or
 * a metric tracked by the baseline disappears from the current record
   (``--allow-missing`` downgrades this to a warning, for comparing records
   produced by older harness versions).
@@ -50,6 +55,21 @@ DEFAULT_TOLERANCE = 0.2
 #: regressions (a poll loop going quadratic, a lost batch stalling the
 #: queue), not scheduler noise.
 LATENCY_FENCE_FACTOR = 2.0
+
+#: Request-lifecycle counters (PR 10) recorded by every serving probe.  Their
+#: values are fenced *structurally only*: shed/expired/retried counts depend
+#: on the scripted fault plan and scheduler timing, so the numbers are
+#: informational — but a record that stops carrying one of these keys has
+#: silently lost request-lifecycle coverage, which fails the gate (unless
+#: ``--allow-missing``, for records from pre-PR-10 harness versions).
+LIFECYCLE_COUNTERS = (
+    "num_shed",
+    "num_expired",
+    "num_retried",
+    "num_quarantined",
+    "watchdog_kills",
+    "num_failed",
+)
 
 
 def _benchmarks(record: dict) -> list[dict]:
@@ -108,6 +128,20 @@ def extract_serving_metrics(record: dict) -> dict[str, tuple[str, float]]:
             if isinstance(bench.get(key), (int, float)):
                 metrics[f"{name}.{key}"] = ("lower", float(bench[key]))
     return metrics
+
+
+def extract_lifecycle_counters(record: dict) -> dict[str, float]:
+    """The request-lifecycle counters of a record: ``{name.key: value}``.
+
+    See :data:`LIFECYCLE_COUNTERS` — presence is gated, values are not.
+    """
+    counters: dict[str, float] = {}
+    for bench in _benchmarks(record):
+        name = bench.get("name", "benchmark")
+        for key in LIFECYCLE_COUNTERS:
+            if isinstance(bench.get(key), (int, float)):
+                counters[f"{name}.{key}"] = float(bench[key])
+    return counters
 
 
 def extract_equivalence_probes(record: dict) -> list[dict]:
@@ -239,6 +273,25 @@ def compare_records(
             )
     for name in sorted(set(curr_serving) - set(base_serving)):
         lines.append(f"{name:<48} {'-':>9} {curr_serving[name][1]:>9.2f} {'-':>8}  new")
+
+    base_counters = extract_lifecycle_counters(baseline)
+    curr_counters = extract_lifecycle_counters(current)
+    for name in sorted(base_counters):
+        base = base_counters[name]
+        if name not in curr_counters:
+            status = "MISSING" if not allow_missing else "missing (allowed)"
+            lines.append(f"{name:<48} {base:>9.0f} {'-':>9} {'-':>8}  {status}")
+            if not allow_missing:
+                failures.append(
+                    f"{name}: lifecycle counter tracked by the baseline but absent "
+                    "from the current record (fault-model coverage lost)"
+                )
+            continue
+        lines.append(
+            f"{name:<48} {base:>9.0f} {curr_counters[name]:>9.0f} {'-':>8}  info"
+        )
+    for name in sorted(set(curr_counters) - set(base_counters)):
+        lines.append(f"{name:<48} {'-':>9} {curr_counters[name]:>9.0f} {'-':>8}  new")
 
     for probe in extract_equivalence_probes(current):
         ok = probe["max_abs_diff"] <= probe["tolerance"]

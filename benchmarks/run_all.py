@@ -331,6 +331,38 @@ def run_serving_benchmark(serving_requests: int, repeats: int) -> dict:
     return serving_record(report, kill_worker_at=kill_at, backend=backend)
 
 
+def run_serving_faults_benchmark(serving_requests: int, repeats: int) -> dict:
+    """The chaos probe (PR 10, see ``bench_serving.py``): one replay through
+    a scripted crash, a watchdog-killed 30 s hang and a transient raise.
+
+    The gated quantity is the served-vs-serial drift at exactly zero
+    *through every fault* — the request-lifecycle machinery (requeue, retry
+    budget, watchdog, backoff restart) must be invisible in the outputs.
+    The probe additionally hard-fails if the faults did not actually fire
+    or the engine did not recover, so it can never silently degrade into a
+    fault-free replay that gates nothing.
+    """
+    from bench_serving import serving_faults_record, serving_faults_report
+
+    backend = get_backend().name
+    report = serving_faults_report(
+        num_requests=serving_requests, repeats=repeats, backend=backend
+    )
+    if report.worker_deaths != 2 or report.watchdog_kills != 1:
+        raise RuntimeError(
+            "serving_faults probe lost coverage: expected the scripted crash "
+            "plus one watchdog kill, observed "
+            f"deaths={report.worker_deaths} watchdog_kills={report.watchdog_kills}"
+        )
+    if report.mode != "primary" or report.num_failed or report.num_quarantined:
+        raise RuntimeError(
+            "serving_faults probe did not recover cleanly: "
+            f"mode={report.mode!r} num_failed={report.num_failed} "
+            f"num_quarantined={report.num_quarantined}"
+        )
+    return serving_faults_record(report, backend=backend)
+
+
 def run_streaming_benchmark(sparse_scale: str, streaming_frames: int, repeats: int) -> dict:
     """The streaming-session probe (see ``bench_streaming.py``): a low-motion
     synthetic video encoded by a warm session against an every-frame-cold one.
@@ -349,6 +381,42 @@ def run_streaming_benchmark(sparse_scale: str, streaming_frames: int, repeats: i
     return run_streaming(
         scale=sparse_scale, num_frames=streaming_frames, repeats=repeats
     )
+
+
+#: Every harness probe by record name, in run order.  The lambdas resolve the
+#: runner functions *at call time* through module globals, so tests (and any
+#: other caller) can monkeypatch ``run_all.run_engine_benchmark`` etc. by name
+#: and still go through the registry.  ``--only`` validates against these keys.
+PROBE_RUNNERS = {
+    "batched_engine": lambda preset, repeats: run_engine_benchmark(repeats),
+    "sparse_speedup": lambda preset, repeats: run_sparse_benchmark(
+        preset["sparse_scale"], repeats
+    ),
+    "encoder_sparse": lambda preset, repeats: run_encoder_sparse_benchmark(
+        preset["sparse_scale"], repeats
+    ),
+    "kernel_fusion": lambda preset, repeats: run_kernel_fusion_benchmark(
+        preset["sparse_scale"], repeats
+    ),
+    "sparse_equivalence_fp32": lambda preset, repeats: run_sparse_fp32_equivalence(
+        preset["sparse_scale"], repeats
+    ),
+    "encoder_equivalence_fp32": lambda preset, repeats: run_encoder_fp32_equivalence(
+        preset["sparse_scale"], repeats
+    ),
+    "encoder_equivalence_int12": lambda preset, repeats: run_encoder_int12_equivalence(
+        preset["sparse_scale"], repeats
+    ),
+    "serving": lambda preset, repeats: run_serving_benchmark(
+        preset["serving_requests"], repeats
+    ),
+    "serving_faults": lambda preset, repeats: run_serving_faults_benchmark(
+        preset["serving_requests"], repeats
+    ),
+    "streaming": lambda preset, repeats: run_streaming_benchmark(
+        preset["sparse_scale"], preset["streaming_frames"], repeats
+    ),
+}
 
 
 def equivalence_probes(record: dict) -> list[dict]:
@@ -401,6 +469,11 @@ def main(argv: list[str] | None = None) -> int:
                              "'compiled' falls back to 'fused' with a warning when the "
                              "extension is not built); the kernel_fusion probe always "
                              "times every available backend")
+    parser.add_argument("--only", default=None, metavar="NAME[,NAME...]",
+                        help="run only the named probes, comma-separated (known: "
+                             + ", ".join(PROBE_RUNNERS) + "); used by the CI chaos "
+                             "leg to gate the serving fault probes without paying "
+                             "for the full harness")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if sparse/dense or batched/serial equivalence "
                              "drifts, with a per-probe summary")
@@ -416,6 +489,18 @@ def main(argv: list[str] | None = None) -> int:
 
     preset = SCALE_PRESETS[args.scale]
     repeats = args.repeats if args.repeats is not None else preset["repeats"]
+    if args.only is not None:
+        selected = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = sorted(set(selected) - set(PROBE_RUNNERS))
+        if unknown:
+            parser.error(
+                f"unknown probe(s) {', '.join(map(repr, unknown))}; "
+                f"known probes: {', '.join(PROBE_RUNNERS)}"
+            )
+        if not selected:
+            parser.error("--only requires at least one probe name")
+    else:
+        selected = list(PROBE_RUNNERS)
     if args.backend is not None:
         set_backend(args.backend)
     if args.profile is not None:
@@ -439,19 +524,13 @@ def main(argv: list[str] | None = None) -> int:
             "machine_profile": get_active_profile().name,
         },
         "benchmarks": [
-            run_engine_benchmark(repeats),
-            run_sparse_benchmark(preset["sparse_scale"], repeats),
-            run_encoder_sparse_benchmark(preset["sparse_scale"], repeats),
-            run_kernel_fusion_benchmark(preset["sparse_scale"], repeats),
-            run_sparse_fp32_equivalence(preset["sparse_scale"], repeats),
-            run_encoder_fp32_equivalence(preset["sparse_scale"], repeats),
-            run_encoder_int12_equivalence(preset["sparse_scale"], repeats),
-            run_serving_benchmark(preset["serving_requests"], repeats),
-            run_streaming_benchmark(
-                preset["sparse_scale"], preset["streaming_frames"], repeats
-            ),
+            PROBE_RUNNERS[name](preset, repeats) for name in selected
         ],
     }
+    if args.only is not None:
+        # Recorded so a partial record can never be mistaken for (or compared
+        # against) a full harness run by compare_bench.py.
+        record["config"]["only"] = selected
 
     args.json.write_text(json.dumps(record, indent=2) + "\n")
     for bench in record["benchmarks"]:

@@ -16,7 +16,10 @@ This package is the scaling layer on top of the single-image reproduction:
   trace-reuse fast path) over the PR 5 warm execution-plan arenas;
 * :mod:`repro.engine.traffic` — synthetic serving traffic (uniform / bursty /
   diurnal arrivals over mixed pyramid shapes and request classes, plus
-  stream-affine ``video`` sessions).
+  stream-affine ``video`` sessions);
+* :mod:`repro.engine.faults` — :class:`FaultPlan`, the deterministic
+  worker-fault script (crash / hang / raise / delay / poison) that drives
+  the PR 10 request-lifecycle hardening in tests and benchmarks.
 
 The names re-exported here (see ``__all__``) are the package's supported
 public surface — import them as ``from repro.engine import ServingEngine``.
@@ -32,12 +35,21 @@ from repro.engine.batching import (
     defa_forward_fn,
     encoder_forward_fn,
 )
+from repro.engine.faults import (
+    FAULT_KINDS,
+    FaultInjectedError,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.engine.parallel import ParallelExperimentError, run_experiments_parallel
 from repro.engine.serving import (
     DEFAULT_REQUEST_CLASS,
     BatchRecord,
+    DeadlineExceeded,
     ModelBank,
     ModelBankSpec,
+    PoisonRequestError,
+    QueueFullError,
     ServingConfig,
     ServingEngine,
     ServingStats,
@@ -73,10 +85,17 @@ __all__ = [
     "DEFAULT_TRACE_CACHE",
     "TraceCache",
     "TraceCacheStats",
+    "FAULT_KINDS",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultSpec",
     "DEFAULT_REQUEST_CLASS",
     "BatchRecord",
+    "DeadlineExceeded",
     "ModelBank",
     "ModelBankSpec",
+    "PoisonRequestError",
+    "QueueFullError",
     "ServingConfig",
     "ServingEngine",
     "ServingStats",

@@ -72,7 +72,15 @@ class WorkItem:
     ``stream_id``).  A gap or restart in the sequence forces the session to
     resynchronize with a cold frame."""
 
+    deadline_s: float | None = None
+    """Per-request queueing deadline (seconds from submit, PR 10): a serving
+    engine expires the request with ``DeadlineExceeded`` if it is still
+    queued this long after submission.  ``None`` = no deadline; ignored by
+    the synchronous :class:`BatchRunner`."""
+
     def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
         features = np.asarray(self.features)
         if features.ndim != 2:
             raise ValueError("WorkItem features must have shape (N_in, D)")

@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import select
+import struct
 import threading
 import time
 import traceback
@@ -55,23 +57,57 @@ import numpy as np
 
 from repro.core.config import DEFAConfig
 from repro.engine.batching import BatchForward, ShapeKey, WorkItem, defa_forward_fn
+from repro.engine.faults import FaultInjectedError, FaultPlan, WorkerFaultState
 from repro.engine.streaming import StreamingConfig, StreamingEncoderSession
 from repro.kernels import ExecutionOptions, ExecutionPlan, MachineProfile
 from repro.nn.tensor_utils import FLOAT_DTYPE
 
 __all__ = [
     "DEFAULT_REQUEST_CLASS",
+    "DeadlineExceeded",
     "ModelBank",
     "ModelBankSpec",
+    "PoisonRequestError",
+    "QueueFullError",
     "ServingConfig",
     "ServingEngine",
     "ServingStats",
     "StreamingClassServer",
     "BatchRecord",
+    "WorkerError",
 ]
 
 DEFAULT_REQUEST_CLASS = "default"
 """Request class used when a caller does not distinguish request classes."""
+
+
+class QueueFullError(RuntimeError):
+    """Admission control shed a request: the queue is at ``max_queue_depth``."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """A queued request's per-request deadline passed before dispatch."""
+
+
+class PoisonRequestError(RuntimeError):
+    """A request exhausted its retry budget and was quarantined.
+
+    The request was in flight across ``kills`` worker faults (process
+    deaths or retryable forward faults) — more than ``max_retries`` — so the
+    engine stops redispatching it rather than letting it take down worker
+    after worker.  A quarantined request is *never* run on the in-process
+    fallback either: a poison forward executed in the engine process would
+    kill the engine itself.
+    """
+
+    def __init__(self, item_id: int | str, kills: int, max_retries: int) -> None:
+        self.item_id = item_id
+        self.kills = kills
+        self.max_retries = max_retries
+        super().__init__(
+            f"request {item_id!r} quarantined as poison: in flight for {kills} "
+            f"worker faults (retry budget max_retries={max_retries})"
+        )
 
 
 class StreamingClassServer:
@@ -160,12 +196,17 @@ class ModelBank:
         forwards: dict[str, BatchForward],
         runners: dict[str, object] | None = None,
         streaming: dict[str, StreamingClassServer] | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if not forwards and not streaming:
             raise ValueError("a ModelBank needs at least one request class")
         self.forwards = dict(forwards)
         self.runners = dict(runners or {})
         self.streaming = dict(streaming or {})
+        self.fault_plan = fault_plan
+        """Scripted worker faults (PR 10).  Consumed by ``_worker_main``
+        only — the in-process fallback and direct ``forward`` calls never
+        execute faults, so a fault plan can't kill the engine process."""
         overlap = set(self.forwards) & set(self.streaming)
         if overlap:
             raise ValueError(
@@ -260,6 +301,12 @@ class ModelBankSpec:
     process-default active profile (``REPRO_MACHINE_PROFILE``, else the
     committed reference constants)."""
 
+    fault_plan: FaultPlan | None = None
+    """Deterministic fault script (PR 10), threaded to every worker
+    process via the bank.  :class:`~repro.engine.faults.FaultPlan` is a
+    frozen dataclass of primitives, so the spec stays picklable.  Faults
+    execute only inside workers; the parent's fallback bank ignores them."""
+
     def build(self) -> ModelBank:
         from repro.core.encoder_runner import DEFAEncoderRunner
         from repro.nn.encoder import DeformableEncoder
@@ -288,7 +335,7 @@ class ModelBankSpec:
                 ).with_overrides(machine_profile=self.machine_profile)
                 policy = replace(policy, options=session_options)
             streaming[name] = StreamingClassServer(encoder, config, policy)
-        return ModelBank(forwards, runners, streaming)
+        return ModelBank(forwards, runners, streaming, fault_plan=self.fault_plan)
 
 
 @dataclass
@@ -301,6 +348,12 @@ class ServingConfig:
     request can accumulate waiting for its shape group to fill: a group is
     flushed as soon as it is full *or* its oldest request has waited this
     long.
+
+    The PR 10 request-lifecycle knobs default to the pre-hardening
+    behaviour: unbounded admission, no deadlines, no watchdog — each is an
+    opt-in bound.  Only the retry budget (``max_retries``) is bounded by
+    default, because an unbounded budget lets one poison request crash-loop
+    every worker slot to retirement.
     """
 
     max_batch_size: int = 8
@@ -318,6 +371,37 @@ class ServingConfig:
     poll_interval_s: float = 0.0005
     """Sleep of the background pump thread between scheduler steps."""
 
+    max_queue_depth: int | None = None
+    """Admission bound: a ``submit`` finding this many requests already
+    queued is shed with :class:`QueueFullError` (``admission="shed"``) or
+    blocks until the queue drains below the bound (``admission="block"``).
+    ``None`` admits unboundedly (the pre-PR 10 behaviour)."""
+
+    admission: str = "shed"
+    """What a full queue does to ``submit``: ``"shed"`` (raise
+    :class:`QueueFullError`, fast-fail backpressure) or ``"block"``
+    (producer-side backpressure: the submitting thread waits for space —
+    requires the pump thread, or another thread driving ``poll``, to drain
+    the queue)."""
+
+    batch_timeout_s: float | None = None
+    """Hung-worker watchdog: a dispatched batch still unanswered after this
+    long (engine clock) gets its worker SIGKILLed and handled through the
+    ordinary death path (requeue + backoff restart).  ``None`` disables the
+    watchdog."""
+
+    max_retries: int = 2
+    """Retry budget per request: how many times a request that was in
+    flight during a worker fault may be requeued.  A request exceeding the
+    budget is quarantined with :class:`PoisonRequestError`."""
+
+    dispatch_timeout_s: float | None = 5.0
+    """Bound on the pipe write of one batch dispatch (wall clock).  A worker
+    that stops draining its pipe would otherwise block ``conn.send`` — and
+    with it the pump thread, while it holds the engine lock — forever; on
+    timeout the worker is killed and the batch requeued via the death path.
+    ``None`` restores the blocking send."""
+
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -327,6 +411,18 @@ class ServingConfig:
             raise ValueError("num_workers must be non-negative")
         if self.restart_backoff_s < 0 or self.max_backoff_s < 0:
             raise ValueError("backoff delays must be non-negative")
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive (or None)")
+        if self.admission not in ("shed", "block"):
+            raise ValueError(
+                f"admission must be 'shed' or 'block', got {self.admission!r}"
+            )
+        if self.batch_timeout_s is not None and self.batch_timeout_s <= 0:
+            raise ValueError("batch_timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.dispatch_timeout_s is not None and self.dispatch_timeout_s <= 0:
+            raise ValueError("dispatch_timeout_s must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -342,8 +438,9 @@ class BatchRecord:
 
     reason: str
     """Why the group was flushed: ``"full"`` (reached ``max_batch_size``),
-    ``"wait"`` (oldest request hit ``max_wait_s``) or ``"flush"`` (explicit
-    :meth:`ServingEngine.flush`)."""
+    ``"wait"`` (oldest request hit ``max_wait_s``), ``"flush"`` (explicit
+    :meth:`ServingEngine.flush`) or ``"retry"`` (a requeued suspect request
+    redispatched in isolation — see :meth:`ServingEngine.poll`)."""
 
     worker: int | None = None
     """Worker slot index for ``path="worker"`` batches."""
@@ -363,6 +460,26 @@ class ServingStats:
     worker_restarts: int = 0
     mode_transitions: list[tuple[float, str]] = field(default_factory=list)
     """``(clock time, new mode)`` — recorded whenever the health mode flips."""
+
+    num_shed: int = 0
+    """Requests rejected at submit by admission control (``max_queue_depth``
+    with ``admission="shed"``)."""
+
+    num_expired: int = 0
+    """Queued requests that hit their per-request deadline before dispatch
+    (failed with :class:`DeadlineExceeded`)."""
+
+    num_retried: int = 0
+    """Requeue events: a request in flight during a worker fault put back
+    on the queue (one request can contribute several)."""
+
+    num_quarantined: int = 0
+    """Requests that exhausted ``max_retries`` and were failed with
+    :class:`PoisonRequestError`."""
+
+    watchdog_kills: int = 0
+    """Workers SIGKILLed by the engine: hung-batch watchdog expiries plus
+    dispatch-send timeouts (both are counted as deaths too)."""
 
     @property
     def num_batches(self) -> int:
@@ -400,6 +517,14 @@ class _Pending:
     request_class: str
     arrival: float
     future: Future
+    deadline_at: float | None = None
+    """Engine-clock instant after which the request expires unserved (from
+    the item's / submit's ``deadline_s``); ``None`` = no deadline."""
+
+    retries: int = 0
+    """How many worker faults this request has been in flight for.  A
+    non-zero count marks the request a *suspect*: it redispatches alone
+    (reason ``"retry"``) and only ever to a worker process."""
 
 
 @dataclass(eq=False)
@@ -410,6 +535,9 @@ class _Batch:
     request_class: str
     shape_key: ShapeKey
     requests: list[_Pending]
+    dispatched_at: float = 0.0
+    """Engine-clock dispatch instant; the watchdog measures batch age
+    against this."""
 
 
 class _WorkerHandle:
@@ -428,7 +556,7 @@ class _WorkerHandle:
         """Set when the slot exhausted ``max_restarts``: never respawned."""
 
 
-def _worker_main(conn, model_bank_factory) -> None:
+def _worker_main(conn, model_bank_factory, worker_index: int = 0, incarnation: int = 0) -> None:
     """Worker process entry point: build the bank once, serve batches forever.
 
     The bank — and with it every runner's execution-plan arenas and
@@ -436,9 +564,22 @@ def _worker_main(conn, model_bank_factory) -> None:
     point of persistent workers: a steady stream of same-signature batches
     executes in the PR 5 warm-arena regime.  Any exception inside a forward
     is reported back as a traceback string (the worker itself survives); only
-    a hard process death tears the slot down.
+    a hard process death tears the slot down.  The error reply carries a
+    *retryable* flag: :class:`~repro.engine.faults.FaultInjectedError`
+    models a transient infrastructure fault, so the parent requeues the
+    batch against each request's retry budget; every other exception is a
+    deterministic model/config bug and fails the futures directly.
+
+    ``worker_index``/``incarnation`` identify this process generation to the
+    bank's :class:`~repro.engine.faults.FaultPlan`, if one is scripted.
     """
     bank = ModelBank.coerce(model_bank_factory())
+    fault_plan = getattr(bank, "fault_plan", None)
+    faults = (
+        WorkerFaultState(fault_plan, worker_index, incarnation)
+        if fault_plan is not None
+        else None
+    )
     conn.send(("ready", os.getpid()))
     while True:
         try:
@@ -447,16 +588,81 @@ def _worker_main(conn, model_bank_factory) -> None:
             return  # parent went away
         kind = message[0]
         if kind == "batch":
-            _, batch_id, request_class, features, shapes, meta = message
+            _, batch_id, request_class, features, shapes, meta, item_ids = message
             try:
+                if faults is not None:
+                    faults.on_batch(item_ids)
                 output = bank.forward(request_class, features, shapes, meta)
                 conn.send(("ok", batch_id, output))
+            except FaultInjectedError:
+                conn.send(("err", batch_id, traceback.format_exc(), True))
             except Exception:  # noqa: BLE001 - reported to the parent verbatim
-                conn.send(("err", batch_id, traceback.format_exc()))
+                conn.send(("err", batch_id, traceback.format_exc(), False))
         elif kind == "stats":
             conn.send(("stats_ok", bank.plan_stats()))
         elif kind == "shutdown":
             return
+
+
+class _PipeSendTimeout(OSError):
+    """A deadline-bounded pipe send did not complete in time."""
+
+
+def _send_with_deadline(conn, obj, timeout: float | None) -> None:
+    """``conn.send(obj)`` bounded by ``timeout`` wall-clock seconds.
+
+    A worker that stops reading its pipe eventually fills the pipe buffer,
+    at which point a plain ``conn.send`` blocks *forever* — inside the
+    engine this happens on the pump thread while it holds the engine lock,
+    wedging the whole service.  This helper reproduces ``Connection.send``'s
+    wire format (``!i`` length header, ``-1`` + ``!Q`` escape for huge
+    payloads, ``ForkingPickler`` body) with the fd in non-blocking mode and
+    a ``select`` loop against a real deadline, raising
+    :class:`_PipeSendTimeout` on expiry.
+
+    A timeout after a *partial* write leaves the stream corrupt mid-frame —
+    callers must treat the worker as lost (kill + death path), never retry
+    the send.  Falls back to the blocking ``conn.send`` when ``timeout`` is
+    ``None`` or the connection has no usable fd (test stubs).
+    """
+    if timeout is None:
+        conn.send(obj)
+        return
+    try:
+        fd = conn.fileno()
+    except (AttributeError, OSError, ValueError):
+        conn.send(obj)
+        return
+    from multiprocessing.reduction import ForkingPickler
+
+    payload = bytes(ForkingPickler.dumps(obj))
+    n = len(payload)
+    if n > 0x7FFFFFFF:
+        header = struct.pack("!i", -1) + struct.pack("!Q", n)
+    else:
+        header = struct.pack("!i", n)
+    data = memoryview(header + payload)
+    deadline = time.monotonic() + timeout
+    sent = 0
+    was_blocking = os.get_blocking(fd)
+    os.set_blocking(fd, False)
+    try:
+        while sent < len(data):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _PipeSendTimeout(
+                    f"pipe send timed out after {timeout:.3f}s with "
+                    f"{len(data) - sent} of {len(data)} bytes unsent"
+                )
+            _, writable, _ = select.select([], [fd], [], remaining)
+            if not writable:
+                continue
+            try:
+                sent += os.write(fd, data[sent:])
+            except BlockingIOError:
+                continue
+    finally:
+        os.set_blocking(fd, was_blocking)
 
 
 class WorkerError(RuntimeError):
@@ -505,6 +711,10 @@ class ServingEngine:
         self._clock = clock
         self.stats = ServingStats()
         self._lock = threading.RLock()
+        self._space = threading.Condition(self._lock)
+        """Signalled whenever queue depth can have dropped; ``submit`` under
+        ``admission="block"`` waits on it for admission."""
+
         self._pending: deque[_Pending] = deque()
         self._seq = 0
         self._batch_seq = 0
@@ -551,7 +761,10 @@ class ServingEngine:
             while not all(h.ready for h in self._workers if h.alive):
                 self.poll()
                 if self._clock() > deadline:
-                    raise TimeoutError("workers did not report ready in time")
+                    raise TimeoutError(
+                        f"workers did not report ready within {timeout:g}s "
+                        f"({self._diagnose()})"
+                    )
                 time.sleep(0.001)
         if self._pump is None:
             self._stop.clear()
@@ -601,6 +814,9 @@ class ServingEngine:
                     pending.future.set_exception(
                         RuntimeError("serving engine shut down with the request unserved")
                     )
+            # Wake any submitter blocked on backpressure so it can observe
+            # the shutdown instead of waiting for space that never comes.
+            self._space.notify_all()
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -611,25 +827,62 @@ class ServingEngine:
     # ------------------------------------------------------------ submission
 
     def submit(
-        self, item: WorkItem, request_class: str = DEFAULT_REQUEST_CLASS
+        self,
+        item: WorkItem,
+        request_class: str = DEFAULT_REQUEST_CLASS,
+        deadline_s: float | None = None,
     ) -> Future:
         """Queue one request; the future resolves to its ``(N_in, D)`` output.
 
         The item's features were copied and frozen at :class:`WorkItem`
         construction, so nothing the caller does to its own arrays after
         submit can reach the queued request.
+
+        ``deadline_s`` bounds the time the request may spend *queued* (from
+        this submit, on the engine clock): a request still undispatched when
+        its deadline passes fails with :class:`DeadlineExceeded`.  Omitted,
+        the item's own :attr:`~repro.engine.batching.WorkItem.deadline_s`
+        applies; a request already dispatched never expires (its batch is
+        bounded by the watchdog instead).
+
+        With ``max_queue_depth`` set, a full queue sheds the request with
+        :class:`QueueFullError` (``admission="shed"``) or blocks this thread
+        until the pump drains space (``admission="block"``).
         """
+        if deadline_s is None:
+            deadline_s = item.deadline_s
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        depth = self.config.max_queue_depth
         with self._lock:
             if self._shut_down:
                 raise RuntimeError("engine already shut down")
+            if depth is not None and len(self._pending) >= depth:
+                if self.config.admission == "shed":
+                    self.stats.num_shed += 1
+                    raise QueueFullError(
+                        f"request {item.item_id!r} shed: queue at "
+                        f"max_queue_depth={depth}"
+                    )
+                # admission="block": producer-side backpressure.  The wait
+                # re-checks on every notify (dispatch, expiry, shutdown) and
+                # on a coarse wall-clock heartbeat in case a notify is lost.
+                while not self._shut_down and len(self._pending) >= depth:
+                    self._space.wait(timeout=0.05)
+                if self._shut_down:
+                    raise RuntimeError("engine already shut down")
+            arrival = self._clock()
             future: Future = Future()
             self._pending.append(
                 _Pending(
                     seq=self._seq,
                     item=item,
                     request_class=request_class,
-                    arrival=self._clock(),
+                    arrival=arrival,
                     future=future,
+                    deadline_at=(
+                        arrival + deadline_s if deadline_s is not None else None
+                    ),
                 )
             )
             self._seq += 1
@@ -651,12 +904,32 @@ class ServingEngine:
                 if drained:
                     return
                 if self._clock() > deadline:
-                    raise TimeoutError("flush did not drain the engine in time")
+                    raise TimeoutError(
+                        f"flush did not drain the engine within {timeout:g}s "
+                        f"({self._diagnose()})"
+                    )
                 time.sleep(0.0002)
         finally:
             self._flush_all = False
 
     # ------------------------------------------------------------ health
+
+    def _diagnose(self) -> str:
+        """One-line engine state for timeout messages: a wedged engine must
+        be diagnosable from the exception alone."""
+        with self._lock:
+            workers = []
+            for h in self._workers:
+                busy = getattr(h.busy, "batch_id", None) if h.busy is not None else None
+                workers.append(
+                    f"w{h.index}[alive={h.alive} ready={h.ready} "
+                    f"busy_batch={busy} deaths={h.deaths} retired={h.retired} "
+                    f"restart_at={h.restart_at}]"
+                )
+            return (
+                f"mode={self.mode} queue_depth={len(self._pending)} "
+                f"workers=({' '.join(workers) or 'none'})"
+            )
 
     @property
     def mode(self) -> str:
@@ -671,45 +944,74 @@ class ServingEngine:
     def num_alive_workers(self) -> int:
         return sum(1 for h in self._workers if h.alive)
 
-    def kill_worker(self, index: int = 0) -> None:
+    def kill_worker(self, index: int = 0) -> bool:
         """Fault injection: SIGKILL one worker process (tests/benchmarks
-        exercise the death -> degraded -> restart path through this)."""
+        exercise the death -> degraded -> restart path through this).
+
+        Returns whether a kill actually happened — ``False`` for a slot
+        whose process is already dead (or not yet spawned).  A bad index is
+        a caller bug and raises :class:`ValueError` naming the valid range.
+        """
         with self._lock:
+            if not 0 <= index < len(self._workers):
+                raise ValueError(
+                    f"worker index {index} out of range: this engine has "
+                    f"{len(self._workers)} worker slot(s)"
+                )
             handle = self._workers[index]
             if handle.process is not None and handle.process.is_alive():
                 handle.process.kill()
+                return True
+            return False
 
     def worker_stats(self, timeout: float = 5.0) -> list[dict | None]:
-        """Execution-plan arena accounting per worker slot (``None`` for dead
-        slots).  Only meaningful on a drained engine (no batches in flight)."""
+        """Execution-plan arena accounting per worker slot (``None`` for
+        dead *or unresponsive* slots).  Only meaningful on a drained engine
+        (no batches in flight).
+
+        ``timeout`` bounds the whole call end to end (wall clock), the
+        request write included — a hung worker that stopped draining its
+        pipe can no longer wedge this in a blocking ``conn.send``; its slot
+        just reports ``None``.
+        """
         results: list[dict | None] = []
+        deadline = time.monotonic() + timeout
         with self._lock:
             for handle in self._workers:
                 if not (handle.alive and handle.ready and handle.busy is None):
                     results.append(None)
                     continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    results.append(None)
+                    continue
                 try:
-                    handle.conn.send(("stats",))
-                    if handle.conn.poll(timeout):
+                    _send_with_deadline(handle.conn, ("stats",), remaining)
+                    remaining = max(deadline - time.monotonic(), 0.0)
+                    if handle.conn.poll(remaining):
                         message = handle.conn.recv()
                         results.append(message[1] if message[0] == "stats_ok" else None)
                     else:
                         results.append(None)
                 except (BrokenPipeError, EOFError, OSError):
+                    # _PipeSendTimeout lands here too: unresponsive => None.
                     results.append(None)
         return results
 
     # ------------------------------------------------------------ scheduler
 
     def poll(self) -> None:
-        """One scheduler step: reap replies and deaths, restart due workers,
-        dispatch due batches.  Reentrant-safe; called by the pump thread and
-        directly by tests/:meth:`flush`."""
+        """One scheduler step: reap replies and deaths, kill hung workers,
+        expire overdue queued requests, restart due workers, dispatch due
+        batches.  Reentrant-safe; called by the pump thread and directly by
+        tests/:meth:`flush`."""
         with self._lock:
             if self._shut_down:
                 return
             now = self._clock()
             self._reap(now)
+            self._watchdog(now)
+            self._expire_due(now)
             self._restart_due(now)
             self._dispatch(now)
             self._record_mode(now)
@@ -746,21 +1048,110 @@ class ServingEngine:
                 handle.busy = None
                 self._resolve(batch, output, now)
         elif kind == "err":
-            _, batch_id, worker_tb = message
+            _, batch_id, worker_tb, *flags = message
+            retryable = bool(flags[0]) if flags else False
             batch = handle.busy
             if batch is not None and batch.batch_id == batch_id:
                 handle.busy = None
-                error = WorkerError(batch.request_class, worker_tb)
-                for pending in batch.requests:
-                    if not pending.future.done():
-                        pending.future.set_exception(error)
+                if retryable:
+                    # A transient worker fault (the worker itself survived):
+                    # requeue the batch against each request's retry budget
+                    # instead of failing the futures.
+                    self._requeue(batch.requests, now)
+                else:
+                    error = WorkerError(batch.request_class, worker_tb)
+                    for pending in batch.requests:
+                        if not pending.future.done():
+                            pending.future.set_exception(error)
         # stats_ok replies are consumed synchronously by worker_stats().
+
+    def _watchdog(self, now: float) -> None:
+        """Kill workers whose in-flight batch is older than
+        ``batch_timeout_s``: a hung worker never answers, so its batch age on
+        the engine clock is the only signal.  The kill funnels through
+        :meth:`_handle_death`, reusing requeue/retry-budget/backoff/stream
+        cold-resync semantics unchanged."""
+        if self.config.batch_timeout_s is None:
+            return
+        for handle in self._workers:
+            if not (handle.alive and handle.busy is not None):
+                continue
+            if now - handle.busy.dispatched_at < self.config.batch_timeout_s:
+                continue
+            self.stats.watchdog_kills += 1
+            self._kill_process(handle)
+            self._handle_death(handle, now)
+
+    @staticmethod
+    def _kill_process(handle: _WorkerHandle) -> None:
+        """SIGKILL a handle's process if it has one (stub processes in tests
+        may not implement ``kill``)."""
+        kill = getattr(handle.process, "kill", None)
+        if callable(kill):
+            try:
+                kill()
+            except OSError:
+                pass
+
+    def _expire_due(self, now: float) -> None:
+        """Fail queued requests whose deadline passed, before dispatch ever
+        considers them.  Only *queued* requests expire — once dispatched, a
+        batch is bounded by the watchdog, and failing a future the worker is
+        still computing would race its result."""
+        expired = [
+            p
+            for p in self._pending
+            if p.deadline_at is not None and now >= p.deadline_at
+        ]
+        if not expired:
+            return
+        self._remove_pending(expired)
+        for pending in expired:
+            self.stats.num_expired += 1
+            if not pending.future.done():
+                pending.future.set_exception(
+                    DeadlineExceeded(
+                        f"request {pending.item.item_id!r} expired after "
+                        f"{now - pending.arrival:.6g}s queued (deadline "
+                        f"{pending.deadline_at - pending.arrival:.6g}s)"
+                    )
+                )
+
+    def _requeue(self, requests: list[_Pending], now: float) -> None:
+        """Return a faulted batch's requests to the queue against their
+        retry budgets.
+
+        Every request was in flight for the same fault, so each one's
+        retry count rises; a request past ``max_retries`` has now taken down
+        ``retries`` workers and is quarantined (fails with
+        :class:`PoisonRequestError`) instead of being redispatched.
+        Survivors go back at the *front* of the queue in seq order (every
+        requeued seq predates everything still pending).
+        """
+        survivors: list[_Pending] = []
+        for pending in requests:
+            pending.retries += 1
+            if pending.retries > self.config.max_retries:
+                self.stats.num_quarantined += 1
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        PoisonRequestError(
+                            pending.item.item_id,
+                            pending.retries,
+                            self.config.max_retries,
+                        )
+                    )
+            else:
+                self.stats.num_retried += 1
+                survivors.append(pending)
+        for pending in sorted(survivors, key=lambda p: p.seq, reverse=True):
+            self._pending.appendleft(pending)
 
     def _handle_death(self, handle: _WorkerHandle, now: float) -> None:
         """A worker process died: salvage nothing, requeue its in-flight
-        requests at the front of the queue (submission order preserved — every
-        requeued seq predates everything still pending) and schedule a
-        restart with exponential backoff."""
+        requests at the front of the queue (submission order preserved)
+        against their retry budgets, and schedule a restart with exponential
+        backoff."""
         handle.alive = False
         handle.ready = False
         if handle.conn is not None:
@@ -772,8 +1163,7 @@ class ServingEngine:
         handle.deaths += 1
         self.stats.worker_deaths += 1
         if handle.busy is not None:
-            for pending in sorted(handle.busy.requests, key=lambda p: p.seq, reverse=True):
-                self._pending.appendleft(pending)
+            self._requeue(handle.busy.requests, now)
             handle.busy = None
         if (
             self.config.max_restarts is not None
@@ -803,7 +1193,10 @@ class ServingEngine:
         parent_conn, child_conn = self._mp.Pipe()
         process = self._mp.Process(
             target=_worker_main,
-            args=(child_conn, self.model_bank_factory),
+            # deaths doubles as the incarnation number: 0 before the first
+            # death, 1 for the first replacement, ... — what a FaultPlan
+            # scripts against.
+            args=(child_conn, self.model_bank_factory, handle.index, handle.deaths),
             name=f"serving-worker-{handle.index}",
             daemon=True,
         )
@@ -828,19 +1221,27 @@ class ServingEngine:
 
     def _dispatch(self, now: float) -> None:
         while self._pending:
-            groups: dict[tuple[str, ShapeKey, str | None], list[_Pending]] = {}
+            groups: dict[tuple, list[_Pending]] = {}
             for pending in self._pending:  # deque stays seq-ordered
+                # A suspect (retries > 0) was in flight for a worker fault:
+                # it gets a singleton group keyed by its own seq, so it
+                # redispatches *alone* — innocents co-batched with a poison
+                # request must not be killed alongside it again and again.
                 key = (
                     pending.request_class,
                     pending.item.shape_key,
                     pending.item.stream_id,
+                    pending.seq if pending.retries else None,
                 )
                 groups.setdefault(key, []).append(pending)
             due = []
             for key, group in groups.items():
-                reason = self._due_reason(group, now)
-                if reason is not None:
-                    due.append((key, group, reason))
+                if key[3] is not None:
+                    due.append((key, group, "retry"))
+                else:
+                    reason = self._due_reason(group, now)
+                    if reason is not None:
+                        due.append((key, group, reason))
             if not due:
                 return
             progressed = False
@@ -853,11 +1254,30 @@ class ServingEngine:
                     worker = self._idle_worker()
                 if worker is not None:
                     self._remove_pending(chunk)
-                    self._dispatch_to_worker(worker, key, chunk, reason, now)
+                    self._dispatch_to_worker(worker, key[:3], chunk, reason, now)
                     progressed = True
+                elif reason == "retry":
+                    # Suspects never run in-process: if the request is the
+                    # poison that killed its workers, an inproc forward would
+                    # kill the engine itself.  Wait for a worker restart —
+                    # unless no slot can ever come back, which makes the
+                    # suspect unservable: quarantine it now.
+                    if self._workers and all(h.retired for h in self._workers):
+                        self._remove_pending(chunk)
+                        for pending in chunk:
+                            self.stats.num_quarantined += 1
+                            if not pending.future.done():
+                                pending.future.set_exception(
+                                    PoisonRequestError(
+                                        pending.item.item_id,
+                                        pending.retries,
+                                        self.config.max_retries,
+                                    )
+                                )
+                        progressed = True
                 elif self.num_alive_workers == 0:
                     self._remove_pending(chunk)
-                    self._run_inproc(key, chunk, reason, now)
+                    self._run_inproc(key[:3], chunk, reason, now)
                     progressed = True
                 # else: workers exist but are busy/starting — bounded
                 # queueing: the batch dispatches as soon as one frees.
@@ -896,6 +1316,8 @@ class ServingEngine:
     def _remove_pending(self, chunk: list[_Pending]) -> None:
         taken = set(id(p) for p in chunk)
         self._pending = deque(p for p in self._pending if id(p) not in taken)
+        # Queue depth dropped: admit any submitter blocked on backpressure.
+        self._space.notify_all()
 
     def _stack(self, chunk: list[_Pending]) -> np.ndarray:
         """Stack a chunk's features into the reused stacking arena.
@@ -937,20 +1359,30 @@ class ServingEngine:
             request_class=request_class,
             shape_key=shape_key,
             requests=chunk,
+            dispatched_at=now,
         )
         self._batch_seq += 1
         shapes = tuple(chunk[0].item.spatial_shapes)
+        message = (
+            "batch",
+            batch.batch_id,
+            request_class,
+            self._stack(chunk),
+            shapes,
+            self._meta(key, chunk),
+            tuple(p.item.item_id for p in chunk),
+        )
         try:
-            handle.conn.send(
-                (
-                    "batch",
-                    batch.batch_id,
-                    request_class,
-                    self._stack(chunk),
-                    shapes,
-                    self._meta(key, chunk),
-                )
-            )
+            _send_with_deadline(handle.conn, message, self.config.dispatch_timeout_s)
+        except _PipeSendTimeout:
+            # The worker stopped draining its pipe mid-dispatch.  The stream
+            # may be corrupt after a partial frame, so the worker is
+            # unsalvageable: kill it and requeue through the death path.
+            handle.busy = batch
+            self.stats.watchdog_kills += 1
+            self._kill_process(handle)
+            self._handle_death(handle, now)
+            return
         except (BrokenPipeError, OSError):
             # The worker died between reap and dispatch: requeue and let the
             # next poll handle the death properly.

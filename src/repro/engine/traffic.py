@@ -26,13 +26,20 @@ Three arrival processes are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.engine.batching import FLOAT_DTYPE, WorkItem
-from repro.engine.serving import DEFAULT_REQUEST_CLASS, ModelBank, ServingEngine
+from repro.engine.serving import (
+    DEFAULT_REQUEST_CLASS,
+    DeadlineExceeded,
+    ModelBank,
+    PoisonRequestError,
+    QueueFullError,
+    ServingEngine,
+)
 from repro.utils.shapes import LevelShape
 
 __all__ = [
@@ -65,11 +72,21 @@ class TrafficEvent:
 class ReplayResult:
     """Outcome of replaying a traffic stream through a serving engine."""
 
-    outputs: list[np.ndarray]
-    """Served output per event, in event (submission) order."""
+    outputs: list["np.ndarray | None"]
+    """Served output per event, in event (submission) order.  ``None`` for
+    an event that failed a lifecycle bound (only possible under
+    ``tolerate_faults=True`` — see :attr:`failures`)."""
 
     elapsed_s: float
     """Wall-clock time of the replay (submission through final completion)."""
+
+    failures: dict[int, BaseException] = field(default_factory=dict)
+    """Event index -> the lifecycle exception that failed it (shed, expired
+    or quarantined).  Empty when every event served."""
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.failures)
 
 
 def _interarrivals(
@@ -256,12 +273,19 @@ def merge_traffic(*streams: Sequence[TrafficEvent]) -> list[TrafficEvent]:
     return merged
 
 
+_LIFECYCLE_FAULTS = (QueueFullError, DeadlineExceeded, PoisonRequestError)
+"""Per-request lifecycle bounds a tolerant replay records instead of raising:
+shed at admission, expired in queue, quarantined as poison.  Anything else
+(a model bug, an engine failure) always propagates."""
+
+
 def replay_traffic(
     engine: ServingEngine,
     events: Sequence[TrafficEvent],
     speed: float = 1.0,
     on_submit: Callable[[int], None] | None = None,
     timeout: float = 120.0,
+    tolerate_faults: bool = False,
 ) -> ReplayResult:
     """Pace a traffic stream into a started engine and gather the results.
 
@@ -270,23 +294,51 @@ def replay_traffic(
     ``on_submit(i)`` fires after event *i* is submitted — benchmark fault
     injection hooks a worker kill here.  Returns the served outputs in event
     order; any per-request failure propagates from its future.
+
+    ``tolerate_faults=True`` treats the PR 10 lifecycle bounds —
+    :class:`~repro.engine.serving.QueueFullError` at submit,
+    :class:`~repro.engine.serving.DeadlineExceeded` and
+    :class:`~repro.engine.serving.PoisonRequestError` at completion — as
+    *data*: the failed event gets a ``None`` output and its exception is
+    recorded in :attr:`ReplayResult.failures`, so a replay through a fault
+    plan can still bit-check every request that did serve.
     """
     import time
 
     start = time.monotonic()
-    futures = []
+    futures: list = []
+    failures: dict[int, BaseException] = {}
     for i, event in enumerate(events):
         if speed > 0:
             target = start + event.arrival_s / speed
             delay = target - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
-        futures.append(engine.submit(event.item, event.request_class))
+        try:
+            futures.append(engine.submit(event.item, event.request_class))
+        except QueueFullError as error:
+            if not tolerate_faults:
+                raise
+            failures[i] = error
+            futures.append(None)
         if on_submit is not None:
             on_submit(i)
     engine.flush(timeout=timeout)
-    outputs = [future.result(timeout=timeout) for future in futures]
-    return ReplayResult(outputs=outputs, elapsed_s=time.monotonic() - start)
+    outputs: list = []
+    for i, future in enumerate(futures):
+        if future is None:
+            outputs.append(None)
+            continue
+        try:
+            outputs.append(future.result(timeout=timeout))
+        except _LIFECYCLE_FAULTS as error:
+            if not tolerate_faults:
+                raise
+            failures[i] = error
+            outputs.append(None)
+    return ReplayResult(
+        outputs=outputs, elapsed_s=time.monotonic() - start, failures=failures
+    )
 
 
 def serial_reference_outputs(

@@ -1088,6 +1088,25 @@ class ServingLatencyReport:
     mode: str
     """Engine health mode at the end of the replay."""
 
+    num_shed: int = 0
+    """Requests rejected at submit by admission control."""
+
+    num_expired: int = 0
+    """Requests that hit their queueing deadline before dispatch."""
+
+    num_retried: int = 0
+    """Requeue events of requests in flight during worker faults."""
+
+    num_quarantined: int = 0
+    """Requests failed with ``PoisonRequestError`` (retry budget spent)."""
+
+    watchdog_kills: int = 0
+    """Workers SIGKILLed by the hung-batch watchdog / dispatch-send bound."""
+
+    num_failed: int = 0
+    """Events that did not serve (shed + expired + quarantined); the
+    ``max_abs_diff`` gate covers every event that *did* serve."""
+
     @property
     def throughput_rps(self) -> float:
         """Completed requests per second of replay wall clock."""
@@ -1118,7 +1137,29 @@ class ServingLatencyReport:
             "primary_batches": self.primary_batches,
             "degraded_batches": self.degraded_batches,
             "mode": self.mode,
+            "num_shed": self.num_shed,
+            "num_expired": self.num_expired,
+            "num_retried": self.num_retried,
+            "num_quarantined": self.num_quarantined,
+            "watchdog_kills": self.watchdog_kills,
+            "num_failed": self.num_failed,
         }
+
+
+class _FaultedBankFactory:
+    """Picklable wrapper attaching a fault plan to a bank factory's product
+    (so a plan can be injected without rebuilding the caller's spec)."""
+
+    def __init__(self, base_factory, fault_plan) -> None:
+        self.base_factory = base_factory
+        self.fault_plan = fault_plan
+
+    def __call__(self):
+        from repro.engine.serving import ModelBank
+
+        bank = ModelBank.coerce(self.base_factory())
+        bank.fault_plan = self.fault_plan
+        return bank
 
 
 def measure_serving_latency(
@@ -1128,6 +1169,8 @@ def measure_serving_latency(
     speed: float = 0.0,
     kill_worker_at: int | None = None,
     repeats: int = 2,
+    fault_plan=None,
+    timeout: float = 120.0,
 ) -> ServingLatencyReport:
     """Replay a traffic stream through a :class:`ServingEngine` and profile it.
 
@@ -1137,13 +1180,35 @@ def measure_serving_latency(
     every served output bit-for-bit against the reference.
     ``kill_worker_at=k`` SIGKILLs worker 0 right after the *k*-th submit, so
     the profile covers the death -> degraded -> restart path.
+
+    ``model_bank_factory`` may also be a
+    :class:`~repro.engine.serving.ModelBankSpec` directly.  ``fault_plan``
+    threads a :class:`~repro.engine.faults.FaultPlan` into the engine's
+    workers (the serial reference never executes faults — they live in
+    ``_worker_main`` only), and switches the replay to fault-tolerant
+    gathering: shed/expired/quarantined events are counted (``num_shed`` /
+    ``num_expired`` / ``num_quarantined`` / ``num_failed``) instead of
+    raising, and the bit-equality gate covers every event that served.
     """
-    from repro.engine.serving import ModelBank, ServingConfig, ServingEngine
+    from repro.engine.serving import (
+        ModelBank,
+        ModelBankSpec,
+        ServingConfig,
+        ServingEngine,
+    )
     from repro.engine.traffic import replay_traffic, serial_reference_outputs
 
     if repeats <= 0:
         raise ValueError("repeats must be positive")
     config = config or ServingConfig()
+    if isinstance(model_bank_factory, ModelBankSpec):
+        if fault_plan is not None:
+            from dataclasses import replace
+
+            model_bank_factory = replace(model_bank_factory, fault_plan=fault_plan)
+        model_bank_factory = model_bank_factory.build
+    elif fault_plan is not None:
+        model_bank_factory = _FaultedBankFactory(model_bank_factory, fault_plan)
     bank = ModelBank.coerce(model_bank_factory())
     reference = serial_reference_outputs(bank, events)  # warm-up + reference
     serial_s = min(
@@ -1162,7 +1227,14 @@ def measure_serving_latency(
                     fired.append(i)
                     engine.kill_worker(0)
 
-        replay = replay_traffic(engine, events, speed=speed, on_submit=on_submit)
+        replay = replay_traffic(
+            engine,
+            events,
+            speed=speed,
+            on_submit=on_submit,
+            timeout=timeout,
+            tolerate_faults=fault_plan is not None,
+        )
         stats = engine.stats
         mode = engine.mode
     finally:
@@ -1170,6 +1242,8 @@ def measure_serving_latency(
 
     max_abs_diff = 0.0
     for served, expected in zip(replay.outputs, reference):
+        if served is None:
+            continue
         max_abs_diff = max(max_abs_diff, float(np.max(np.abs(served - expected))))
     return ServingLatencyReport(
         num_requests=len(events),
@@ -1187,4 +1261,10 @@ def measure_serving_latency(
         primary_batches=stats.primary_batches,
         degraded_batches=stats.degraded_batches,
         mode=mode,
+        num_shed=stats.num_shed,
+        num_expired=stats.num_expired,
+        num_retried=stats.num_retried,
+        num_quarantined=stats.num_quarantined,
+        watchdog_kills=stats.watchdog_kills,
+        num_failed=replay.num_failed,
     )

@@ -10,6 +10,9 @@ on mixed-shape fp32 + INT12 traffic, including through a forced worker kill.
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import os
+import threading
 import time
 
 import numpy as np
@@ -18,8 +21,11 @@ import pytest
 from repro.core.config import DEFAConfig
 from repro.engine import (
     ARRIVAL_PROCESSES,
+    DeadlineExceeded,
     ModelBank,
     ModelBankSpec,
+    PoisonRequestError,
+    QueueFullError,
     ServingConfig,
     ServingEngine,
     WorkItem,
@@ -27,6 +33,7 @@ from repro.engine import (
     replay_traffic,
     serial_reference_outputs,
 )
+from repro.engine.serving import _PipeSendTimeout, _send_with_deadline
 from repro.utils.shapes import LevelShape
 
 SHAPES_A = (LevelShape(8, 12), LevelShape(4, 6))
@@ -275,7 +282,16 @@ class TestWorkerLifecycle:
             assert engine.mode == "primary"
             assert engine.stats.primary_batches > 0
 
-            engine.kill_worker(0)
+            assert engine.kill_worker(0) is True
+            # Wait for the pump to put the death on the books first: requests
+            # submitted *after* a detected death serve via the degraded
+            # in-process path, while requests in flight *during* a death are
+            # suspects that wait for a worker (PR 10 poison safety).
+            deadline = time.monotonic() + 30.0
+            while engine.stats.worker_deaths == 0:
+                if time.monotonic() > deadline:
+                    pytest.fail("worker death was not detected in time")
+                time.sleep(0.005)
             second = [
                 engine.submit(_item(10 + i, SHAPES_A, 10 + i), request_class="fp32")
                 for i in range(4)
@@ -492,10 +508,18 @@ class SteppingClock:
 
 
 class _StubConn:
-    """Pipe stand-in: never has a message, survives ``close()``."""
+    """Pipe stand-in: accepts sends, never has a message, survives
+    ``close()``.  (No ``fileno``, so ``_send_with_deadline`` falls back to
+    the blocking ``send`` — which here just records the message.)"""
+
+    def __init__(self) -> None:
+        self.sent: list = []
 
     def poll(self, timeout: float | None = None) -> bool:
         return False
+
+    def send(self, obj) -> None:
+        self.sent.append(obj)
 
     def close(self) -> None:
         pass
@@ -510,6 +534,12 @@ class _StubProcess:
 
     def join(self, timeout: float | None = None) -> None:
         pass
+
+    def kill(self) -> None:
+        self._alive = False
+
+    def terminate(self) -> None:
+        self._alive = False
 
 
 def _stub_worker(handle, ready=True, process_alive=True, busy=None) -> None:
@@ -678,3 +708,400 @@ class TestMachineProfileThreading:
         spec = replace(_spec(), machine_profile=MachineProfile(name="pickled"))
         clone = pickle.loads(pickle.dumps(spec))
         assert clone.build().runners["fp32"].machine_profile.name == "pickled"
+
+
+# ---------------------------------------------------------------------------
+# PR 10: request lifecycle — admission control, deadlines, watchdog, retry
+# budget / poison quarantine.  All FakeClock/stub driven: no worker processes,
+# no wall-time sleeps; real pipes appear only in the bounded-send tests.
+
+
+class TestLifecycleConfigValidation:
+    def test_new_knobs_reject_invalid_values(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            ServingConfig(max_queue_depth=0)
+        with pytest.raises(ValueError, match="admission"):
+            ServingConfig(admission="maybe")
+        with pytest.raises(ValueError, match="batch_timeout_s"):
+            ServingConfig(batch_timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ServingConfig(max_retries=-1)
+        with pytest.raises(ValueError, match="dispatch_timeout_s"):
+            ServingConfig(dispatch_timeout_s=0.0)
+
+    def test_work_item_deadline_must_be_positive(self):
+        features = np.zeros(
+            (sum(s.num_pixels for s in SHAPES_A), D_MODEL), dtype=np.float32
+        )
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="deadline_s"):
+                WorkItem(
+                    item_id=1,
+                    features=features,
+                    spatial_shapes=SHAPES_A,
+                    deadline_s=bad,
+                )
+
+    def test_submit_deadline_must_be_positive(self):
+        engine = ServingEngine(
+            lambda: _recording_bank([]), ServingConfig(num_workers=0), clock=FakeClock()
+        )
+        with pytest.raises(ValueError, match="deadline_s"):
+            engine.submit(_item(0, SHAPES_A, 0), deadline_s=-1.0)
+
+
+class TestAdmissionControl:
+    def _engine(self, **config_kwargs):
+        config = ServingConfig(
+            **{"num_workers": 0, "max_batch_size": 8, "max_wait_s": 100.0, **config_kwargs}
+        )
+        return ServingEngine(lambda: _recording_bank([]), config, clock=FakeClock())
+
+    def test_full_queue_sheds_with_queue_full_error(self):
+        engine = self._engine(max_queue_depth=2)
+        futures = [engine.submit(_item(i, SHAPES_A, i)) for i in range(2)]
+        with pytest.raises(QueueFullError, match="max_queue_depth=2"):
+            engine.submit(_item(2, SHAPES_A, 2))
+        assert engine.stats.num_shed == 1
+        assert engine.stats.num_requests == 2  # the shed request never queued
+        engine.flush()
+        for future in futures:
+            assert future.result(timeout=1.0) is not None
+
+    def test_block_admission_waits_for_space_then_admits(self):
+        engine = self._engine(max_queue_depth=1, admission="block", max_wait_s=0.0)
+        first = engine.submit(_item(0, SHAPES_A, 0))
+        admitted: list = []
+        thread = threading.Thread(
+            target=lambda: admitted.append(engine.submit(_item(1, SHAPES_B, 1)))
+        )
+        thread.start()
+        # The submitter blocks until a poll drains the queue below the bound;
+        # this loop is the stand-in for the pump thread.
+        deadline = time.monotonic() + 30.0
+        while thread.is_alive():
+            if time.monotonic() > deadline:
+                pytest.fail("blocked submit was never admitted")
+            engine.poll()
+        thread.join(timeout=10.0)
+        assert admitted and engine.stats.num_shed == 0
+        engine.flush()
+        assert first.result(timeout=1.0) is not None
+        assert admitted[0].result(timeout=1.0) is not None
+
+    def test_block_admission_wakes_on_shutdown(self):
+        engine = self._engine(max_queue_depth=1, admission="block")
+        engine.submit(_item(0, SHAPES_A, 0))
+        outcome: list = []
+
+        def blocked_submit():
+            try:
+                engine.submit(_item(1, SHAPES_A, 1))
+                outcome.append("admitted")
+            except RuntimeError as error:
+                outcome.append(error)
+
+        thread = threading.Thread(target=blocked_submit)
+        thread.start()
+        engine.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        # Whether the thread reached the wait before or after shutdown, it
+        # must observe the shutdown, never hang and never be admitted.
+        assert len(outcome) == 1
+        assert isinstance(outcome[0], RuntimeError)
+
+
+class TestDeadlines:
+    def test_queued_request_expires_with_diagnostic(self):
+        clock = FakeClock()
+        engine = ServingEngine(
+            lambda: _recording_bank([]),
+            ServingConfig(num_workers=0, max_batch_size=8, max_wait_s=100.0),
+            clock=clock,
+        )
+        future = engine.submit(_item(7, SHAPES_A, 0), deadline_s=1.0)
+        engine.poll()
+        assert not future.done()
+        clock.advance(1.0)
+        engine.poll()
+        assert engine.stats.num_expired == 1
+        with pytest.raises(DeadlineExceeded, match=r"request 7 expired after 1s"):
+            future.result(timeout=1.0)
+
+    def test_item_level_deadline_applies_when_submit_omits_one(self):
+        clock = FakeClock()
+        engine = ServingEngine(
+            lambda: _recording_bank([]),
+            ServingConfig(num_workers=0, max_batch_size=8, max_wait_s=100.0),
+            clock=clock,
+        )
+        item = WorkItem(
+            item_id="slo",
+            features=np.zeros(
+                (sum(s.num_pixels for s in SHAPES_A), D_MODEL), dtype=np.float32
+            ),
+            spatial_shapes=SHAPES_A,
+            deadline_s=0.5,
+        )
+        future = engine.submit(item)
+        clock.advance(0.5)
+        engine.poll()
+        with pytest.raises(DeadlineExceeded):
+            future.result(timeout=1.0)
+
+    def test_dispatched_request_never_expires(self):
+        clock = FakeClock()
+        engine = _idle_engine(clock, max_wait_s=0.0)
+        _stub_worker(engine._workers[0])
+        future = engine.submit(_item(0, SHAPES_A, 0), deadline_s=1.0)
+        engine.poll()
+        assert engine._workers[0].busy is not None  # in flight on the worker
+        clock.advance(100.0)
+        engine.poll()
+        assert engine.stats.num_expired == 0
+        assert not future.done()  # bounded by the watchdog, not the deadline
+
+
+class TestWatchdog:
+    def _hung_engine(self):
+        clock = FakeClock()
+        engine = _idle_engine(
+            clock, max_wait_s=0.0, batch_timeout_s=1.0, restart_backoff_s=0.5
+        )
+        _stub_worker(engine._workers[0])
+        future = engine.submit(_item(0, SHAPES_A, 0))
+        engine.poll()
+        assert engine._workers[0].busy is not None
+        return engine, clock, future
+
+    def test_watchdog_kills_overdue_batch_and_requeues(self):
+        engine, clock, future = self._hung_engine()
+        handle = engine._workers[0]
+        clock.advance(0.999)
+        engine.poll()
+        assert engine.stats.watchdog_kills == 0  # one tick short of the bound
+        clock.advance(0.001)
+        engine.poll()
+        assert engine.stats.watchdog_kills == 1
+        assert engine.stats.worker_deaths == 1
+        assert not handle.alive and handle.process is None  # killed and reaped
+        assert handle.restart_at == clock.now + 0.5
+        assert engine.stats.num_retried == 1
+        assert not future.done()  # requeued as a suspect, not failed
+        assert engine.mode == "degraded"
+
+    def test_restart_after_watchdog_kill_serves_suspect_on_worker(self):
+        engine, clock, future = self._hung_engine()
+        clock.advance(1.0)
+        engine.poll()  # watchdog kill
+        spawned: list[int] = []
+
+        def fake_spawn(handle):
+            spawned.append(handle.index)
+            _stub_worker(handle, ready=True)
+            handle.restart_at = None
+
+        engine._spawn = fake_spawn
+        clock.advance(0.499)
+        engine.poll()
+        assert spawned == []  # backoff not yet expired on the engine clock
+        clock.advance(0.001)
+        engine.poll()
+        assert spawned == [0]
+        assert engine.stats.worker_restarts == 1
+        # The same poll redispatches the suspect — alone, and to the worker.
+        last = engine.stats.batches[-1]
+        assert (last.reason, last.path, last.size) == ("retry", "worker", 1)
+        assert engine.mode == "primary"
+
+
+class TestRetryBudget:
+    def _dispatched(self, clock, **config_kwargs):
+        engine = _idle_engine(clock, max_wait_s=0.0, **config_kwargs)
+        handle = engine._workers[0]
+        _stub_worker(handle)
+        future = engine.submit(_item(0, SHAPES_A, 0))
+        engine.poll()
+        assert handle.busy is not None
+        return engine, handle, future
+
+    def _fault_reply(self, engine, handle, retryable=True):
+        with engine._lock:
+            engine._handle_message(
+                handle, engine._clock(), ("err", handle.busy.batch_id, "tb", retryable)
+            )
+
+    def test_retryable_fault_requeues_then_quarantines_past_budget(self):
+        clock = FakeClock()
+        engine, handle, future = self._dispatched(clock, max_retries=1)
+        self._fault_reply(engine, handle)
+        assert engine.stats.num_retried == 1
+        assert not future.done()
+        engine.poll()  # redispatch, isolated
+        assert engine.stats.batches[-1].reason == "retry"
+        self._fault_reply(engine, handle)
+        assert engine.stats.num_quarantined == 1
+        with pytest.raises(PoisonRequestError, match="quarantined as poison") as info:
+            future.result(timeout=1.0)
+        assert info.value.kills == 2
+        assert info.value.max_retries == 1
+
+    def test_non_retryable_error_fails_future_without_retry(self):
+        clock = FakeClock()
+        engine, handle, future = self._dispatched(clock)
+        self._fault_reply(engine, handle, retryable=False)
+        assert engine.stats.num_retried == 0
+        with pytest.raises(RuntimeError, match="worker forward failed"):
+            future.result(timeout=1.0)
+
+    def test_legacy_err_message_without_flag_is_not_retryable(self):
+        clock = FakeClock()
+        engine, handle, future = self._dispatched(clock)
+        with engine._lock:
+            engine._handle_message(
+                handle, clock(), ("err", handle.busy.batch_id, "tb")
+            )
+        assert engine.stats.num_retried == 0
+        with pytest.raises(RuntimeError, match="worker forward failed"):
+            future.result(timeout=1.0)
+
+    def test_suspect_waits_for_worker_while_fresh_requests_serve_degraded(self):
+        clock = FakeClock()
+        engine, handle, suspect = self._dispatched(clock, restart_backoff_s=50.0)
+        with engine._lock:
+            engine._handle_death(handle, clock())
+        assert engine.stats.num_retried == 1
+        fresh = engine.submit(_item(1, SHAPES_A, 1))
+        engine.poll()
+        # The fresh request served in-process; the suspect must not — it
+        # could be the poison that killed the worker, and an inproc forward
+        # would take the engine down with it.
+        assert fresh.result(timeout=1.0) is not None
+        assert engine.stats.degraded_batches == 1
+        assert engine.stats.batches[-1].size == 1
+        assert not suspect.done()
+        assert len(engine._pending) == 1
+
+    def test_suspect_with_all_slots_retired_is_quarantined(self):
+        clock = FakeClock()
+        engine, handle, future = self._dispatched(clock, max_restarts=0)
+        with engine._lock:
+            engine._handle_death(handle, clock())
+        assert handle.retired
+        engine.poll()  # no slot can ever serve the suspect again
+        assert engine.stats.num_quarantined == 1
+        with pytest.raises(PoisonRequestError):
+            future.result(timeout=1.0)
+
+
+class TestLifecycleDiagnostics:
+    def test_flush_timeout_message_names_engine_state(self):
+        engine = _idle_engine(SteppingClock())
+        _stub_worker(engine._workers[0], busy=object())
+        with pytest.raises(
+            TimeoutError,
+            match=r"mode=primary queue_depth=0 workers=\(w0\[alive=True",
+        ):
+            engine.flush(timeout=5.0)
+
+    def test_start_timeout_message_names_worker_state(self, monkeypatch):
+        engine = _idle_engine(SteppingClock())
+        monkeypatch.setattr(
+            engine, "_spawn", lambda handle: _stub_worker(handle, ready=False)
+        )
+        with pytest.raises(
+            TimeoutError, match=r"did not report ready.*ready=False"
+        ):
+            engine.start(wait_ready=True, timeout=5.0)
+
+    def test_shutdown_fails_batch_in_flight_on_worker(self):
+        clock = FakeClock()
+        engine = _idle_engine(clock, max_wait_s=0.0)
+        _stub_worker(engine._workers[0])
+        future = engine.submit(_item(0, SHAPES_A, 0))
+        engine.poll()
+        assert engine._workers[0].busy is not None
+        engine.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            future.result(timeout=1.0)
+
+    def test_flush_while_degraded_serves_inproc(self):
+        clock = FakeClock()
+        engine = _idle_engine(clock, max_wait_s=100.0, restart_backoff_s=50.0)
+        handle = engine._workers[0]
+        _stub_worker(handle)
+        with engine._lock:
+            engine._handle_death(handle, clock())
+        assert engine.mode == "degraded"
+        futures = [engine.submit(_item(i, SHAPES_A, i)) for i in range(3)]
+        engine.flush(timeout=5.0)
+        for future in futures:
+            assert future.result(timeout=1.0) is not None
+        assert engine.stats.degraded_batches >= 1
+        assert engine.mode == "degraded"  # backoff still pending: no restart
+
+
+class TestKillWorkerValidation:
+    def test_out_of_range_index_raises(self):
+        engine = _idle_engine(FakeClock())
+        with pytest.raises(ValueError, match="out of range"):
+            engine.kill_worker(1)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.kill_worker(-1)
+
+    def test_returns_whether_a_kill_happened(self):
+        engine = _idle_engine(FakeClock())
+        assert engine.kill_worker(0) is False  # never spawned
+        _stub_worker(engine._workers[0])
+        assert engine.kill_worker(0) is True
+        assert engine.kill_worker(0) is False  # already dead
+
+
+class TestWorkerStatsTimeout:
+    def test_unresponsive_worker_reports_none_within_timeout(self):
+        engine = _idle_engine(FakeClock())
+        _stub_worker(engine._workers[0], ready=True)
+        begin = time.monotonic()
+        assert engine.worker_stats(timeout=0.2) == [None]
+        assert time.monotonic() - begin < 5.0
+
+    def test_busy_slot_reports_none_without_touching_the_pipe(self):
+        engine = _idle_engine(FakeClock())
+        _stub_worker(engine._workers[0], busy=object())
+        assert engine.worker_stats(timeout=0.2) == [None]
+        assert engine._workers[0].conn.sent == []
+
+
+class TestBoundedSend:
+    def test_roundtrip_matches_connection_wire_format(self):
+        a, b = mp.Pipe()
+        try:
+            payload = {"x": np.arange(5), "label": "batch"}
+            _send_with_deadline(a, payload, timeout=5.0)
+            assert b.poll(5.0)
+            received = b.recv()
+            np.testing.assert_array_equal(received["x"], payload["x"])
+            assert received["label"] == "batch"
+        finally:
+            a.close()
+            b.close()
+
+    def test_times_out_on_undrained_pipe_and_restores_blocking(self):
+        a, b = mp.Pipe()
+        try:
+            blob = np.zeros(4 << 20, dtype=np.uint8)  # far beyond the pipe buffer
+            begin = time.monotonic()
+            with pytest.raises(_PipeSendTimeout, match="unsent"):
+                _send_with_deadline(a, blob, timeout=0.2)
+            assert time.monotonic() - begin < 10.0
+            assert os.get_blocking(a.fileno())  # mode restored for reuse
+        finally:
+            a.close()
+            b.close()
+
+    def test_falls_back_to_blocking_send_without_fileno(self):
+        conn = _StubConn()
+        _send_with_deadline(conn, ("a",), timeout=0.1)
+        _send_with_deadline(conn, ("b",), None)
+        assert conn.sent == [("a",), ("b",)]
